@@ -1,0 +1,76 @@
+"""Shared plumbing for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+relevant experiment grid, renders the same rows/series the paper reports,
+prints them, and archives them under ``benchmarks/results/``. Absolute
+numbers come from a simulator, not the authors' phones — the *shape*
+(who wins, by what factor, where crossovers fall) is the reproduction
+target; see EXPERIMENTS.md for the side-by-side record.
+
+Defaults below trade statistical polish for wall-clock time: the paper
+averages 10 x 5-minute iperf runs; the benches average ``RUNS`` seeded
+runs of ``DURATION_S`` simulated seconds, which is past convergence for
+every scenario measured here.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Dict, Iterable, List, Sequence
+
+from repro import ExperimentSpec, ReplicatedResult, run_replicated
+
+#: simulated seconds per run (measurement starts after WARMUP_S)
+DURATION_S = 4.0
+WARMUP_S = 1.5
+#: seeded replications per grid point (determinism makes 1 meaningful;
+#: raise for tighter error bars when wall-clock allows)
+RUNS = 1
+
+#: the connection counts of Figures 2/3/5
+CONNECTION_GRID = (1, 5, 10, 20)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def base_spec(**overrides) -> ExperimentSpec:
+    """An ExperimentSpec with benchmark-suite defaults applied."""
+    defaults = dict(duration_s=DURATION_S, warmup_s=WARMUP_S)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def measure(spec: ExperimentSpec, runs: int = RUNS) -> ReplicatedResult:
+    """Run a grid point with the suite's replication count."""
+    return run_replicated(spec, runs=runs)
+
+
+def goodput_series(
+    spec: ExperimentSpec,
+    connections: Sequence[int] = CONNECTION_GRID,
+    runs: int = RUNS,
+) -> List[float]:
+    """Mean goodput (Mbps) for each connection count."""
+    out = []
+    for n in connections:
+        out.append(measure(replace(spec, connections=n), runs=runs).goodput_mbps)
+    return out
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table/figure and archive it under results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark.
+
+    These are macro-benchmarks (tens of seconds); repetition happens
+    inside each experiment via seeded replication, not via the timer.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,38 @@
+"""Figure 3: BBR vs Cubic on the Pixel 6, Low-End configuration.
+
+Paper shape: despite the different SoC (Tensor LITTLE cores pinned at
+300 MHz vs the Pixel 4's 576 MHz), the picture matches Figure 2a — BBR's
+gap versus Cubic widens with the number of connections, reaching roughly
+half of Cubic's goodput at 20 connections.
+"""
+
+from repro import CpuConfig, PIXEL_6
+from repro.metrics import render_series
+
+from common import CONNECTION_GRID, base_spec, goodput_series, publish, run_once
+
+
+def _run():
+    bbr = goodput_series(
+        base_spec(cc="bbr", device=PIXEL_6, cpu_config=CpuConfig.LOW_END)
+    )
+    cubic = goodput_series(
+        base_spec(cc="cubic", device=PIXEL_6, cpu_config=CpuConfig.LOW_END)
+    )
+    text = render_series(
+        "connections",
+        list(CONNECTION_GRID),
+        [("bbr (Mbps)", [round(x, 1) for x in bbr]),
+         ("cubic (Mbps)", [round(x, 1) for x in cubic])],
+        title="Figure 3: Pixel 6, Low-End, Ethernet LAN",
+    )
+    return bbr, cubic, text
+
+
+def test_fig3(benchmark):
+    bbr, cubic, text = run_once(benchmark, _run)
+    publish("fig3_pixel6_lowend", text)
+    # BBR's 20-connection goodput is comparably ~45-55% below Cubic's.
+    assert bbr[-1] < 0.75 * cubic[-1]
+    # The gap grows with connections.
+    assert bbr[-1] / cubic[-1] < bbr[0] / cubic[0]

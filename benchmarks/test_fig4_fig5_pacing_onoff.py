@@ -1,0 +1,73 @@
+"""Figures 4 and 5: the effect of TCP packet pacing on BBR goodput.
+
+* Figure 4 — Low-End / Mid-End / Default at 20 connections, pacing on vs
+  off. Paper: disabling pacing raises goodput substantially (2.7x on
+  Low-End; +67% Mid-End; +91% Default).
+* Figure 5 — Low-End at {1, 5, 20} connections. Paper: pacing hurts at
+  every connection count and the gap widens with more connections.
+"""
+
+import pytest
+
+from repro import CpuConfig, PacingMode
+from repro.metrics import render_bars, render_series
+
+from common import base_spec, measure, publish, run_once
+
+
+def _paced_vs_unpaced(config: str, connections: int):
+    paced = measure(base_spec(cc="bbr", cpu_config=config, connections=connections))
+    unpaced = measure(base_spec(
+        cc="bbr", cpu_config=config, connections=connections,
+        pacing_mode=PacingMode.OFF,
+    ))
+    return paced, unpaced
+
+
+def test_fig4_pacing_onoff_20conns(benchmark):
+    def run():
+        rows = {}
+        for config in (CpuConfig.LOW_END, CpuConfig.MID_END, CpuConfig.DEFAULT):
+            rows[config] = _paced_vs_unpaced(config, 20)
+        return rows
+
+    rows = run_once(benchmark, run)
+    labels, values = [], []
+    for config, (paced, unpaced) in rows.items():
+        labels += [f"{config} paced", f"{config} unpaced"]
+        values += [paced.goodput_mbps, unpaced.goodput_mbps]
+    publish(
+        "fig4_pacing_onoff",
+        render_bars(labels, values, unit=" Mbps",
+                    title="Figure 4: BBR goodput, pacing on vs off (20 conns)"),
+    )
+    for config, (paced, unpaced) in rows.items():
+        # Disabling pacing must raise goodput substantially everywhere.
+        assert unpaced.goodput_mbps > 1.3 * paced.goodput_mbps, config
+
+
+def test_fig5_pacing_onoff_by_connections(benchmark):
+    def run():
+        out = {}
+        for n in (1, 5, 20):
+            out[n] = _paced_vs_unpaced(CpuConfig.LOW_END, n)
+        return out
+
+    out = run_once(benchmark, run)
+    conns = sorted(out)
+    paced_row = [round(out[n][0].goodput_mbps, 1) for n in conns]
+    unpaced_row = [round(out[n][1].goodput_mbps, 1) for n in conns]
+    publish(
+        "fig5_pacing_connections",
+        render_series(
+            "connections", conns,
+            [("paced (Mbps)", paced_row), ("unpaced (Mbps)", unpaced_row)],
+            title="Figure 5: BBR pacing on/off across connections (Low-End)",
+        ),
+    )
+    for n in conns:
+        paced, unpaced = out[n]
+        assert unpaced.goodput_mbps > paced.goodput_mbps, n
+    # The relative gap is worst at 20 connections.
+    gap = {n: out[n][1].goodput_mbps / out[n][0].goodput_mbps for n in conns}
+    assert gap[20] > gap[1]

@@ -1,0 +1,42 @@
+"""§4.2: BBR2 on the Pixel 6 over WiFi (Low-End, 20 connections).
+
+Paper: Cubic still wins; going from Cubic to BBR and BBR2 costs roughly
+23% and 20% of goodput respectively (BBR2 slightly better than BBR but
+both clearly below Cubic).
+"""
+
+from repro import CpuConfig, PIXEL_6, WIFI_LAN
+from repro.metrics import render_bars
+
+from common import base_spec, measure, publish, run_once
+
+
+def _run():
+    out = {}
+    for cc in ("cubic", "bbr", "bbr2"):
+        out[cc] = measure(base_spec(
+            cc=cc, device=PIXEL_6, cpu_config=CpuConfig.LOW_END,
+            medium=WIFI_LAN, connections=20,
+            duration_s=6.0, warmup_s=2.0,
+        ))
+    return out
+
+
+def test_sec42_bbr2_wifi(benchmark):
+    out = run_once(benchmark, _run)
+    publish(
+        "sec42_bbr2_wifi",
+        render_bars(
+            list(out),
+            [out[cc].goodput_mbps for cc in out],
+            unit=" Mbps",
+            title="Sec 4.2: Pixel 6 WiFi, Low-End, 20 conns",
+        ),
+    )
+    cubic = out["cubic"].goodput_mbps
+    # Both BBR variants lose a substantial fraction vs Cubic.
+    assert out["bbr"].goodput_mbps < 0.9 * cubic
+    assert out["bbr2"].goodput_mbps < 0.9 * cubic
+    # And the two BBR generations land in the same region.
+    ratio = out["bbr2"].goodput_mbps / out["bbr"].goodput_mbps
+    assert 0.6 < ratio < 1.7

@@ -1,0 +1,33 @@
+"""Table 1: the mobile CPU configurations used on the Pixel phones."""
+
+from repro import PIXEL_4, PIXEL_6
+from repro.metrics import render_table
+
+from common import publish, run_once
+
+
+def _build_table() -> str:
+    rows = [
+        ["Low-End", f"{PIXEL_4.low_end_hz / 1e6:.0f}MHz",
+         f"{PIXEL_6.low_end_hz / 1e6:.0f}MHz", "LITTLE"],
+        ["Mid-End", f"{PIXEL_4.mid_end_hz / 1e9:.1f}GHz",
+         f"{PIXEL_6.mid_end_hz / 1e9:.1f}GHz", "LITTLE"],
+        ["High-End", f"{PIXEL_4.high_end_hz / 1e9:.1f}GHz",
+         f"{PIXEL_6.high_end_hz / 1e9:.1f}GHz", "BIG"],
+        ["Default", "Dynamic", "Dynamic", "Dynamic"],
+    ]
+    return render_table(
+        ["Config.", "Pixel 4 Freq.", "Pixel 6 Freq.", "Cores"],
+        rows,
+        title="Table 1: Mobile CPU configurations",
+    )
+
+
+def test_table1(benchmark):
+    text = run_once(benchmark, _build_table)
+    publish("table1_configs", text)
+    # Sanity: the pin points of the paper exist exactly.
+    assert "576MHz" in text
+    assert "300MHz" in text
+    assert "2.8GHz" in text
+    assert "1.2GHz" in text

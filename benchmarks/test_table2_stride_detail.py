@@ -1,0 +1,62 @@
+"""Table 2: per-stride socket-buffer length, idle time, expected vs
+actual throughput, and RTT (Default configuration, 20 connections).
+
+Paper shape:
+* skbuff length and idle time grow with the stride;
+* skbuff length plateaus once the socket buffer (cwnd) saturates;
+* actual throughput tracks expected (Eq. 3) once the stride is large
+  enough to amortize the pacing CPU overhead, and both collapse for
+  over-large strides;
+* RTT falls as the stride grows (fewer timer fires -> less CPU queueing).
+"""
+
+from repro import CpuConfig, PAPER_STRIDES, StrideRow, sweep_strides
+from repro.metrics import render_table
+
+from common import RUNS, base_spec, publish, run_once
+
+
+def _run():
+    spec = base_spec(cc="bbr", cpu_config=CpuConfig.DEFAULT, connections=20)
+    sweeps = sweep_strides(spec, strides=PAPER_STRIDES, runs=RUNS)
+    rows = []
+    for stride in PAPER_STRIDES:
+        agg = sweeps[stride]
+        rows.append(
+            StrideRow.from_measurement(
+                stride=stride,
+                mean_skb_bytes=agg.mean("mean_skb_bytes"),
+                mean_idle_ms=agg.mean("mean_idle_ms"),
+                actual_tx_mbps=agg.goodput_mbps,
+                rtt_ms=agg.rtt_mean_ms,
+                connections=20,
+            )
+        )
+    return rows
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, _run)
+    publish(
+        "table2_stride_detail",
+        render_table(
+            ["Pacing Stride", "Skbuff Len (Kb)", "Idle Time (ms)",
+             "Expected Tx (Mbps)", "Actual Tx (Mbps)", "RTT (ms)"],
+            [r.as_table_row() for r in rows],
+            title="Table 2: stride detail (Default config, 20 connections)",
+        ),
+    )
+    by_stride = {r.stride: r for r in rows}
+    # Idle time grows monotonically with the stride (Eq. 2).
+    idles = [by_stride[s].idle_time_ms for s in PAPER_STRIDES]
+    assert all(b > a for a, b in zip(idles, idles[1:]))
+    # Skbuff length grows then plateaus (socket-buffer saturation).
+    skbs = [by_stride[s].skb_len_kbits for s in PAPER_STRIDES]
+    assert skbs[1] > 1.5 * skbs[0]
+    assert skbs[-1] < 4 * skbs[2]  # nowhere near 50x the 1x size: capped
+    # At stride 1x the CPU overhead leaves actual well below expected.
+    assert by_stride[1.0].actual_tx_mbps < 0.85 * by_stride[1.0].expected_tx_mbps
+    # Large strides collapse actual throughput.
+    assert by_stride[50.0].actual_tx_mbps < by_stride[5.0].actual_tx_mbps
+    # RTT at large strides is below the 1x RTT (pacing overhead gone).
+    assert by_stride[50.0].rtt_ms < by_stride[1.0].rtt_ms

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""AR/VR uplink scenario: the future workload that motivates the paper.
+
+The paper's introduction argues that upcoming AR/VR applications will
+push large sustained *uplink* volumes from phones (§3.2, §4). This
+example models such an application — a headset-tethered phone streaming
+captured video upstream over WiFi — and asks: which congestion control
+keeps the stream healthy on each class of device?
+
+We sweep device configurations and report goodput and the delay the
+stream would experience (AR/VR is latency-sensitive: RTT matters as much
+as throughput).
+
+    python examples/ar_vr_uplink.py
+"""
+
+from repro import CpuConfig, ExperimentSpec, WIFI_LAN, run_experiment
+
+#: a realistic multi-stream capture app: a few parallel uplink streams
+STREAMS = 8
+
+
+def run(cc: str, config: str, stride: float = 1.0):
+    spec = ExperimentSpec(
+        cc=cc,
+        connections=STREAMS,
+        cpu_config=config,
+        medium=WIFI_LAN,
+        pacing_stride=stride,
+        duration_s=5.0,
+        warmup_s=2.0,
+    )
+    return run_experiment(spec)
+
+
+def main() -> None:
+    print(f"AR/VR-style uplink: {STREAMS} parallel streams over WiFi\n")
+    header = f"{'device':10s} {'algorithm':22s} {'goodput':>12s} {'p95 RTT':>10s}"
+    print(header)
+    print("-" * len(header))
+    for config in (CpuConfig.LOW_END, CpuConfig.MID_END, CpuConfig.DEFAULT):
+        for label, cc, stride in (
+            ("cubic", "cubic", 1.0),
+            ("bbr", "bbr", 1.0),
+            ("bbr +stride 5x", "bbr", 5.0),
+        ):
+            r = run(cc, config, stride)
+            print(
+                f"{config:10s} {label:22s} {r.goodput_mbps:8.1f} Mbps"
+                f" {r.rtt_p95_ms:7.2f} ms"
+            )
+        print()
+
+    print(
+        "Takeaway: on CPU-constrained devices stock BBR cannot feed a\n"
+        "high-rate uplink, while the pacing stride restores throughput\n"
+        "without the RTT blow-up that disabling pacing would cause —\n"
+        "exactly the trade-off an AR/VR stream needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Why not just disable pacing? A shallow-buffer congestion study (§5.2.3).
+
+Disabling pacing makes BBR fast on slow phones — but pacing exists for a
+reason. This example reproduces the paper's 10-packet shallow-buffer
+experiment: with pacing off, bursts hammer the small router buffer and
+retransmissions explode by two to three orders of magnitude, while RTT
+climbs. The pacing stride keeps the goodput win *and* the network calm.
+
+    python examples/shallow_buffer_study.py
+"""
+
+from repro import (
+    CpuConfig,
+    ExperimentSpec,
+    NetemConfig,
+    PacingMode,
+    run_experiment,
+)
+from repro.units import mbps
+
+#: tc settings on the router's server-facing port: a near-line-rate port
+#: with a 10-packet droptail buffer (the paper's shallow-buffer setup) —
+#: only bursty arrivals overflow it.
+SHALLOW = NetemConfig(rate_bps=mbps(800), buffer_segments=10)
+
+
+def run(label: str, **overrides):
+    spec = ExperimentSpec(
+        cc="bbr",
+        connections=20,
+        cpu_config=CpuConfig.LOW_END,
+        netem=SHALLOW,
+        duration_s=5.0,
+        warmup_s=2.0,
+        **overrides,
+    )
+    r = run_experiment(spec)
+    print(
+        f"{label:26s} {r.goodput_mbps:8.1f} Mbps"
+        f" {int(r.retransmitted_segments):>9d} retx"
+        f" {r.rtt_mean_ms:7.2f} ms RTT"
+        f" {int(r.router_dropped_segments):>8d} drops"
+    )
+    return r
+
+
+def main() -> None:
+    print("BBR through an 800 Mbps router port with a 10-packet buffer")
+    print("(Low-End phone, 20 connections)\n")
+    paced = run("pacing on (stock)")
+    unpaced = run("pacing off", pacing_mode=PacingMode.OFF)
+    strided = run("pacing stride 10x", pacing_stride=10.0)
+
+    print(
+        f"\nWithout pacing, retransmissions rise "
+        f"{unpaced.retransmitted_segments / max(1, paced.retransmitted_segments):.0f}x"
+        f" — the paper saw 37 -> ~13,500 on hardware."
+        f"\nThe stride trades some of that back: goodput "
+        f"{strided.goodput_mbps / paced.goodput_mbps:.2f}x the paced level with "
+        f"{strided.retransmitted_segments / max(1, unpaced.retransmitted_segments):.2f}x "
+        f"the unpaced losses — §7.1.3's caveat that strides can cause\n"
+        f"transient congestion in shallow buffers is visible here."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Pacing-stride tuning: find the sweet spot for a device (§6, §7.1.2).
+
+Sweeps the paper's six strides on a chosen device configuration, prints
+the goodput/RTT trade-off curve, and then runs the adaptive-stride
+controller (the paper's future-work §7.1.2, implemented in
+``repro.core.stride``) to show an online tuner landing near the best
+fixed stride without being told the device class.
+
+    python examples/stride_tuning.py [low-end|mid-end|default]
+"""
+
+import sys
+
+from repro import CpuConfig, ExperimentSpec, PAPER_STRIDES, run_experiment
+from repro.apps.iperf import IperfClientApp, IperfServerApp
+from repro.cc import Bbr
+from repro.core.stride import AdaptiveStrideController
+from repro.cpu import NetStackExecutor
+from repro.devices import PIXEL_4, build_device
+from repro.netsim import ETHERNET_LAN, Testbed
+from repro.sim import EventLoop, RngStreams
+from repro.tcp.stack import MobileTcpStack
+from repro.units import seconds
+
+CONNECTIONS = 20
+
+
+def fixed_stride_curve(config: str):
+    print(f"{'stride':>8s} {'goodput':>12s} {'mean RTT':>10s}")
+    results = {}
+    for stride in PAPER_STRIDES:
+        r = run_experiment(ExperimentSpec(
+            cc="bbr", connections=CONNECTIONS, cpu_config=config,
+            pacing_stride=stride, duration_s=5.0, warmup_s=2.0,
+        ))
+        results[stride] = r
+        print(f"{stride:>7.0f}x {r.goodput_mbps:8.1f} Mbps {r.rtt_mean_ms:7.2f} ms")
+    best = max(results, key=lambda s: results[s].goodput_mbps)
+    print(f"\nBest fixed stride: {best:g}x "
+          f"({results[best].goodput_mbps:.1f} Mbps)\n")
+    return results[best]
+
+
+def adaptive(config: str):
+    loop = EventLoop()
+    device = build_device(loop, PIXEL_4, config)
+    testbed = Testbed(loop, ETHERNET_LAN, rng=RngStreams(3))
+    stack = MobileTcpStack(loop, NetStackExecutor(device.cpu),
+                           device.cost_model, testbed)
+    server = IperfServerApp(loop, testbed)
+    client = IperfClientApp(loop, stack, Bbr, parallel=CONNECTIONS)
+    controller = AdaptiveStrideController(loop, client.connections, device)
+    device.start()
+    client.start()
+    controller.start()
+    warmup, duration = seconds(2.0), seconds(8.0)
+    loop.run(until=duration)
+    goodput = server.goodput_bps_between(warmup, duration) / 1e6
+    print(f"Adaptive controller: {goodput:.1f} Mbps "
+          f"(settled at stride {controller.stride:g}x)")
+    controller.stop()
+    client.stop()
+    device.stop()
+    testbed.stop_processes()
+    return goodput
+
+
+def main() -> None:
+    config = sys.argv[1] if len(sys.argv) > 1 else CpuConfig.LOW_END
+    if config not in CpuConfig.ALL:
+        raise SystemExit(f"unknown config {config!r}; pick one of {CpuConfig.ALL}")
+    print(f"Stride sweep on {config} (BBR, {CONNECTIONS} connections)\n")
+    best = fixed_stride_curve(config)
+    goodput = adaptive(config)
+    print(f"\nAdaptive vs best fixed: {goodput / best.goodput_mbps:.0%}")
+
+
+if __name__ == "__main__":
+    main()

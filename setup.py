@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The offline environment this project targets has no ``wheel`` package, so
+PEP 660 editable builds (which require building a wheel) are unavailable;
+``pip install -e .`` falls back to ``setup.py develop`` through this
+shim. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

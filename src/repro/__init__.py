@@ -1,0 +1,63 @@
+"""repro — a reproduction of *Are Mobiles Ready for BBR?* (IMC 2022).
+
+The paper measures BBR/BBR2 vs. Cubic on Pixel phones and finds TCP's
+internal packet pacing — a per-send timer — throttles goodput on
+CPU-constrained devices; a *pacing stride* (pace less often, more data
+per period) recovers the loss while keeping pacing's low RTTs.
+
+This package reproduces the study in simulation: a cycle-cost CPU model
+of the phone (``repro.cpu``), a Linux-structured TCP stack with internal
+pacing and the stride modification (``repro.tcp``), Cubic/BBR/BBR2
+(``repro.cc``), the Ethernet/WiFi/LTE testbed (``repro.netsim``), and an
+experiment API (``repro.core``). Quick start::
+
+    from repro import ExperimentSpec, run_experiment
+
+    result = run_experiment(ExperimentSpec(cc="bbr", connections=20))
+    print(result.goodput_mbps)
+"""
+
+from .core import (
+    AdaptiveStrideController,
+    ExperimentResult,
+    ExperimentSpec,
+    PAPER_STRIDES,
+    ReplicatedResult,
+    StrideRow,
+    expected_throughput_bps,
+    idle_time_ns,
+    make_cc_factory,
+    run_experiment,
+    run_replicated,
+    sweep_strides,
+)
+from .devices import PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
+from .netsim import ETHERNET_LAN, LTE_CELLULAR, WIFI_LAN, NetemConfig
+from .tcp.pacing import PacingMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ReplicatedResult",
+    "run_experiment",
+    "run_replicated",
+    "make_cc_factory",
+    "sweep_strides",
+    "PAPER_STRIDES",
+    "AdaptiveStrideController",
+    "StrideRow",
+    "expected_throughput_bps",
+    "idle_time_ns",
+    "PIXEL_4",
+    "PIXEL_6",
+    "CpuConfig",
+    "DeviceProfile",
+    "ETHERNET_LAN",
+    "WIFI_LAN",
+    "LTE_CELLULAR",
+    "NetemConfig",
+    "PacingMode",
+]

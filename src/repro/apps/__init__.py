@@ -1,0 +1,5 @@
+"""Workload applications: the iperf3-like bulk uplink client/server."""
+
+from .iperf import IperfClientApp, IperfServerApp
+
+__all__ = ["IperfClientApp", "IperfServerApp"]

@@ -1,0 +1,132 @@
+"""iperf3-like bulk-transfer applications (§3.2's workload).
+
+:class:`IperfClientApp` opens N parallel greedy uplink connections on the
+phone stack (``iperf3 -c server -P N -t duration``);
+:class:`IperfServerApp` sits on the desktop host and measures goodput the
+way iperf3's server report does — application bytes received in order,
+binned into intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..cc.base import CongestionOps
+from ..metrics.collector import IntervalCounter, StatAccumulator
+from ..netsim.testbed import Testbed
+from ..sim import EventLoop
+from ..tcp.connection import InfiniteSource, SocketConfig, TcpSender
+from ..tcp.receiver import TcpReceiverEndpoint
+from ..tcp.stack import MobileTcpStack, ServerHost
+from ..units import MSEC, USEC
+
+__all__ = ["IperfClientApp", "IperfServerApp"]
+
+
+class IperfServerApp(ServerHost):
+    """Receiving side: per-flow and aggregate interval goodput."""
+
+    def __init__(self, loop: EventLoop, testbed: Testbed, interval_ns: int = 100 * MSEC):
+        super().__init__(testbed)
+        self._loop = loop
+        self.interval_ns = int(interval_ns)
+        self.aggregate = IntervalCounter(loop, self.interval_ns)
+        self.per_flow: Dict[int, IntervalCounter] = {}
+        self.on_new_endpoint = self._attach_metrics
+
+    def _attach_metrics(self, endpoint: TcpReceiverEndpoint) -> None:
+        counter = IntervalCounter(self._loop, self.interval_ns)
+        self.per_flow[endpoint.flow_id] = counter
+
+        def on_goodput(nbytes: int) -> None:
+            counter.add(nbytes)
+            self.aggregate.add(nbytes)
+
+        endpoint.on_goodput = on_goodput
+
+    def goodput_bps_between(self, start_ns: int, end_ns: int) -> float:
+        """Aggregate goodput (bits/s) over the measurement window."""
+        return self.aggregate.rate_bps_between(start_ns, end_ns)
+
+    def flow_goodput_bps_between(self, flow_id: int, start_ns: int, end_ns: int) -> float:
+        """One flow's goodput (bits/s) over the window."""
+        counter = self.per_flow.get(flow_id)
+        return counter.rate_bps_between(start_ns, end_ns) if counter else 0.0
+
+
+class IperfClientApp:
+    """Sending side: N parallel greedy connections with RTT collection."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        stack: MobileTcpStack,
+        cc_factory: Callable[[], CongestionOps],
+        parallel: int = 1,
+        socket_config: Optional[SocketConfig] = None,
+        stagger_ns: int = 500 * USEC,
+    ):
+        if parallel < 1:
+            raise ValueError("need at least one connection")
+        self._loop = loop
+        self.stack = stack
+        self.connections: List[TcpSender] = []
+        #: RTT samples taken at/after this time count toward the stats
+        self.rtt_window_start_ns = 0
+        self.rtt_stats = StatAccumulator(keep=True)
+        self._stagger_ns = int(stagger_ns)
+        for _ in range(parallel):
+            sender = stack.create_connection(
+                cc_factory(), config=socket_config, source=InfiniteSource()
+            )
+            sender.on_rtt_sample = self._on_rtt_sample
+            self.connections.append(sender)
+
+    def start(self) -> None:
+        """Start every connection, slightly staggered like real flows."""
+        for index, sender in enumerate(self.connections):
+            self._loop.call_after(index * self._stagger_ns, sender.start)
+
+    def stop(self) -> None:
+        """Close every connection."""
+        for sender in self.connections:
+            sender.close()
+
+    # -- aggregated sender-side stats ------------------------------------------
+
+    def _on_rtt_sample(self, rtt_ns: int) -> None:
+        if self._loop.now >= self.rtt_window_start_ns:
+            self.rtt_stats.add(rtt_ns / 1e6)  # store milliseconds
+
+    @property
+    def retransmitted_segments(self) -> int:
+        """Total segments retransmitted across all connections."""
+        return sum(c.retransmitted_segments for c in self.connections)
+
+    @property
+    def rto_count(self) -> int:
+        """Total RTO firings across all connections."""
+        return sum(c.rto_count for c in self.connections)
+
+    @property
+    def mean_cwnd_segments(self) -> float:
+        """Instantaneous mean cwnd across connections."""
+        if not self.connections:
+            return 0.0
+        return sum(c.cwnd for c in self.connections) / len(self.connections)
+
+    def mean_pacer_period_bytes(self) -> float:
+        """Average bytes per pacing period across connections (Table 2)."""
+        periods = sum(c.pacer.periods for c in self.connections)
+        if periods == 0:
+            return 0.0
+        total = sum(c.pacer.bytes_per_period_total for c in self.connections)
+        return total / periods
+
+    def mean_pacer_idle_ns(self) -> float:
+        """Average pacing idle time across connections (Table 2)."""
+        periods = sum(c.pacer.periods for c in self.connections)
+        if periods == 0:
+            return 0.0
+        total = sum(c.pacer.idle_ns_total for c in self.connections)
+        return total / periods

@@ -1,0 +1,25 @@
+"""Congestion-control modules: Cubic (Android default), BBR, BBR2, Reno,
+and the §5 master module for controlled experiments.
+
+Factories: every connection needs its **own instance** (modules hold
+per-connection state), so experiment code passes callables like
+``lambda: Bbr()``.
+"""
+
+from .base import CongestionOps
+from .bbr import Bbr
+from .bbr2 import Bbr2
+from .cubic import Cubic
+from .master import MasterModule
+from .minmax import WindowedMaxFilter
+from .reno import Reno
+
+__all__ = [
+    "CongestionOps",
+    "Cubic",
+    "Bbr",
+    "Bbr2",
+    "Reno",
+    "MasterModule",
+    "WindowedMaxFilter",
+]

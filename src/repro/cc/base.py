@@ -1,0 +1,108 @@
+"""Congestion-control module interface (mirrors ``tcp_congestion_ops``).
+
+A module owns the congestion window and, when it wants pacing, the pacing
+rate. The sender calls :meth:`CongestionOps.cong_control` on every ACK
+with the rate sample, and the state-transition hooks around loss
+recovery. Modules also declare their per-ACK CPU cost — §5 of the paper
+distinguishes BBR's "recompute the model on every ACK" from Cubic's
+cheap AIMD arithmetic, and the cost model charges accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..tcp.connection import TcpSender
+    from ..tcp.rate_sample import RateSample
+
+__all__ = ["CongestionOps"]
+
+
+class CongestionOps:
+    """Base class for congestion-control modules.
+
+    Subclasses override the hooks they need. The sender guarantees:
+
+    * :meth:`init` is called once before any data is sent,
+    * :meth:`cong_control` is called for every processed ACK, after the
+      scoreboard and delivery counters are updated,
+    * the recovery hooks are called on state transitions.
+    """
+
+    #: module name (shows up in experiment reports)
+    name = "base"
+    #: CPU cycles charged per ACK for the module's model update
+    ack_cost_cycles = 0
+    #: True if the module requires packet pacing (BBR family)
+    wants_pacing = False
+
+    def init(self, conn: "TcpSender") -> None:
+        """One-time setup; *conn* is fully constructed."""
+
+    def cong_control(self, conn: "TcpSender", rs: "RateSample") -> None:
+        """Per-ACK main entry: update the model, set cwnd/pacing rate.
+
+        The default implementation provides the classic split used by
+        loss-based algorithms: slow start below ``ssthresh``, otherwise
+        :meth:`cong_avoid`.
+        """
+        acked = rs.newly_acked_segments
+        if acked <= 0:
+            return
+        if conn.in_slow_start:
+            acked = self.slow_start(conn, acked)
+        if acked > 0 and not conn.in_slow_start:
+            self.cong_avoid(conn, acked)
+
+    # -- loss-based helpers ----------------------------------------------------
+
+    def slow_start(self, conn: "TcpSender", acked: int) -> int:
+        """Exponential growth; returns ACKs left over after hitting ssthresh."""
+        new_cwnd = min(conn.cwnd + acked, conn.ssthresh)
+        leftover = acked - (new_cwnd - conn.cwnd)
+        conn.cwnd = new_cwnd
+        return leftover
+
+    def cong_avoid(self, conn: "TcpSender", acked: int) -> None:
+        """Additive increase (Reno default: +1 MSS per RTT)."""
+        conn.cwnd_cnt += acked
+        if conn.cwnd_cnt >= conn.cwnd:
+            conn.cwnd_cnt -= conn.cwnd
+            conn.cwnd += 1
+
+    # -- events ------------------------------------------------------------------
+
+    def ssthresh(self, conn: "TcpSender") -> int:
+        """Slow-start threshold after a loss event (Reno: cwnd/2)."""
+        return max(conn.cwnd // 2, 2)
+
+    def on_enter_recovery(self, conn: "TcpSender") -> None:
+        """Entering fast recovery (a loss was detected)."""
+
+    def on_exit_recovery(self, conn: "TcpSender") -> None:
+        """Recovery completed (all data at entry has been acked)."""
+
+    def on_rto(self, conn: "TcpSender") -> None:
+        """Retransmission timeout fired."""
+
+    def on_min_rtt_update(self, conn: "TcpSender", rtt_ns: int) -> None:
+        """A new propagation-delay estimate was accepted."""
+
+    # -- rates --------------------------------------------------------------------
+
+    def pacing_rate_bps(self, conn: "TcpSender") -> Optional[float]:
+        """Pacing rate in bits/s, or None to use TCP's internal formula.
+
+        The internal formula (used when pacing is force-enabled on a
+        loss-based module, §5.2.2) is ``factor * cwnd * mss / srtt`` with
+        factor 2.0 in slow start and 1.2 in congestion avoidance.
+        """
+        return None
+
+    def min_tso_segs(self, conn: "TcpSender") -> int:
+        """Lower bound on autosized super-packet segments."""
+        return 2
+
+    def release(self, conn: "TcpSender") -> None:
+        """Connection teardown hook."""

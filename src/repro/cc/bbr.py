@@ -1,0 +1,403 @@
+"""BBR v1 congestion control (``net/ipv4/tcp_bbr.c``).
+
+BBR models the path with two quantities — the maximum recent delivery
+rate (*bottleneck bandwidth*) and the minimum recent RTT (*propagation
+delay*) — and drives both a pacing rate and a cwnd from their product
+(the BDP). The state machine:
+
+* **STARTUP**: pace at 2/ln(2) ≈ 2.885× the estimated bandwidth to fill
+  the pipe; leave when bandwidth stops growing (25% over 3 rounds).
+* **DRAIN**: pace below the bandwidth to drain the queue STARTUP built.
+* **PROBE_BW**: cycle pacing gains [1.25, 0.75, 1, 1, 1, 1, 1, 1], one
+  phase per min-RTT, probing for more bandwidth then draining.
+* **PROBE_RTT**: every 10 s (if the min-RTT sample is stale), drop cwnd
+  to 4 packets for 200 ms to re-measure the propagation delay.
+
+BBR *requires* pacing (``wants_pacing = True``) and recomputes its model
+on every ACK — the two properties §5 of the paper isolates. The per-ACK
+model cost is charged through :attr:`ack_cost_cycles`.
+
+Includes the kernel's long-term bandwidth sampling (policer detection),
+which is exercised by tests but rarely triggers in the paper's scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..units import MSEC, SEC
+from .base import CongestionOps
+from .minmax import WindowedMaxFilter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tcp.connection import TcpSender
+    from ..tcp.rate_sample import RateSample
+
+__all__ = ["Bbr"]
+
+# --- kernel constants (tcp_bbr.c) -------------------------------------------
+
+#: STARTUP/startup-cwnd gain: 2/ln(2)
+HIGH_GAIN = 2885 / 1000
+#: DRAIN pacing gain: inverse of HIGH_GAIN
+DRAIN_GAIN = 1000 / 2885
+#: steady-state cwnd gain
+CWND_GAIN = 2.0
+#: PROBE_BW pacing-gain cycle
+PACING_GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+CYCLE_LEN = len(PACING_GAIN_CYCLE)
+#: bandwidth-filter window, in round trips
+BW_FILTER_WINDOW_RTTS = CYCLE_LEN + 2
+#: minimum cwnd (packets) — also the PROBE_RTT floor
+MIN_TARGET_CWND = 4
+#: PROBE_RTT dwell time
+PROBE_RTT_DURATION_NS = 200 * MSEC
+#: STARTUP exit: bandwidth must grow by this factor per round...
+FULL_BW_THRESHOLD = 1.25
+#: ...within this many rounds
+FULL_BW_COUNT = 3
+#: margin applied to the pacing rate (~1% below the computed rate)
+PACING_MARGIN = 0.99
+
+# Long-term (policer) sampling constants.
+LT_INTERVAL_MIN_RTTS = 4
+LT_LOSS_THRESH = 0.20
+LT_BW_RATIO = 0.125
+LT_BW_DIFF_BPS = 4000 * 8  # 4000 bytes/sec, as in the kernel
+LT_BW_MAX_RTTS = 48
+
+STARTUP = "startup"
+DRAIN = "drain"
+PROBE_BW = "probe_bw"
+PROBE_RTT = "probe_rtt"
+
+
+class Bbr(CongestionOps):
+    """BBR v1."""
+
+    name = "bbr"
+    ack_cost_cycles = 2400
+    wants_pacing = True
+
+    def __init__(self, enable_lt_bw: bool = True):
+        self.enable_lt_bw = enable_lt_bw
+        self.mode = STARTUP
+        self.bw_filter = WindowedMaxFilter(BW_FILTER_WINDOW_RTTS)
+        self.rtt_cnt = 0
+        self.next_rtt_delivered = 0
+        self.round_start = False
+        self.pacing_gain = HIGH_GAIN
+        self.cwnd_gain = HIGH_GAIN
+        self.full_bw = 0.0
+        self.full_bw_cnt = 0
+        self.full_bw_reached = False
+        self.cycle_idx = 0
+        self.cycle_stamp_ns = 0
+        self.probe_rtt_done_stamp: Optional[int] = None
+        self.probe_rtt_round_done = False
+        self.prior_cwnd = 0
+        self.packet_conservation = False
+        self._rate_bps: float = 0.0
+        # long-term bw state
+        self.lt_is_sampling = False
+        self.lt_rtt_cnt = 0
+        self.lt_use_bw = False
+        self.lt_bw = 0.0
+        self.lt_last_delivered = 0
+        self.lt_last_lost = 0
+        self.lt_last_stamp_ns = 0
+        self._lost_total = 0
+
+    # -- CongestionOps interface ------------------------------------------------
+
+    def init(self, conn: "TcpSender") -> None:
+        self.cycle_stamp_ns = conn.now
+        self._init_pacing_rate(conn)
+        conn.cwnd = max(conn.cwnd, MIN_TARGET_CWND)
+
+    def ssthresh(self, conn: "TcpSender") -> int:
+        """BBR ignores loss for window sizing (TCP_INFINITE_SSTHRESH)."""
+        self.prior_cwnd = max(self.prior_cwnd, conn.cwnd)
+        return 1 << 30
+
+    def on_enter_recovery(self, conn: "TcpSender") -> None:
+        self.prior_cwnd = max(conn.cwnd, self.prior_cwnd)
+        self.packet_conservation = True
+
+    def on_exit_recovery(self, conn: "TcpSender") -> None:
+        self.packet_conservation = False
+        conn.cwnd = max(conn.cwnd, self.prior_cwnd)
+        self.prior_cwnd = 0
+
+    def on_rto(self, conn: "TcpSender") -> None:
+        self.prior_cwnd = max(conn.cwnd, self.prior_cwnd)
+
+    def pacing_rate_bps(self, conn: "TcpSender") -> Optional[float]:
+        return self._rate_bps
+
+    def min_tso_segs(self, conn: "TcpSender") -> int:
+        # kernel bbr_min_tso_segs: 2 below ~1.2 Gbps, else 4 (for the GSO
+        # engine's sake); the distinction rarely matters here.
+        return 2 if self._rate_bps < 1.2e9 else 4
+
+    # -- main per-ACK model update ------------------------------------------------
+
+    def cong_control(self, conn: "TcpSender", rs: "RateSample") -> None:
+        self._lost_total += rs.newly_lost_segments
+        self._update_round(conn, rs)
+        self._lt_bw_sampling(conn, rs)
+        self._update_bw(conn, rs)
+        self._check_full_bw_reached(rs)
+        self._check_drain(conn)
+        self._update_cycle_phase(conn, rs)
+        self._update_min_rtt_state(conn, rs)
+        self._set_pacing_rate(conn)
+        self._set_cwnd(conn, rs)
+
+    # -- bandwidth model -------------------------------------------------------------
+
+    def bw_bps(self) -> float:
+        """Current bandwidth estimate in bits/s."""
+        if self.lt_use_bw:
+            return self.lt_bw
+        return self.bw_filter.value
+
+    def _update_round(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if rs.prior_delivered >= self.next_rtt_delivered:
+            self.next_rtt_delivered = conn.delivered_bytes
+            self.rtt_cnt += 1
+            self.round_start = True
+            self.packet_conservation = False
+        else:
+            self.round_start = False
+
+    def _update_bw(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if not rs.valid:
+            return
+        sample_bps = rs.delivery_rate_bps
+        # App-limited samples only raise the estimate (they understate bw).
+        if not rs.is_app_limited or sample_bps >= self.bw_filter.value:
+            self.bw_filter.update(self.rtt_cnt, sample_bps)
+
+    def _check_full_bw_reached(self, rs: "RateSample") -> None:
+        if self.full_bw_reached or not self.round_start or rs.is_app_limited:
+            return
+        bw = self.bw_filter.value
+        if bw >= self.full_bw * FULL_BW_THRESHOLD:
+            self.full_bw = bw
+            self.full_bw_cnt = 0
+            return
+        self.full_bw_cnt += 1
+        if self.full_bw_cnt >= FULL_BW_COUNT:
+            self.full_bw_reached = True
+            if self.mode == STARTUP:
+                self.mode = DRAIN
+                self.pacing_gain = DRAIN_GAIN
+                self.cwnd_gain = HIGH_GAIN
+
+    def _check_drain(self, conn: "TcpSender") -> None:
+        if self.mode != DRAIN:
+            return
+        if conn.inflight_segments <= self._bdp_segments(conn, 1.0):
+            self._enter_probe_bw(conn)
+
+    # -- PROBE_BW gain cycling -----------------------------------------------------------
+
+    def _enter_probe_bw(self, conn: "TcpSender") -> None:
+        self.mode = PROBE_BW
+        self.cwnd_gain = CWND_GAIN
+        # Kernel picks a random phase excluding the 0.75 drain phase; we
+        # use the flow id for determinism across runs.
+        idx = (conn.flow_id * 5) % (CYCLE_LEN - 1)
+        if idx >= 1:
+            idx += 1  # skip index 1 (gain 0.75)
+        self.cycle_idx = idx
+        self.cycle_stamp_ns = conn.now
+        self.pacing_gain = PACING_GAIN_CYCLE[self.cycle_idx]
+
+    def _update_cycle_phase(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if self.mode != PROBE_BW:
+            return
+        if self._is_next_cycle_phase(conn, rs):
+            self.cycle_idx = (self.cycle_idx + 1) % CYCLE_LEN
+            self.cycle_stamp_ns = conn.now
+            self.pacing_gain = (
+                1.0 if self.lt_use_bw else PACING_GAIN_CYCLE[self.cycle_idx]
+            )
+
+    def _is_next_cycle_phase(self, conn: "TcpSender", rs: "RateSample") -> bool:
+        min_rtt = conn.min_rtt_ns or MSEC
+        is_full_length = conn.now - self.cycle_stamp_ns > min_rtt
+        gain = self.pacing_gain
+        if gain == 1.0:
+            return is_full_length
+        inflight = rs.prior_inflight_segments
+        if gain > 1.0:
+            # Probe until the target is hit or losses say the pipe is full.
+            return is_full_length and (
+                rs.newly_lost_segments > 0
+                or inflight >= self._bdp_segments(conn, gain)
+            )
+        # gain < 1: drain until the extra queue is gone (or time is up).
+        return is_full_length or inflight <= self._bdp_segments(conn, 1.0)
+
+    # -- PROBE_RTT ----------------------------------------------------------------------------
+
+    def _update_min_rtt_state(self, conn: "TcpSender", rs: "RateSample") -> None:
+        # Pre-sample expiry counts (kernel ordering): the sample that
+        # refreshes an expired window still triggers PROBE_RTT.
+        filter_expired = rs.min_rtt_expired or conn.min_rtt.expired(conn.now)
+        if (
+            filter_expired
+            and self.mode != PROBE_RTT
+            and self.mode != STARTUP
+        ):
+            self.mode = PROBE_RTT
+            self.pacing_gain = 1.0
+            self.cwnd_gain = 1.0
+            self.prior_cwnd = max(self.prior_cwnd, conn.cwnd)
+            self.probe_rtt_done_stamp = None
+
+        if self.mode == PROBE_RTT:
+            conn.cwnd = min(conn.cwnd, MIN_TARGET_CWND)
+            if (
+                self.probe_rtt_done_stamp is None
+                and conn.inflight_segments <= MIN_TARGET_CWND
+            ):
+                self.probe_rtt_done_stamp = conn.now + PROBE_RTT_DURATION_NS
+                self.probe_rtt_round_done = False
+                self.next_rtt_delivered = conn.delivered_bytes
+            elif self.probe_rtt_done_stamp is not None:
+                if self.round_start:
+                    self.probe_rtt_round_done = True
+                if self.probe_rtt_round_done and conn.now >= self.probe_rtt_done_stamp:
+                    conn.min_rtt.update(conn.min_rtt.min_rtt_ns or MSEC, conn.now)
+                    self._exit_probe_rtt(conn)
+
+    def _exit_probe_rtt(self, conn: "TcpSender") -> None:
+        conn.cwnd = max(conn.cwnd, self.prior_cwnd)
+        self.prior_cwnd = 0
+        if self.full_bw_reached:
+            self._enter_probe_bw(conn)
+        else:
+            self.mode = STARTUP
+            self.pacing_gain = HIGH_GAIN
+            self.cwnd_gain = HIGH_GAIN
+
+    # -- rate and cwnd outputs ---------------------------------------------------------------------
+
+    def _init_pacing_rate(self, conn: "TcpSender") -> None:
+        rtt_ns = conn.srtt_ns or MSEC
+        bw = conn.cwnd * conn.mss * 8 * SEC / rtt_ns
+        self._rate_bps = HIGH_GAIN * bw * PACING_MARGIN
+
+    def _set_pacing_rate(self, conn: "TcpSender") -> None:
+        bw = self.bw_bps()
+        if bw <= 0:
+            return
+        rate = self.pacing_gain * bw * PACING_MARGIN
+        if self.full_bw_reached or rate > self._rate_bps:
+            self._rate_bps = rate
+
+    def _bdp_segments(self, conn: "TcpSender", gain: float) -> int:
+        min_rtt = conn.min_rtt_ns
+        if min_rtt is None:
+            return conn.config.initial_cwnd
+        bw = self.bw_bps()
+        bdp_bytes = bw / 8.0 * (min_rtt / SEC)
+        return max(int(gain * bdp_bytes / conn.mss), MIN_TARGET_CWND)
+
+    def _target_cwnd(self, conn: "TcpSender", gain: float) -> int:
+        cwnd = self._bdp_segments(conn, gain)
+        # Quantization budget: headroom for TSO super-packets and delayed
+        # ACKs (kernel bbr_quantization_budget). This term is what keeps
+        # the per-period burst from being strangled by cwnd at moderate
+        # pacing strides — see DESIGN.md and the Table 2 bench.
+        tso_segs = max(1, conn.send_quantum_bytes // conn.mss)
+        cwnd += 3 * tso_segs
+        if self.mode == PROBE_BW and self.cycle_idx == 0:
+            cwnd += 2
+        return cwnd
+
+    def _set_cwnd(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if self.mode == PROBE_RTT:
+            return  # handled in _update_min_rtt_state
+        acked = rs.newly_acked_segments
+        target = self._target_cwnd(conn, self.cwnd_gain)
+        cwnd = conn.cwnd
+        if self.packet_conservation:
+            cwnd = max(cwnd, conn.inflight_segments + acked)
+        elif self.full_bw_reached:
+            cwnd = min(cwnd + acked, target)
+        elif cwnd < target or conn.delivered_bytes < conn.config.initial_cwnd * conn.mss:
+            cwnd = cwnd + acked
+        conn.cwnd = max(cwnd, MIN_TARGET_CWND)
+
+    # -- long-term bandwidth sampling (policer detection) ---------------------------------------------
+
+    def _lt_bw_sampling(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if not self.enable_lt_bw:
+            return
+        if self.lt_use_bw:
+            # Using the policer estimate: reset STARTUP if we somehow
+            # re-enter it, and age the estimate out after a while.
+            if self.mode == PROBE_BW and self.round_start:
+                self.lt_rtt_cnt += 1
+                if self.lt_rtt_cnt > LT_BW_MAX_RTTS:
+                    self._lt_reset()
+                    self.full_bw_reached = False  # re-probe
+            return
+
+        if not self.lt_is_sampling:
+            if rs.newly_lost_segments == 0:
+                return
+            self._lt_reset_interval(conn)
+            self.lt_is_sampling = True
+
+        if rs.is_app_limited:
+            self._lt_reset()
+            return
+
+        if self.round_start:
+            self.lt_rtt_cnt += 1
+        if self.lt_rtt_cnt < LT_INTERVAL_MIN_RTTS:
+            return
+        if self.lt_rtt_cnt > 4 * LT_INTERVAL_MIN_RTTS:
+            self._lt_reset()
+            return
+        if rs.newly_lost_segments == 0:
+            return
+
+        lost = self._lost_total - self.lt_last_lost
+        delivered_segs = max(
+            1, (conn.delivered_bytes - self.lt_last_delivered) // conn.mss
+        )
+        if lost / delivered_segs < LT_LOSS_THRESH:
+            return
+        interval_ns = conn.now - self.lt_last_stamp_ns
+        if interval_ns < (conn.min_rtt_ns or MSEC):
+            return
+        bw = (conn.delivered_bytes - self.lt_last_delivered) * 8 * SEC / interval_ns
+        if self.lt_bw > 0:
+            diff = abs(bw - self.lt_bw)
+            if diff <= LT_BW_RATIO * self.lt_bw or diff <= LT_BW_DIFF_BPS:
+                # Two consistent intervals: believe we are being policed.
+                self.lt_bw = (bw + self.lt_bw) / 2.0
+                self.lt_use_bw = True
+                self.pacing_gain = 1.0
+                self.lt_rtt_cnt = 0
+                return
+        self.lt_bw = bw
+        self._lt_reset_interval(conn)
+
+    def _lt_reset_interval(self, conn: "TcpSender") -> None:
+        self.lt_last_stamp_ns = conn.now
+        self.lt_last_delivered = conn.delivered_bytes
+        self.lt_last_lost = self._lost_total
+        self.lt_rtt_cnt = 0
+
+    def _lt_reset(self) -> None:
+        self.lt_is_sampling = False
+        self.lt_use_bw = False
+        self.lt_bw = 0.0
+        self.lt_rtt_cnt = 0

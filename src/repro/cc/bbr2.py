@@ -1,0 +1,349 @@
+"""BBR v2 congestion control (after the v2alpha kernel branch).
+
+BBR2 keeps BBR's bandwidth/RTT model but reacts to *persistent loss* to
+improve fairness and shallow-buffer behaviour:
+
+* it maintains **upper bounds** discovered by probing — ``inflight_hi``
+  (packets) and ``bw_hi`` — cut multiplicatively (beta = 0.7) when a
+  probing round exceeds the 2% loss threshold,
+* it maintains **short-term lower bounds** — ``inflight_lo`` / ``bw_lo``
+  — tightened on lossy rounds and released when probing resumes,
+* PROBE_BW becomes a four-phase cycle **DOWN → CRUISE → REFILL → UP**,
+  with CRUISE holding 85% of ``inflight_hi`` for headroom and UP probing
+  until loss or the bound is hit,
+* STARTUP additionally exits on sustained loss (not only on a bandwidth
+  plateau).
+
+This is a faithful structural port of the v2alpha design, simplified
+where the kernel tracks duplicate machinery (e.g. the two-stage bw_hi
+filter is a windowed max here; ECN hooks are omitted — the paper's
+testbed has no ECN). The differences do not affect the mobile-CPU
+phenomena under study; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..units import MSEC, SEC
+from .base import CongestionOps
+from .bbr import (
+    CWND_GAIN,
+    DRAIN_GAIN,
+    FULL_BW_COUNT,
+    FULL_BW_THRESHOLD,
+    HIGH_GAIN,
+    MIN_TARGET_CWND,
+    PACING_MARGIN,
+    PROBE_RTT_DURATION_NS,
+)
+from .minmax import WindowedMaxFilter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tcp.connection import TcpSender
+    from ..tcp.rate_sample import RateSample
+
+__all__ = ["Bbr2"]
+
+#: multiplicative cut applied to the lower bounds on lossy rounds
+BETA = 0.7
+#: per-round loss-rate threshold that counts as "too much loss"
+LOSS_THRESH = 0.02
+#: CRUISE keeps inflight at this fraction of inflight_hi (headroom)
+HEADROOM = 0.85
+#: STARTUP exits after this many consecutive lossy rounds
+STARTUP_FULL_LOSS_COUNT = 6
+#: bandwidth-probe wait between UP phases (base + up to 1 s of spread)
+PROBE_WAIT_BASE_NS = 2 * SEC
+
+STARTUP = "startup"
+DRAIN = "drain"
+PROBE_RTT = "probe_rtt"
+# PROBE_BW sub-phases
+PROBE_DOWN = "probe_down"
+PROBE_CRUISE = "probe_cruise"
+PROBE_REFILL = "probe_refill"
+PROBE_UP = "probe_up"
+
+_PROBE_BW_MODES = (PROBE_DOWN, PROBE_CRUISE, PROBE_REFILL, PROBE_UP)
+
+
+class Bbr2(CongestionOps):
+    """BBR v2."""
+
+    name = "bbr2"
+    ack_cost_cycles = 2600
+    wants_pacing = True
+
+    def __init__(self) -> None:
+        self.mode = STARTUP
+        # v2 ages its bandwidth ceiling per *probe cycle* (the kernel's
+        # two-stage bw_hi[] advance), not per round trip — otherwise the
+        # estimate would decay during the multi-second CRUISE phases.
+        self.bw_filter = WindowedMaxFilter(2)
+        self.cycle_count = 0
+        self.rtt_cnt = 0
+        self.next_rtt_delivered = 0
+        self.round_start = False
+        self.pacing_gain = HIGH_GAIN
+        self.cwnd_gain = HIGH_GAIN
+        self.full_bw = 0.0
+        self.full_bw_cnt = 0
+        self.full_bw_reached = False
+        # loss-adaptive bounds
+        self.inflight_hi: Optional[int] = None
+        self.inflight_lo: Optional[int] = None
+        self.bw_lo: Optional[float] = None
+        self._round_lost = 0
+        self._round_delivered_segs = 0
+        self._startup_loss_rounds = 0
+        # probing schedule
+        self.probe_wait_until_ns = 0
+        self.cycle_stamp_ns = 0
+        self.probe_rtt_done_stamp: Optional[int] = None
+        self.probe_rtt_round_done = False
+        self.prior_cwnd = 0
+        self._rate_bps = 0.0
+
+    # -- CongestionOps interface -------------------------------------------------
+
+    def init(self, conn: "TcpSender") -> None:
+        self.cycle_stamp_ns = conn.now
+        rtt_ns = conn.srtt_ns or MSEC
+        bw = conn.cwnd * conn.mss * 8 * SEC / rtt_ns
+        self._rate_bps = HIGH_GAIN * bw * PACING_MARGIN
+        conn.cwnd = max(conn.cwnd, MIN_TARGET_CWND)
+
+    def ssthresh(self, conn: "TcpSender") -> int:
+        self.prior_cwnd = max(self.prior_cwnd, conn.cwnd)
+        return 1 << 30
+
+    def on_enter_recovery(self, conn: "TcpSender") -> None:
+        self.prior_cwnd = max(conn.cwnd, self.prior_cwnd)
+
+    def on_exit_recovery(self, conn: "TcpSender") -> None:
+        conn.cwnd = max(conn.cwnd, self.prior_cwnd)
+        self.prior_cwnd = 0
+
+    def pacing_rate_bps(self, conn: "TcpSender") -> Optional[float]:
+        return self._rate_bps
+
+    def min_tso_segs(self, conn: "TcpSender") -> int:
+        return 2 if self._rate_bps < 1.2e9 else 4
+
+    # -- model update -----------------------------------------------------------------
+
+    def cong_control(self, conn: "TcpSender", rs: "RateSample") -> None:
+        self._update_round(conn, rs)
+        self._update_bw(rs)
+        self._update_loss_bounds(conn, rs)
+        self._update_state_machine(conn, rs)
+        self._set_pacing_rate()
+        self._set_cwnd(conn, rs)
+
+    def bw_bps(self) -> float:
+        """Effective bandwidth: the probe-discovered max, loss-bounded."""
+        bw = self.bw_filter.value
+        if self.bw_lo is not None:
+            bw = min(bw, self.bw_lo)
+        return bw
+
+    def _update_round(self, conn: "TcpSender", rs: "RateSample") -> None:
+        self._round_lost += rs.newly_lost_segments
+        self._round_delivered_segs += rs.newly_acked_segments + rs.newly_sacked_segments
+        if rs.prior_delivered >= self.next_rtt_delivered:
+            self.next_rtt_delivered = conn.delivered_bytes
+            self.rtt_cnt += 1
+            self.round_start = True
+        else:
+            self.round_start = False
+
+    def _update_bw(self, rs: "RateSample") -> None:
+        if not rs.valid:
+            return
+        if not rs.is_app_limited or rs.delivery_rate_bps >= self.bw_filter.value:
+            self.bw_filter.update(self.cycle_count, rs.delivery_rate_bps)
+
+    # -- loss adaptation -----------------------------------------------------------------
+
+    def _round_was_lossy(self) -> bool:
+        if self._round_delivered_segs <= 0:
+            return False
+        return (
+            self._round_lost > 0
+            and self._round_lost / self._round_delivered_segs > LOSS_THRESH
+        )
+
+    def _update_loss_bounds(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if not self.round_start:
+            return
+        lossy = self._round_was_lossy()
+        if lossy:
+            # Tighten the short-term bounds (bbr2_adapt_lower_bounds).
+            latest_bw = self.bw_filter.value
+            self.bw_lo = max(
+                latest_bw * BETA,
+                BETA * (self.bw_lo if self.bw_lo is not None else latest_bw),
+            )
+            inflight = max(rs.prior_inflight_segments, MIN_TARGET_CWND)
+            self.inflight_lo = max(
+                int(BETA * (self.inflight_lo if self.inflight_lo is not None else inflight)),
+                MIN_TARGET_CWND,
+            )
+            if self.mode == PROBE_UP:
+                # Probing found the ceiling: record it and back off.
+                self.inflight_hi = max(
+                    int(BETA * (self.inflight_hi or inflight)), MIN_TARGET_CWND
+                )
+                self._enter_probe_down(conn)
+            if self.mode == STARTUP:
+                self._startup_loss_rounds += 1
+        self._round_lost = 0
+        self._round_delivered_segs = 0
+
+    def _release_lower_bounds(self) -> None:
+        self.bw_lo = None
+        self.inflight_lo = None
+
+    # -- state machine ----------------------------------------------------------------------
+
+    def _update_state_machine(self, conn: "TcpSender", rs: "RateSample") -> None:
+        now = conn.now
+        if self.mode == STARTUP:
+            self._check_startup_done(conn, rs)
+        elif self.mode == DRAIN:
+            if conn.inflight_segments <= self._bdp_segments(conn, 1.0):
+                self._enter_probe_down(conn)
+        elif self.mode == PROBE_DOWN:
+            target = int(HEADROOM * (self.inflight_hi or self._bdp_segments(conn, 1.0)))
+            if conn.inflight_segments <= max(target, self._bdp_segments(conn, 1.0)):
+                self._enter_probe_cruise(conn)
+        elif self.mode == PROBE_CRUISE:
+            if now >= self.probe_wait_until_ns:
+                self._enter_probe_refill(conn)
+        elif self.mode == PROBE_REFILL:
+            if self.round_start:
+                self._enter_probe_up(conn)
+        elif self.mode == PROBE_UP:
+            if self.inflight_hi is not None and conn.inflight_segments >= self.inflight_hi:
+                self.inflight_hi = conn.inflight_segments
+            min_rtt = conn.min_rtt_ns or MSEC
+            if now - self.cycle_stamp_ns > 4 * min_rtt and conn.inflight_segments >= self._bdp_segments(conn, 1.25):
+                # Pipe held 1.25x for a while without loss: raise ceiling.
+                self.inflight_hi = max(
+                    self.inflight_hi or 0, int(self._bdp_segments(conn, 1.25))
+                )
+                self._enter_probe_down(conn)
+        self._update_probe_rtt(conn, rs)
+
+    def _check_startup_done(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if self.round_start and not rs.is_app_limited:
+            bw = self.bw_filter.value
+            if bw >= self.full_bw * FULL_BW_THRESHOLD:
+                self.full_bw = bw
+                self.full_bw_cnt = 0
+            else:
+                self.full_bw_cnt += 1
+        loss_exit = self._startup_loss_rounds >= STARTUP_FULL_LOSS_COUNT
+        if self.full_bw_cnt >= FULL_BW_COUNT or loss_exit:
+            self.full_bw_reached = True
+            if loss_exit and self.inflight_hi is None:
+                self.inflight_hi = max(conn.inflight_segments, MIN_TARGET_CWND)
+            self.mode = DRAIN
+            self.pacing_gain = DRAIN_GAIN
+            self.cwnd_gain = CWND_GAIN
+
+    def _enter_probe_down(self, conn: "TcpSender") -> None:
+        self.mode = PROBE_DOWN
+        self.pacing_gain = 0.75
+        self.cwnd_gain = CWND_GAIN
+        self.cycle_stamp_ns = conn.now
+        self.cycle_count += 1  # advance the bw filter's aging clock
+        # Deterministic per-flow spread of the next probe (kernel uses a
+        # random 2-3 s wait).
+        spread = (conn.flow_id * 137) % 1000
+        self.probe_wait_until_ns = conn.now + PROBE_WAIT_BASE_NS + spread * MSEC
+
+    def _enter_probe_cruise(self, conn: "TcpSender") -> None:
+        self.mode = PROBE_CRUISE
+        self.pacing_gain = 1.0
+        self.cwnd_gain = CWND_GAIN
+
+    def _enter_probe_refill(self, conn: "TcpSender") -> None:
+        self.mode = PROBE_REFILL
+        self.pacing_gain = 1.0
+        self.cwnd_gain = CWND_GAIN
+        self._release_lower_bounds()
+        self.next_rtt_delivered = conn.delivered_bytes
+
+    def _enter_probe_up(self, conn: "TcpSender") -> None:
+        self.mode = PROBE_UP
+        self.pacing_gain = 1.25
+        self.cwnd_gain = CWND_GAIN
+        self.cycle_stamp_ns = conn.now
+
+    # -- PROBE_RTT -------------------------------------------------------------------------------
+
+    def _update_probe_rtt(self, conn: "TcpSender", rs: "RateSample") -> None:
+        expired = rs.min_rtt_expired or conn.min_rtt.expired(conn.now)
+        if expired and self.mode not in (PROBE_RTT, STARTUP, DRAIN):
+            self.mode = PROBE_RTT
+            self.pacing_gain = 1.0
+            self.cwnd_gain = 1.0
+            self.prior_cwnd = max(self.prior_cwnd, conn.cwnd)
+            self.probe_rtt_done_stamp = None
+        if self.mode != PROBE_RTT:
+            return
+        # v2 dwells at half the estimated BDP rather than 4 packets.
+        floor = max(MIN_TARGET_CWND, self._bdp_segments(conn, 0.5))
+        conn.cwnd = min(conn.cwnd, floor)
+        if self.probe_rtt_done_stamp is None and conn.inflight_segments <= floor:
+            self.probe_rtt_done_stamp = conn.now + PROBE_RTT_DURATION_NS
+            self.probe_rtt_round_done = False
+            self.next_rtt_delivered = conn.delivered_bytes
+        elif self.probe_rtt_done_stamp is not None:
+            if self.round_start:
+                self.probe_rtt_round_done = True
+            if self.probe_rtt_round_done and conn.now >= self.probe_rtt_done_stamp:
+                conn.min_rtt.update(conn.min_rtt.min_rtt_ns or MSEC, conn.now)
+                conn.cwnd = max(conn.cwnd, self.prior_cwnd)
+                self.prior_cwnd = 0
+                self._enter_probe_down(conn)
+
+    # -- outputs -------------------------------------------------------------------------------------
+
+    def _bdp_segments(self, conn: "TcpSender", gain: float) -> int:
+        min_rtt = conn.min_rtt_ns
+        if min_rtt is None:
+            return conn.config.initial_cwnd
+        bdp_bytes = self.bw_bps() / 8.0 * (min_rtt / SEC)
+        return max(int(gain * bdp_bytes / conn.mss), MIN_TARGET_CWND)
+
+    def _set_pacing_rate(self) -> None:
+        bw = self.bw_bps()
+        if bw <= 0:
+            return
+        rate = self.pacing_gain * bw * PACING_MARGIN
+        if self.full_bw_reached or rate > self._rate_bps:
+            self._rate_bps = rate
+
+    def _set_cwnd(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if self.mode == PROBE_RTT:
+            return
+        acked = rs.newly_acked_segments
+        target = self._bdp_segments(conn, self.cwnd_gain)
+        tso_segs = max(1, conn.send_quantum_bytes // conn.mss)
+        target += 3 * tso_segs
+        if self.inflight_lo is not None:
+            target = min(target, max(self.inflight_lo, MIN_TARGET_CWND))
+        if self.inflight_hi is not None:
+            cap = self.inflight_hi
+            if self.mode == PROBE_CRUISE:
+                cap = int(cap * HEADROOM)
+            target = min(target, max(cap, MIN_TARGET_CWND))
+        cwnd = conn.cwnd
+        if self.full_bw_reached:
+            cwnd = min(cwnd + acked, target)
+        elif cwnd < target or conn.delivered_bytes < conn.config.initial_cwnd * conn.mss:
+            cwnd = cwnd + acked
+        conn.cwnd = max(cwnd, MIN_TARGET_CWND)

@@ -1,0 +1,170 @@
+"""CUBIC congestion control with HyStart (``net/ipv4/tcp_cubic.c``).
+
+CUBIC is Android's (and Linux's) default. The window grows along the
+cubic function
+
+    ``W(t) = C * (t - K)^3 + W_max``
+
+where ``K = cbrt(W_max * (1 - beta) / C)`` is the time at which the
+window regains its pre-loss size ``W_max``. The implementation follows
+the kernel: beta = 717/1024, C = 0.4, fast convergence, a TCP-friendly
+(Reno-tracking) floor, and HyStart's delay-increase exit from slow start.
+
+Cubic does **not** pace by default — the single most important contrast
+with BBR for this paper (§5). Its per-ACK work is a handful of integer
+operations, reflected in a small ``ack_cost_cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..units import MSEC, SEC, to_seconds
+from .base import CongestionOps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tcp.connection import TcpSender
+    from ..tcp.rate_sample import RateSample
+
+__all__ = ["Cubic"]
+
+#: multiplicative decrease factor (kernel: 717/1024)
+BETA = 717 / 1024
+#: cubic scaling constant C, in segments/second^3
+C_SCALE = 0.4
+#: HyStart delay-increase thresholds
+HYSTART_MIN_SAMPLES = 8
+HYSTART_DELAY_MIN_NS = 4 * MSEC
+HYSTART_DELAY_MAX_NS = 16 * MSEC
+#: HyStart only arms above this cwnd (kernel hystart_low_window)
+HYSTART_LOW_WINDOW = 16
+
+
+class Cubic(CongestionOps):
+    """CUBIC with HyStart delay-based slow-start exit."""
+
+    name = "cubic"
+    ack_cost_cycles = 600
+    wants_pacing = False
+
+    def __init__(self, hystart: bool = True):
+        self.hystart_enabled = hystart
+        self._reset_epoch()
+        # W_max memory across epochs (fast convergence)
+        self.w_last_max = 0.0
+        # HyStart per-round state
+        self._hy_round_start_ns = 0
+        self._hy_end_seq = 0
+        self._hy_curr_rtt_ns: Optional[int] = None
+        self._hy_sample_cnt = 0
+        self._hy_found = False
+
+    def _reset_epoch(self) -> None:
+        self.epoch_start_ns: Optional[int] = None
+        self.w_max = 0.0
+        self.k_seconds = 0.0
+        self.origin_point = 0.0
+        self.tcp_cwnd = 0.0  # Reno-friendly estimate
+        self.ack_cnt = 0
+
+    # -- slow start (HyStart) -------------------------------------------------
+
+    def init(self, conn: "TcpSender") -> None:
+        self._hy_end_seq = 0
+
+    def cong_control(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if self.hystart_enabled and conn.in_slow_start and rs.rtt_ns > 0:
+            self._hystart_update(conn, rs)
+        super().cong_control(conn, rs)
+
+    def _hystart_update(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if self._hy_found or conn.cwnd < HYSTART_LOW_WINDOW:
+            return
+        now = conn.now
+        # New round: snd_una passed the round's end marker.
+        if conn.scoreboard.snd_una > self._hy_end_seq:
+            self._hy_end_seq = conn.snd_nxt
+            self._hy_round_start_ns = now
+            self._hy_sample_cnt = 0
+            self._hy_curr_rtt_ns = None
+        if self._hy_sample_cnt < HYSTART_MIN_SAMPLES:
+            self._hy_sample_cnt += 1
+            if self._hy_curr_rtt_ns is None or rs.rtt_ns < self._hy_curr_rtt_ns:
+                self._hy_curr_rtt_ns = rs.rtt_ns
+            return
+        base = conn.min_rtt_ns
+        if base is None or self._hy_curr_rtt_ns is None:
+            return
+        eta = min(max(base // 8, HYSTART_DELAY_MIN_NS), HYSTART_DELAY_MAX_NS)
+        if self._hy_curr_rtt_ns >= base + eta:
+            self._hy_found = True
+            conn.ssthresh = conn.cwnd  # leave slow start now
+
+    # -- congestion avoidance -----------------------------------------------------
+
+    def cong_avoid(self, conn: "TcpSender", acked: int) -> None:
+        cnt = self._cubic_update(conn, acked)
+        # tcp_cong_avoid_ai: grow cwnd by acked/cnt segments.
+        conn.cwnd_cnt += acked
+        if conn.cwnd_cnt >= cnt:
+            conn.cwnd += conn.cwnd_cnt // cnt
+            conn.cwnd_cnt %= cnt
+
+    def _cubic_update(self, conn: "TcpSender", acked: int) -> int:
+        """Return the ACK count per +1 segment (kernel's ``ca->cnt``)."""
+        now = conn.now
+        self.ack_cnt += acked
+        cwnd = conn.cwnd
+
+        if self.epoch_start_ns is None:
+            self.epoch_start_ns = now
+            self.ack_cnt = acked
+            self.tcp_cwnd = float(cwnd)
+            if cwnd >= self.w_last_max:
+                self.w_max = float(cwnd)
+                self.k_seconds = 0.0
+            else:
+                self.w_max = self.w_last_max
+                self.k_seconds = (
+                    (self.w_last_max - cwnd) * (1.0 - BETA) / C_SCALE
+                ) ** (1.0 / 3.0)
+            self.origin_point = self.w_max
+
+        t = to_seconds(now - self.epoch_start_ns)
+        rtt_s = to_seconds(conn.srtt_ns or MSEC)
+        target = self.origin_point + C_SCALE * ((t + rtt_s) - self.k_seconds) ** 3
+
+        if target > cwnd:
+            cnt = cwnd / (target - cwnd)
+        else:
+            cnt = 100.0 * cwnd  # effectively frozen this RTT
+
+        # TCP-friendly region: at least Reno's growth rate. The kernel
+        # estimates W_est incrementally; an equivalent closed form:
+        self.tcp_cwnd = max(
+            self.tcp_cwnd,
+            self.w_max * BETA + 3.0 * (1.0 - BETA) / (1.0 + BETA) * t / max(rtt_s, 1e-6),
+        )
+        if self.tcp_cwnd > cwnd:
+            friendly_cnt = cwnd / (self.tcp_cwnd - cwnd)
+            cnt = min(cnt, friendly_cnt)
+
+        return max(2, int(cnt))
+
+    # -- loss response ------------------------------------------------------------------
+
+    def ssthresh(self, conn: "TcpSender") -> int:
+        cwnd = conn.cwnd
+        # Fast convergence: back off W_max further when losses come sooner
+        # than the previous epoch's W_max, ceding capacity to new flows.
+        if cwnd < self.w_last_max:
+            self.w_last_max = cwnd * (2.0 - BETA) / 2.0
+        else:
+            self.w_last_max = float(cwnd)
+        self._reset_epoch()
+        return max(int(cwnd * BETA), 2)
+
+    def on_rto(self, conn: "TcpSender") -> None:
+        self._reset_epoch()
+        self._hy_found = False
+        self._hy_end_seq = 0

@@ -1,0 +1,114 @@
+"""The paper's "master BBR kernel module" (§5).
+
+To isolate which of BBR's differences from Cubic causes the mobile
+performance gap, the authors built a module that can
+
+1. disable the BBR model's per-ACK computation,
+2. pin the congestion window to a fixed value,
+3. enable/disable packet pacing,
+4. pin the pacing rate.
+
+:class:`MasterModule` wraps any :class:`~repro.cc.base.CongestionOps`
+and applies the same four overrides, so every §5 experiment is expressed
+as a wrapped module. (Pacing enable/disable is equally reachable through
+``SocketConfig.pacing_mode``; the knob here exists so a single object
+fully describes a §5 configuration.)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .base import CongestionOps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tcp.connection import TcpSender
+    from ..tcp.rate_sample import RateSample
+
+__all__ = ["MasterModule"]
+
+
+class MasterModule(CongestionOps):
+    """Wrap *inner* with the §5 control knobs."""
+
+    def __init__(
+        self,
+        inner: CongestionOps,
+        disable_model: bool = False,
+        fixed_cwnd_segments: Optional[int] = None,
+        fixed_pacing_rate_bps: Optional[float] = None,
+        force_pacing: Optional[bool] = None,
+    ):
+        self.inner = inner
+        self.disable_model = disable_model
+        self.fixed_cwnd_segments = fixed_cwnd_segments
+        self.fixed_pacing_rate_bps = fixed_pacing_rate_bps
+        self.force_pacing = force_pacing
+        self.name = f"master({inner.name})"
+
+    # -- cost and pacing properties reflect the configuration -------------------
+
+    @property
+    def ack_cost_cycles(self) -> int:  # type: ignore[override]
+        """Model disabled => the per-ACK model cost disappears too."""
+        return 0 if self.disable_model else self.inner.ack_cost_cycles
+
+    @property
+    def wants_pacing(self) -> bool:  # type: ignore[override]
+        if self.force_pacing is not None:
+            return self.force_pacing
+        return self.inner.wants_pacing
+
+    # -- delegation with overrides ------------------------------------------------
+
+    def init(self, conn: "TcpSender") -> None:
+        self.inner.init(conn)
+        self._apply_overrides(conn)
+
+    def cong_control(self, conn: "TcpSender", rs: "RateSample") -> None:
+        if not self.disable_model:
+            self.inner.cong_control(conn, rs)
+        self._apply_overrides(conn)
+
+    def ssthresh(self, conn: "TcpSender") -> int:
+        if self.fixed_cwnd_segments is not None:
+            return self.fixed_cwnd_segments
+        return self.inner.ssthresh(conn)
+
+    def on_enter_recovery(self, conn: "TcpSender") -> None:
+        if not self.disable_model:
+            self.inner.on_enter_recovery(conn)
+        self._apply_overrides(conn)
+
+    def on_exit_recovery(self, conn: "TcpSender") -> None:
+        if not self.disable_model:
+            self.inner.on_exit_recovery(conn)
+        self._apply_overrides(conn)
+
+    def on_rto(self, conn: "TcpSender") -> None:
+        if not self.disable_model:
+            self.inner.on_rto(conn)
+        self._apply_overrides(conn)
+
+    def on_min_rtt_update(self, conn: "TcpSender", rtt_ns: int) -> None:
+        if not self.disable_model:
+            self.inner.on_min_rtt_update(conn, rtt_ns)
+
+    def pacing_rate_bps(self, conn: "TcpSender") -> Optional[float]:
+        if self.fixed_pacing_rate_bps is not None:
+            return self.fixed_pacing_rate_bps
+        if self.disable_model:
+            return None  # fall back to TCP's internal formula
+        return self.inner.pacing_rate_bps(conn)
+
+    def min_tso_segs(self, conn: "TcpSender") -> int:
+        return self.inner.min_tso_segs(conn)
+
+    def release(self, conn: "TcpSender") -> None:
+        self.inner.release(conn)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _apply_overrides(self, conn: "TcpSender") -> None:
+        if self.fixed_cwnd_segments is not None:
+            conn.cwnd = self.fixed_cwnd_segments

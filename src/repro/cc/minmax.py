@@ -1,0 +1,87 @@
+"""Kernel-style windowed max filter (``lib/minmax.c``).
+
+BBR's bandwidth estimate is the maximum delivery-rate sample seen over
+the last 10 round trips. The kernel tracks it with a 3-sample streaming
+filter that ages estimates out of the window without storing the whole
+history; this is a direct port of ``minmax_running_max`` /
+``minmax_subwin_update``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["WindowedMaxFilter"]
+
+
+@dataclass
+class _Sample:
+    time: int
+    value: float
+
+
+class WindowedMaxFilter:
+    """Running maximum over a sliding window of *window* time units.
+
+    "Time" is whatever monotonic counter the caller passes (BBR uses
+    round-trip counts). The filter keeps the best, second-best and
+    third-best samples, each newer than the previous; when the best ages
+    out, the second-best is promoted and the *current* sample back-fills
+    the tail — so a stale maximum really does expire.
+    """
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+        self._s: List[_Sample] = []
+
+    @property
+    def value(self) -> float:
+        """Current windowed maximum (0.0 before any sample)."""
+        return self._s[0].value if self._s else 0.0
+
+    def reset(self, time: int, value: float) -> None:
+        """Forget history and seed all slots with one sample."""
+        self._s = [_Sample(time, value), _Sample(time, value), _Sample(time, value)]
+
+    def update(self, time: int, value: float) -> float:
+        """Offer a new sample at *time*; returns the windowed maximum."""
+        if (
+            not self._s
+            or value >= self._s[0].value
+            or time - self._s[2].time > self.window
+        ):
+            self.reset(time, value)
+            return self.value
+
+        s = self._s
+        if value >= s[1].value:
+            s[2] = _Sample(time, value)
+            s[1] = _Sample(time, value)
+        elif value >= s[2].value:
+            s[2] = _Sample(time, value)
+
+        return self._subwin_update(time, value)
+
+    def _subwin_update(self, time: int, value: float) -> float:
+        s = self._s
+        sample = _Sample(time, value)
+        dt = time - s[0].time
+        if dt > self.window:
+            # The best sample expired: promote the others and back-fill
+            # the tail with the current sample.
+            s.pop(0)
+            s.append(sample)
+            if time - s[0].time > self.window:
+                s.pop(0)
+                s.append(sample)
+        elif s[1].time == s[0].time and dt > self.window // 4:
+            # First quarter passed without a newer second-best: take the
+            # current sample as both runners-up.
+            s[2] = s[1] = sample
+        elif s[2].time == s[1].time and dt > self.window // 2:
+            # Half passed without a newer third-best.
+            s[2] = sample
+        return self.value

@@ -1,0 +1,21 @@
+"""TCP NewReno: the reference AIMD algorithm.
+
+Not evaluated by the paper, but included as the canonical loss-based
+baseline; its behaviour is entirely provided by
+:class:`~repro.cc.base.CongestionOps`'s defaults (slow start, +1 MSS per
+RTT, halve on loss).
+"""
+
+from __future__ import annotations
+
+from .base import CongestionOps
+
+__all__ = ["Reno"]
+
+
+class Reno(CongestionOps):
+    """NewReno congestion control."""
+
+    name = "reno"
+    ack_cost_cycles = 400
+    wants_pacing = False

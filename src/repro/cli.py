@@ -1,0 +1,203 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Examples::
+
+    python -m repro run --cc bbr --connections 20 --config low-end
+    python -m repro run --cc cubic --connections 20 --config low-end --runs 3
+    python -m repro run --cc bbr --connections 20 --config default \
+        --stride 5 --medium wifi --json
+    python -m repro compare --connections 20 --config low-end
+    python -m repro sweep-strides --config default --connections 20
+
+``run`` executes one experiment (optionally replicated), ``compare``
+races BBR against Cubic on identical settings, and ``sweep-strides``
+reproduces a Figure-8 row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import (
+    CpuConfig,
+    ETHERNET_LAN,
+    ExperimentSpec,
+    LTE_CELLULAR,
+    NetemConfig,
+    PIXEL_4,
+    PIXEL_6,
+    PacingMode,
+    WIFI_LAN,
+    run_replicated,
+    sweep_strides,
+)
+from .metrics import render_table
+
+__all__ = ["main", "build_parser"]
+
+_MEDIA = {"ethernet": ETHERNET_LAN, "wifi": WIFI_LAN, "lte": LTE_CELLULAR}
+_DEVICES = {"pixel4": PIXEL_4, "pixel6": PIXEL_6}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Are Mobiles Ready for BBR?' experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--connections", "-P", type=int, default=1,
+                       help="parallel uplink connections (iperf3 -P)")
+        p.add_argument("--config", choices=CpuConfig.ALL,
+                       default=CpuConfig.LOW_END, help="Table 1 CPU config")
+        p.add_argument("--device", choices=sorted(_DEVICES),
+                       default="pixel4")
+        p.add_argument("--medium", choices=sorted(_MEDIA),
+                       default="ethernet")
+        p.add_argument("--duration", type=float, default=8.0,
+                       help="simulated seconds per run")
+        p.add_argument("--warmup", type=float, default=2.0,
+                       help="warmup excluded from measurement")
+        p.add_argument("--runs", type=int, default=1,
+                       help="seeded replications to average")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--rate-limit-mbps", type=float, default=None,
+                       help="tc rate limit on the router's server port")
+        p.add_argument("--buffer-segments", type=int, default=None,
+                       help="router egress buffer depth (segments)")
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    add_common(run_p)
+    run_p.add_argument("--cc", choices=("cubic", "bbr", "bbr2", "reno"),
+                       default="bbr")
+    run_p.add_argument("--pacing", choices=PacingMode.ALL,
+                       default=PacingMode.AUTO)
+    run_p.add_argument("--stride", type=float, default=1.0,
+                       help="pacing stride (paper Eq. 2)")
+    run_p.add_argument("--fixed-cwnd", type=int, default=None,
+                       help="master module: pin cwnd (segments)")
+    run_p.add_argument("--fixed-pacing-mbps", type=float, default=None,
+                       help="master module: pin the pacing rate")
+    run_p.add_argument("--disable-model", action="store_true",
+                       help="master module: skip the CC model's per-ACK work")
+
+    cmp_p = sub.add_parser("compare", help="BBR vs Cubic on one setting")
+    add_common(cmp_p)
+    cmp_p.add_argument("--stride", type=float, default=1.0)
+
+    sweep_p = sub.add_parser("sweep-strides", help="Figure-8 stride sweep")
+    add_common(sweep_p)
+    sweep_p.add_argument("--strides", type=float, nargs="+",
+                         default=[1, 2, 5, 10, 20, 50])
+    return parser
+
+
+def _spec_from_args(args, **overrides) -> ExperimentSpec:
+    netem = None
+    if args.rate_limit_mbps is not None or args.buffer_segments is not None:
+        netem = NetemConfig(
+            rate_bps=args.rate_limit_mbps * 1e6 if args.rate_limit_mbps else None,
+            buffer_segments=args.buffer_segments,
+        )
+    fields = dict(
+        connections=args.connections,
+        device=_DEVICES[args.device],
+        cpu_config=args.config,
+        medium=_MEDIA[args.medium],
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        seed=args.seed,
+        netem=netem,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+def _result_dict(agg) -> dict:
+    return {
+        "label": agg.spec.label(),
+        "runs": len(agg.runs),
+        "goodput_mbps": round(agg.goodput_mbps, 2),
+        "goodput_stdev": round(agg.goodput_stdev, 2),
+        "rtt_mean_ms": round(agg.rtt_mean_ms, 3),
+        "retransmitted_segments": round(agg.retransmitted_segments, 1),
+        "cpu_busy_fraction": round(agg.mean("cpu_busy_fraction"), 3),
+        "mean_skb_bytes": round(agg.mean("mean_skb_bytes"), 1),
+        "mean_idle_ms": round(agg.mean("mean_idle_ms"), 3),
+    }
+
+
+def _emit(rows: List[dict], as_json: bool, out) -> None:
+    if as_json:
+        json.dump(rows if len(rows) > 1 else rows[0], out, indent=2)
+        out.write("\n")
+        return
+    headers = list(rows[0])
+    table = render_table(headers, [[r[h] for h in headers] for r in rows])
+    out.write(table + "\n")
+
+
+def _cmd_run(args, out) -> int:
+    spec = _spec_from_args(
+        args,
+        cc=args.cc,
+        pacing_mode=args.pacing,
+        pacing_stride=args.stride,
+        fixed_cwnd_segments=args.fixed_cwnd,
+        fixed_pacing_rate_mbps=args.fixed_pacing_mbps,
+        disable_model=args.disable_model,
+    )
+    agg = run_replicated(spec, runs=args.runs)
+    _emit([_result_dict(agg)], args.json, out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    rows = []
+    for cc in ("cubic", "bbr"):
+        spec = _spec_from_args(args, cc=cc, pacing_stride=args.stride)
+        rows.append(_result_dict(run_replicated(spec, runs=args.runs)))
+    _emit(rows, args.json, out)
+    if not args.json:
+        cubic, bbr = rows[0], rows[1]
+        gap = 100 * (1 - bbr["goodput_mbps"] / max(1e-9, cubic["goodput_mbps"]))
+        out.write(f"\nBBR vs Cubic goodput gap: {gap:.1f}%\n")
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    spec = _spec_from_args(args, cc="bbr")
+    results = sweep_strides(spec, strides=args.strides, runs=args.runs)
+    rows = []
+    for stride in args.strides:
+        agg = results[float(stride)]
+        row = _result_dict(agg)
+        row = {"stride": f"{stride:g}x", **row}
+        del row["label"]
+        rows.append(row)
+    _emit(rows, args.json, out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "compare":
+        return _cmd_compare(args, out)
+    if args.command == "sweep-strides":
+        return _cmd_sweep(args, out)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The paper-facing API: experiment specs, the runner, stride studies,
+and the §6 analytical model."""
+
+from .analysis import StrideRow, expected_throughput_bps, idle_time_ns
+from .experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    ReplicatedResult,
+    make_cc_factory,
+    run_experiment,
+    run_replicated,
+)
+from .stride import PAPER_STRIDES, AdaptiveStrideController, sweep_strides
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ReplicatedResult",
+    "run_experiment",
+    "run_replicated",
+    "make_cc_factory",
+    "PAPER_STRIDES",
+    "sweep_strides",
+    "AdaptiveStrideController",
+    "StrideRow",
+    "expected_throughput_bps",
+    "idle_time_ns",
+]

@@ -1,0 +1,91 @@
+"""The paper's analytical throughput model (§6, Eq. 1–3).
+
+Eq. 1: ``idleTime = socketBufferLength / pacingRate``
+Eq. 2: ``idleTime = idleTime × pacingStride``
+Eq. 3: ``expectedTx = socketBufferLength × connections / idleTime``
+
+Expected throughput models a *purely pacing-limited* sender: if the CPU
+could keep up, each connection would ship one socket buffer per idle
+period. Comparing expected vs. actual throughput locates the two failure
+regimes of Table 2 — CPU-overhead-limited (actual < expected, small
+strides) and buffer-saturation-limited (expected itself collapses, large
+strides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..units import SEC
+
+__all__ = ["expected_throughput_bps", "idle_time_ns", "StrideRow"]
+
+
+def idle_time_ns(socket_buffer_bytes: float, pacing_rate_bps: float, stride: float = 1.0) -> int:
+    """Eq. 1 × Eq. 2: pacing idle time for one socket buffer."""
+    if pacing_rate_bps <= 0:
+        raise ValueError("pacing rate must be positive")
+    if stride < 1.0:
+        raise ValueError("stride must be >= 1")
+    return int(socket_buffer_bytes * 8 * SEC / pacing_rate_bps * stride)
+
+
+def expected_throughput_bps(
+    socket_buffer_bytes: float, idle_ns: float, connections: int
+) -> float:
+    """Eq. 3: aggregate throughput of a purely pacing-limited sender."""
+    if idle_ns <= 0:
+        return 0.0
+    if connections < 1:
+        raise ValueError("need at least one connection")
+    return socket_buffer_bytes * 8 * SEC * connections / idle_ns
+
+
+@dataclass
+class StrideRow:
+    """One row of the paper's Table 2."""
+
+    stride: float
+    skb_len_kbits: float
+    idle_time_ms: float
+    expected_tx_mbps: float
+    actual_tx_mbps: float
+    rtt_ms: float
+
+    @classmethod
+    def from_measurement(
+        cls,
+        stride: float,
+        mean_skb_bytes: float,
+        mean_idle_ms: float,
+        actual_tx_mbps: float,
+        rtt_ms: float,
+        connections: int,
+    ) -> "StrideRow":
+        """Build a row, deriving expected throughput via Eq. 3."""
+        idle_ns = mean_idle_ms * 1e6
+        expected = (
+            expected_throughput_bps(mean_skb_bytes, idle_ns, connections) / 1e6
+            if idle_ns > 0
+            else 0.0
+        )
+        return cls(
+            stride=stride,
+            skb_len_kbits=mean_skb_bytes * 8 / 1000.0,
+            idle_time_ms=mean_idle_ms,
+            expected_tx_mbps=expected,
+            actual_tx_mbps=actual_tx_mbps,
+            rtt_ms=rtt_ms,
+        )
+
+    def as_table_row(self) -> List[object]:
+        """Cells in the paper's column order."""
+        return [
+            f"{self.stride:g}x",
+            self.skb_len_kbits,
+            self.idle_time_ms,
+            self.expected_tx_mbps,
+            self.actual_tx_mbps,
+            self.rtt_ms,
+        ]

@@ -1,0 +1,319 @@
+"""Experiment runner: one call from specification to measured result.
+
+This is the library's main entry point. A :class:`ExperimentSpec` names a
+device + CPU configuration (Table 1), a medium (§3.2), a congestion
+control, a connection count, and the §5/§6 knobs (pacing mode, master
+module overrides, pacing stride). :func:`run_experiment` assembles the
+full simulated testbed, runs the iperf workload, and returns an
+:class:`ExperimentResult`; :func:`run_replicated` averages over seeds the
+way the paper averages over 10 iperf runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from ..apps.iperf import IperfClientApp, IperfServerApp
+from ..cc import Bbr, Bbr2, CongestionOps, Cubic, MasterModule, Reno
+from ..cpu import CostModel, FreeExecutor, NetStackExecutor, RpsExecutor
+from ..devices import CpuConfig, DeviceProfile, PIXEL_4, build_device
+from ..metrics.collector import StatAccumulator
+from ..metrics.summary import RunSet
+from ..netsim import ETHERNET_LAN, MediumProfile, NetemConfig, Testbed
+from ..sim import EventLoop, PeriodicTimer, RngStreams
+from ..tcp.connection import SocketConfig
+from ..tcp.pacing import PacingMode
+from ..tcp.stack import MobileTcpStack
+from ..units import MSEC, mbps, seconds, to_mbps
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ReplicatedResult",
+    "run_experiment",
+    "run_replicated",
+    "make_cc_factory",
+]
+
+_CC_REGISTRY: Dict[str, Callable[[], CongestionOps]] = {
+    "cubic": Cubic,
+    "bbr": Bbr,
+    "bbr2": Bbr2,
+    "reno": Reno,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to reproduce one measurement point."""
+
+    #: congestion control: "cubic" | "bbr" | "bbr2" | "reno"
+    cc: str = "bbr"
+    #: parallel connections (iperf3 -P)
+    connections: int = 1
+    device: DeviceProfile = PIXEL_4
+    #: Table 1 configuration name (see :class:`repro.devices.CpuConfig`)
+    cpu_config: str = CpuConfig.LOW_END
+    medium: MediumProfile = ETHERNET_LAN
+    netem: Optional[NetemConfig] = None
+    #: pacing decision (§5.2): auto / forced on / forced off
+    pacing_mode: str = PacingMode.AUTO
+    #: the paper's pacing stride (§6); 1.0 = stock kernel
+    pacing_stride: float = 1.0
+    #: simulated transfer duration (the paper runs 5 min; the defaults
+    #: here are shorter but past convergence — see EXPERIMENTS.md)
+    duration_s: float = 8.0
+    #: measurement starts after this warmup
+    warmup_s: float = 2.0
+    seed: int = 1
+    #: cost-model override (None = device default); ablations use this
+    costs: Optional[CostModel] = None
+    # --- §5 master-module knobs ---
+    disable_model: bool = False
+    fixed_cwnd_segments: Optional[int] = None
+    fixed_pacing_rate_mbps: Optional[float] = None
+    #: stack work placement: "serial" (default, see DESIGN.md §4),
+    #: "rps" (multi-core ablation), "free" (no CPU model)
+    executor: str = "serial"
+    phone_qdisc_segments: int = 1000
+
+    def label(self) -> str:
+        """Compact human-readable identifier for reports."""
+        parts = [self.cc, f"{self.connections}c", self.cpu_config, self.medium.name]
+        if self.pacing_mode != PacingMode.AUTO:
+            parts.append(f"pacing={self.pacing_mode}")
+        if self.pacing_stride != 1.0:
+            parts.append(f"stride={self.pacing_stride:g}x")
+        return "/".join(parts)
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outputs of one run."""
+
+    spec: ExperimentSpec
+    goodput_mbps: float
+    per_flow_goodput_mbps: List[float]
+    rtt_mean_ms: float
+    rtt_p50_ms: float
+    rtt_p95_ms: float
+    rtt_min_ms: float
+    retransmitted_segments: int
+    rto_count: int
+    cpu_busy_fraction: float
+    #: Table 2 quantities (pacing connections only; 0.0 otherwise)
+    mean_skb_bytes: float
+    mean_idle_ms: float
+    pacing_periods: int
+    router_dropped_segments: int
+    phone_dropped_segments: int
+    peak_qdisc_segments: int
+    #: memory proxy: peak of (qdisc backlog + unacked inflight), bytes
+    peak_memory_bytes: int
+    mean_memory_bytes: float
+    mean_cwnd_segments: float
+    events_processed: int
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """Flat metric dict for :class:`~repro.metrics.summary.RunSet`."""
+        return {
+            "goodput_mbps": self.goodput_mbps,
+            "rtt_mean_ms": self.rtt_mean_ms,
+            "rtt_p50_ms": self.rtt_p50_ms,
+            "rtt_p95_ms": self.rtt_p95_ms,
+            "retransmitted_segments": float(self.retransmitted_segments),
+            "cpu_busy_fraction": self.cpu_busy_fraction,
+            "mean_skb_bytes": self.mean_skb_bytes,
+            "mean_idle_ms": self.mean_idle_ms,
+            "peak_memory_bytes": float(self.peak_memory_bytes),
+            "mean_memory_bytes": self.mean_memory_bytes,
+            "mean_cwnd_segments": self.mean_cwnd_segments,
+        }
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregate over seeded replications (the paper's 10-run averages)."""
+
+    spec: ExperimentSpec
+    runs: List[ExperimentResult]
+    stats: RunSet = field(default_factory=RunSet)
+
+    @property
+    def goodput_mbps(self) -> float:
+        """Mean goodput across runs."""
+        return self.stats.mean("goodput_mbps")
+
+    @property
+    def goodput_stdev(self) -> float:
+        """Goodput standard deviation across runs."""
+        return self.stats.stdev("goodput_mbps")
+
+    @property
+    def rtt_mean_ms(self) -> float:
+        """Mean of per-run mean RTTs."""
+        return self.stats.mean("rtt_mean_ms")
+
+    @property
+    def retransmitted_segments(self) -> float:
+        """Mean retransmitted segments per run."""
+        return self.stats.mean("retransmitted_segments")
+
+    def mean(self, name: str) -> float:
+        """Mean of any scalar metric across runs."""
+        return self.stats.mean(name)
+
+
+def make_cc_factory(spec: ExperimentSpec) -> Callable[[], CongestionOps]:
+    """Resolve the spec's CC name + master-module knobs to a factory."""
+    try:
+        base_factory = _CC_REGISTRY[spec.cc]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {spec.cc!r}; choose from {sorted(_CC_REGISTRY)}"
+        ) from None
+    needs_master = (
+        spec.disable_model
+        or spec.fixed_cwnd_segments is not None
+        or spec.fixed_pacing_rate_mbps is not None
+    )
+    if not needs_master:
+        return base_factory
+    fixed_rate = (
+        mbps(spec.fixed_pacing_rate_mbps)
+        if spec.fixed_pacing_rate_mbps is not None
+        else None
+    )
+
+    def factory() -> CongestionOps:
+        return MasterModule(
+            base_factory(),
+            disable_model=spec.disable_model,
+            fixed_cwnd_segments=spec.fixed_cwnd_segments,
+            fixed_pacing_rate_bps=fixed_rate,
+        )
+
+    return factory
+
+
+def _make_executor(spec: ExperimentSpec, device) -> object:
+    if spec.executor == "serial":
+        return NetStackExecutor(device.cpu)
+    if spec.executor == "rps":
+        return RpsExecutor(device.cpu)
+    if spec.executor == "free":
+        return FreeExecutor()
+    raise ValueError(f"unknown executor {spec.executor!r}")
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one simulated iperf experiment and return its measurements."""
+    if spec.warmup_s >= spec.duration_s:
+        raise ValueError("warmup must be shorter than the duration")
+    loop = EventLoop()
+    rng = RngStreams(spec.seed)
+
+    device = build_device(loop, spec.device, spec.cpu_config)
+    costs = spec.costs if spec.costs is not None else device.cost_model
+    testbed = Testbed(
+        loop,
+        spec.medium,
+        netem=spec.netem,
+        rng=rng,
+        phone_qdisc_segments=spec.phone_qdisc_segments,
+    )
+    executor = _make_executor(spec, device)
+    stack = MobileTcpStack(loop, executor, costs, testbed)
+    server = IperfServerApp(loop, testbed)
+    socket_config = SocketConfig(
+        pacing_mode=spec.pacing_mode,
+        pacing_stride=spec.pacing_stride,
+    )
+    client = IperfClientApp(
+        loop,
+        stack,
+        make_cc_factory(spec),
+        parallel=spec.connections,
+        socket_config=socket_config,
+    )
+
+    warmup_ns = seconds(spec.warmup_s)
+    duration_ns = seconds(spec.duration_s)
+    client.rtt_window_start_ns = warmup_ns
+
+    # Memory proxy sampler: qdisc backlog + unacked inflight, in bytes.
+    memory_stats = StatAccumulator()
+    mss = socket_config.mss
+
+    def sample_memory() -> None:
+        if loop.now < warmup_ns:
+            return
+        backlog = testbed.phone_qdisc.backlog_segments * mss
+        inflight = sum(
+            c.scoreboard.packets_out * mss for c in client.connections
+        )
+        memory_stats.add(backlog + inflight)
+
+    memory_sampler = PeriodicTimer(loop, 50 * MSEC, sample_memory, name="memsample")
+    memory_sampler.start()
+
+    device.start()
+    client.start()
+    loop.run(until=duration_ns)
+
+    goodput_bps = server.goodput_bps_between(warmup_ns, duration_ns)
+    per_flow = [
+        to_mbps(server.flow_goodput_bps_between(c.flow_id, warmup_ns, duration_ns))
+        for c in client.connections
+    ]
+    rtt = client.rtt_stats
+    pacing_periods = sum(c.pacer.periods for c in client.connections)
+
+    result = ExperimentResult(
+        spec=spec,
+        goodput_mbps=to_mbps(goodput_bps),
+        per_flow_goodput_mbps=per_flow,
+        rtt_mean_ms=rtt.mean,
+        rtt_p50_ms=rtt.percentile(50) if rtt.count else 0.0,
+        rtt_p95_ms=rtt.percentile(95) if rtt.count else 0.0,
+        rtt_min_ms=rtt.min_value or 0.0,
+        retransmitted_segments=client.retransmitted_segments,
+        rto_count=client.rto_count,
+        cpu_busy_fraction=device.cpu_busy_fraction(duration_ns),
+        mean_skb_bytes=client.mean_pacer_period_bytes(),
+        mean_idle_ms=client.mean_pacer_idle_ns() / 1e6,
+        pacing_periods=pacing_periods,
+        router_dropped_segments=testbed.router_dropped_segments,
+        phone_dropped_segments=testbed.phone_dropped_segments,
+        peak_qdisc_segments=testbed.phone_qdisc.max_backlog_segments,
+        peak_memory_bytes=int(memory_stats.max_value or 0),
+        mean_memory_bytes=memory_stats.mean,
+        mean_cwnd_segments=client.mean_cwnd_segments,
+        events_processed=loop.events_processed,
+    )
+
+    # Teardown so the loop holds no live periodic sources.
+    memory_sampler.stop()
+    client.stop()
+    device.stop()
+    testbed.stop_processes()
+    return result
+
+
+def run_replicated(spec: ExperimentSpec, runs: int = 3) -> ReplicatedResult:
+    """Run *runs* seeded replications of *spec* and aggregate.
+
+    Seeds are derived deterministically from ``spec.seed``, so the same
+    spec always yields the same aggregate.
+    """
+    if runs < 1:
+        raise ValueError("need at least one run")
+    results: List[ExperimentResult] = []
+    stats = RunSet()
+    for i in range(runs):
+        run_spec = replace(spec, seed=spec.seed + 1000 * i)
+        result = run_experiment(run_spec)
+        results.append(result)
+        stats.add_run(result.scalar_metrics())
+    return ReplicatedResult(spec=spec, runs=results, stats=stats)

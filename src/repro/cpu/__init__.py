@@ -1,0 +1,40 @@
+"""Simulated mobile CPU: cores, clusters, governors, and cycle costs.
+
+This package provides the compute substrate that makes the paper's effect
+reproducible in simulation: TCP stack operations are billed CPU cycles
+(:class:`~repro.cpu.costs.CostModel`), executed serially on a core
+(:class:`~repro.cpu.core.CpuCore`) whose clock is managed by a governor
+(:mod:`repro.cpu.governor`) over a big.LITTLE topology
+(:class:`~repro.cpu.cluster.BigLittleCpu`).
+"""
+
+from .cluster import BigLittleCpu, CpuCluster
+from .core import CpuCore, WorkItem
+from .costs import DEFAULT_COSTS, ZERO_COSTS, CostModel
+from .governor import (
+    DynamicCpuPolicy,
+    PerformanceGovernor,
+    SchedutilGovernor,
+    ThermalModel,
+    UserspaceGovernor,
+)
+from .softirq import FreeExecutor, NetStackExecutor, RpsExecutor, StackExecutor
+
+__all__ = [
+    "BigLittleCpu",
+    "CpuCluster",
+    "CpuCore",
+    "WorkItem",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "ZERO_COSTS",
+    "UserspaceGovernor",
+    "PerformanceGovernor",
+    "SchedutilGovernor",
+    "ThermalModel",
+    "DynamicCpuPolicy",
+    "StackExecutor",
+    "NetStackExecutor",
+    "RpsExecutor",
+    "FreeExecutor",
+]

@@ -1,0 +1,125 @@
+"""CPU clusters and big.LITTLE topologies (Table 1 of the paper).
+
+A phone SoC exposes one or two *clusters* (LITTLE = efficiency cores,
+BIG = performance cores), each with its own OPP table (the discrete
+frequencies the governor may select). The paper's four device
+configurations are expressed against this structure:
+
+* Low-End  — BIG cluster disabled, LITTLE pinned at its minimum OPP,
+* Mid-End  — BIG cluster disabled, LITTLE pinned at its median OPP,
+* High-End — LITTLE cluster disabled, BIG pinned at its maximum OPP,
+* Default  — both clusters enabled, dynamic governor decides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sim import EventLoop, Tracer, NULL_TRACER
+from .core import CpuCore
+
+__all__ = ["CpuCluster", "BigLittleCpu"]
+
+
+class CpuCluster:
+    """A group of identical cores sharing an OPP (frequency) table."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        opp_table_hz: Sequence[float],
+        num_cores: int = 4,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if not opp_table_hz:
+            raise ValueError("OPP table must not be empty")
+        if num_cores < 1:
+            raise ValueError("a cluster needs at least one core")
+        self.name = name
+        #: Sorted ascending list of selectable frequencies (Hz).
+        self.opp_table_hz: List[float] = sorted(float(f) for f in opp_table_hz)
+        self.cores: List[CpuCore] = [
+            CpuCore(loop, self.opp_table_hz[0], name=f"{name}{i}", tracer=tracer)
+            for i in range(num_cores)
+        ]
+        self.enabled = True
+
+    @property
+    def min_freq_hz(self) -> float:
+        """Lowest OPP."""
+        return self.opp_table_hz[0]
+
+    @property
+    def max_freq_hz(self) -> float:
+        """Highest OPP."""
+        return self.opp_table_hz[-1]
+
+    @property
+    def median_freq_hz(self) -> float:
+        """Median OPP (the paper's Mid-End pin point)."""
+        return self.opp_table_hz[len(self.opp_table_hz) // 2]
+
+    def nearest_opp(self, target_hz: float) -> float:
+        """Lowest OPP at or above *target_hz* (or the max OPP)."""
+        for opp in self.opp_table_hz:
+            if opp >= target_hz:
+                return opp
+        return self.opp_table_hz[-1]
+
+    def set_all_frequencies(self, freq_hz: float) -> None:
+        """Pin every core in the cluster to *freq_hz*."""
+        for core in self.cores:
+            core.set_frequency(freq_hz)
+
+
+class BigLittleCpu:
+    """A big.LITTLE SoC: a LITTLE cluster and (optionally) a BIG cluster.
+
+    ``active_core`` is the core the network stack is currently bound to;
+    static configurations never change it, the dynamic (Default) policy
+    migrates it between clusters.
+    """
+
+    def __init__(self, little: CpuCluster, big: Optional[CpuCluster] = None):
+        self.little = little
+        self.big = big
+        self._active_core: CpuCore = little.cores[0]
+
+    @property
+    def active_core(self) -> CpuCore:
+        """Core currently hosting network-stack work."""
+        return self._active_core
+
+    def bind_to(self, core: CpuCore) -> None:
+        """Re-bind network-stack work to *core* (new work only)."""
+        self._active_core = core
+
+    def clusters(self) -> List[CpuCluster]:
+        """Enabled clusters, LITTLE first."""
+        out = []
+        if self.little.enabled:
+            out.append(self.little)
+        if self.big is not None and self.big.enabled:
+            out.append(self.big)
+        return out
+
+    def disable_big(self) -> None:
+        """Hot-unplug the BIG cluster (Low-End / Mid-End configs)."""
+        if self.big is not None:
+            self.big.enabled = False
+        self._active_core = self.little.cores[0]
+
+    def disable_little(self) -> None:
+        """Hot-unplug the LITTLE cluster (High-End config)."""
+        if self.big is None:
+            raise ValueError("cannot disable LITTLE without a BIG cluster")
+        self.little.enabled = False
+        self._active_core = self.big.cores[0]
+
+    def all_cores(self) -> List[CpuCore]:
+        """Every core on enabled clusters."""
+        cores: List[CpuCore] = []
+        for cluster in self.clusters():
+            cores.extend(cluster.cores)
+        return cores

@@ -1,0 +1,188 @@
+"""A simulated CPU core with a serial work queue.
+
+The transmit-path bottleneck the paper measures is *serialization*: every
+pacing-timer callback, skb transmit, and ACK runs on the phone's CPU, one
+after another. :class:`CpuCore` models that — work items carry cycle
+costs, the core converts cycles to wall time at its current frequency and
+executes items FIFO. When the offered work exceeds the core's capacity the
+queue grows and everything (including ACK processing, hence measured RTT)
+is delayed; that queueing *is* the overhead under study.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..sim import EventLoop, Tracer, NULL_TRACER
+from ..units import cycles_to_ns
+
+__all__ = ["WorkItem", "CpuCore"]
+
+
+class WorkItem:
+    """A unit of stack work to execute on a core.
+
+    ``callback`` runs when the core *finishes* the item (i.e. after its
+    cycle cost has been paid). ``name`` is for tracing only.
+
+    ``priority`` 0 models interrupt/RX-softirq work (ACK processing,
+    timer expirations) which real kernels interleave ahead of bulk
+    transmit work; priority 1 is the transmit path. A running item is
+    never preempted — priorities order the *queue* only.
+    """
+
+    HIGH = 0
+    NORMAL = 1
+
+    __slots__ = ("cycles", "callback", "name", "priority", "submitted_at", "started_at")
+
+    def __init__(
+        self,
+        cycles: int,
+        callback: Callable[[], None],
+        name: str = "work",
+        priority: int = 1,
+    ):
+        if cycles < 0:
+            raise ValueError("work cycles must be >= 0")
+        if priority not in (0, 1):
+            raise ValueError("priority must be 0 (high) or 1 (normal)")
+        self.cycles = int(cycles)
+        self.callback = callback
+        self.name = name
+        self.priority = priority
+        self.submitted_at: Optional[int] = None
+        self.started_at: Optional[int] = None
+
+
+class CpuCore:
+    """One core: a frequency, a FIFO run queue, and busy-time accounting.
+
+    The frequency is mutable (governors call :meth:`set_frequency`); a new
+    frequency applies to items that *start* after the change, which is a
+    fine approximation at governor sampling periods (~10 ms) vs. item
+    lengths (~10-100 µs).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        freq_hz: float,
+        name: str = "cpu0",
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if freq_hz <= 0:
+            raise ValueError("core frequency must be positive")
+        self._loop = loop
+        self._freq_hz = float(freq_hz)
+        self.name = name
+        self._tracer = tracer
+        self._queue: Deque[WorkItem] = deque()
+        self._high_queue: Deque[WorkItem] = deque()
+        self._current: Optional[WorkItem] = None
+        self._completion_event = None
+        # accounting
+        self.busy_ns_total: int = 0
+        self.items_executed: int = 0
+        self.cycles_executed: int = 0
+        self._busy_since: Optional[int] = None
+        self.max_queue_depth: int = 0
+
+    # -- frequency ----------------------------------------------------------
+
+    @property
+    def freq_hz(self) -> float:
+        """Current clock frequency in Hz."""
+        return self._freq_hz
+
+    def set_frequency(self, freq_hz: float) -> None:
+        """Change the clock; affects items started after this call."""
+        if freq_hz <= 0:
+            raise ValueError("core frequency must be positive")
+        if freq_hz != self._freq_hz:
+            self._tracer.emit(self._loop.now, self.name, "freq_change",
+                              old_hz=self._freq_hz, new_hz=freq_hz)
+        self._freq_hz = float(freq_hz)
+
+    # -- queueing ----------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while an item is executing."""
+        return self._current is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Items waiting (not counting the one executing)."""
+        return len(self._queue) + len(self._high_queue)
+
+    def submit(self, item: WorkItem, continuation: bool = False) -> None:
+        """Enqueue *item*; it runs when the core reaches it.
+
+        *continuation* queues the item at the *head* of its class: the
+        way ``tcp_write_xmit`` keeps draining one socket within a single
+        softirq run before other queued work resumes.
+        """
+        item.submitted_at = self._loop.now
+        queue = self._high_queue if item.priority == WorkItem.HIGH else self._queue
+        if continuation:
+            queue.appendleft(item)
+        else:
+            queue.append(item)
+        if self.queue_depth > self.max_queue_depth:
+            self.max_queue_depth = self.queue_depth
+        if self._current is None:
+            self._start_next()
+
+    def submit_work(
+        self,
+        cycles: int,
+        callback: Callable[[], None],
+        name: str = "work",
+        priority: int = WorkItem.NORMAL,
+    ) -> WorkItem:
+        """Convenience wrapper: build and submit a :class:`WorkItem`."""
+        item = WorkItem(cycles, callback, name, priority)
+        self.submit(item)
+        return item
+
+    # -- utilization --------------------------------------------------------
+
+    def busy_ns_up_to_now(self) -> int:
+        """Total busy nanoseconds including the in-flight item so far."""
+        total = self.busy_ns_total
+        if self._busy_since is not None:
+            total += self._loop.now - self._busy_since
+        return total
+
+    # -- internals ----------------------------------------------------------
+
+    def _start_next(self) -> None:
+        if self._high_queue:
+            item = self._high_queue.popleft()
+        elif self._queue:
+            item = self._queue.popleft()
+        else:
+            return
+        self._current = item
+        item.started_at = self._loop.now
+        self._busy_since = self._loop.now
+        duration = cycles_to_ns(item.cycles, self._freq_hz)
+        self._completion_event = self._loop.call_after(duration, self._complete, item)
+
+    def _complete(self, item: WorkItem) -> None:
+        now = self._loop.now
+        if self._busy_since is not None:
+            self.busy_ns_total += now - self._busy_since
+            self._busy_since = None
+        self._current = None
+        self._completion_event = None
+        self.items_executed += 1
+        self.cycles_executed += item.cycles
+        # Run the callback *before* starting the next item so that any
+        # work it submits lands behind already-queued items (FIFO), the
+        # same way a softirq handler re-raises itself.
+        item.callback()
+        if self._current is None:
+            self._start_next()

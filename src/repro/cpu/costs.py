@@ -1,0 +1,128 @@
+"""Cycle-cost model for the mobile TCP transmit/receive path.
+
+The paper's central finding is that *per-send pacing overhead* — an hrtimer
+fire, a softirq reschedule, and a trip through ``tcp_write_xmit`` for every
+paced socket buffer — saturates low-frequency mobile CPUs. To reproduce
+that, every stack operation in this simulator is billed a number of CPU
+cycles on the device's (simulated) core; at a given clock frequency those
+cycles become wall time, and the core serializes the work.
+
+The default constants below are *calibrated*, not measured: they are chosen
+so that a 576 MHz "Low-End Pixel 4" (Table 1) lands in the same goodput
+regime the paper reports (Cubic ≈ 360 Mbps, BBR ≈ 140–330 Mbps depending on
+connection count), and a 2.8 GHz "High-End" reaches Ethernet line rate.
+Their relative magnitudes follow the qualitative structure of the Linux
+transmit path: a pacing-timer fire (softirq wakeup + socket reprocessing)
+costs roughly twice a plain skb transmit's fixed cost, and per-byte costs
+(copy + checksum) dominate for large GSO buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "DEFAULT_COSTS", "ZERO_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs charged to the device CPU by the TCP stack.
+
+    All values are CPU cycles. See the module docstring for calibration
+    rationale. Instances are immutable; use :meth:`scaled` or
+    :func:`dataclasses.replace` to derive variants for ablations.
+    """
+
+    #: Per-byte transmit cost (copy out of user space + checksum + DMA prep).
+    cycles_per_byte_xmit: float = 12.0
+    #: Fixed cost per transmitted skb (tcp_write_xmit, qdisc, driver xmit).
+    skb_xmit_fixed: int = 14_000
+    #: Cost of one pacing-timer expiration: hrtimer softirq, tasklet
+    #: rescheduling the socket, re-entering the write path. This is the
+    #: overhead the paper's pacing-stride fix amortizes.
+    pacing_timer_fire: int = 40_000
+    #: Cost of (re)programming the pacing hrtimer after a send.
+    timer_program: int = 4_000
+    #: Fixed cost to process one incoming ACK (IRQ/NAPI amortized share,
+    #: socket lookup, state update).
+    ack_process_fixed: int = 4_000
+    #: Extra cost per SACK block carried on an ACK.
+    cycles_per_sack_block: int = 600
+    #: Fixed cost to queue a retransmission.
+    retransmit_fixed: int = 9_000
+    #: Cost charged when an RTO fires.
+    rto_fire: int = 12_000
+    #: Cost of the connection-level "other" timer work (delayed ack etc.).
+    misc_timer_fire: int = 5_000
+
+    def xmit_cycles(self, nbytes: int) -> int:
+        """Total cycles to transmit one skb of *nbytes* payload.
+
+        Used for retransmissions (which re-checksum in place). Original
+        transmissions split this cost: :meth:`copy_cycles` is paid in
+        process context (``sendmsg``) ahead of time, and the transmit
+        softirq pays only :attr:`skb_xmit_fixed` — so bursts of already-
+        buffered data leave the stack back-to-back, as on real systems.
+        """
+        return int(self.skb_xmit_fixed + self.cycles_per_byte_xmit * nbytes)
+
+    def copy_cycles(self, nbytes: int) -> int:
+        """Cycles for ``sendmsg`` to copy *nbytes* into the socket."""
+        return int(self.cycles_per_byte_xmit * nbytes)
+
+    def ack_cycles(self, sack_blocks: int = 0, cc_cycles: int = 0) -> int:
+        """Total cycles to process one ACK.
+
+        *cc_cycles* is the congestion-control module's per-ACK cost
+        (Cubic's AIMD arithmetic is cheap; BBR recomputes its model on
+        every ACK — §5's "Congestion Model" difference).
+        """
+        return int(
+            self.ack_process_fixed
+            + self.cycles_per_sack_block * sack_blocks
+            + cc_cycles
+        )
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a copy with every cost multiplied by *factor*.
+
+        Used by ablation benchmarks (e.g. "what if the stack were 2x more
+        efficient?").
+        """
+        return CostModel(
+            cycles_per_byte_xmit=self.cycles_per_byte_xmit * factor,
+            skb_xmit_fixed=int(self.skb_xmit_fixed * factor),
+            pacing_timer_fire=int(self.pacing_timer_fire * factor),
+            timer_program=int(self.timer_program * factor),
+            ack_process_fixed=int(self.ack_process_fixed * factor),
+            cycles_per_sack_block=int(self.cycles_per_sack_block * factor),
+            retransmit_fixed=int(self.retransmit_fixed * factor),
+            rto_fire=int(self.rto_fire * factor),
+            misc_timer_fire=int(self.misc_timer_fire * factor),
+        )
+
+    def without_pacing_overhead(self) -> "CostModel":
+        """Return a copy with free pacing timers (mechanism ablation).
+
+        If the paper's explanation is right, BBR with a zero-cost pacing
+        timer should match unpaced BBR's goodput; the ablation bench
+        checks exactly that.
+        """
+        return replace(self, pacing_timer_fire=0, timer_program=0)
+
+
+#: Calibrated default cost model (see module docstring).
+DEFAULT_COSTS = CostModel()
+
+#: A free CPU — useful in unit tests that want pure protocol behaviour.
+ZERO_COSTS = CostModel(
+    cycles_per_byte_xmit=0.0,
+    skb_xmit_fixed=0,
+    pacing_timer_fire=0,
+    timer_program=0,
+    ack_process_fixed=0,
+    cycles_per_sack_block=0,
+    retransmit_fixed=0,
+    rto_fire=0,
+    misc_timer_fire=0,
+)

@@ -1,0 +1,249 @@
+"""CPU frequency governors and the dynamic (Default) placement policy.
+
+Three governors cover the paper's Table 1:
+
+* :class:`UserspaceGovernor` — pin a fixed frequency (Low-End, Mid-End,
+  High-End configurations),
+* :class:`PerformanceGovernor` — pin the maximum OPP,
+* :class:`SchedutilGovernor` — the kernel's utilization-driven governor,
+  used by the Default configuration together with
+  :class:`DynamicCpuPolicy`, which also migrates the network-stack work
+  between LITTLE and BIG clusters and applies a sustained-power (thermal)
+  cap, the way production phones do.
+
+The schedutil formula follows the kernel: ``next_freq = 1.25 * util_hz``
+where ``util_hz`` is the frequency-invariant utilization (busy fraction at
+the current clock times that clock).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import EventLoop, PeriodicTimer, Tracer, NULL_TRACER
+from ..units import MSEC
+from .cluster import BigLittleCpu, CpuCluster
+from .core import CpuCore
+
+__all__ = [
+    "UserspaceGovernor",
+    "PerformanceGovernor",
+    "SchedutilGovernor",
+    "ThermalModel",
+    "DynamicCpuPolicy",
+]
+
+
+class UserspaceGovernor:
+    """Pin a cluster at a caller-chosen frequency (``userspace`` governor)."""
+
+    def __init__(self, cluster: CpuCluster, freq_hz: float):
+        self.cluster = cluster
+        self.freq_hz = cluster.nearest_opp(freq_hz)
+
+    def start(self) -> None:
+        """Apply the pinned frequency."""
+        self.cluster.set_all_frequencies(self.freq_hz)
+
+    def stop(self) -> None:
+        """No periodic work to stop."""
+
+
+class PerformanceGovernor(UserspaceGovernor):
+    """Pin a cluster at its maximum OPP."""
+
+    def __init__(self, cluster: CpuCluster):
+        super().__init__(cluster, cluster.max_freq_hz)
+
+
+class ThermalModel:
+    """Leaky-bucket sustained-power model.
+
+    Running above ``sustained_hz`` accumulates heat proportional to the
+    excess; heat decays when running at or below it. Once the budget is
+    exhausted the policy must cap the clock at ``sustained_hz`` until the
+    bucket drains below a low-water mark. This reproduces the familiar
+    phone behaviour of short boosts followed by a lower steady clock.
+    """
+
+    def __init__(
+        self,
+        sustained_hz: float,
+        budget: float = 1.0,
+        low_water: float = 0.5,
+        heat_rate: float = 2.0,
+        cool_rate: float = 0.02,
+    ):
+        self.sustained_hz = float(sustained_hz)
+        self.budget = float(budget)
+        self.low_water = float(low_water)
+        self.heat_rate = float(heat_rate)
+        self.cool_rate = float(cool_rate)
+        self.heat = 0.0
+        self.throttled = False
+
+    def update(self, freq_hz: float, max_hz: float, dt_seconds: float) -> None:
+        """Advance the model by *dt_seconds* at clock *freq_hz*."""
+        if freq_hz > self.sustained_hz and max_hz > self.sustained_hz:
+            excess = (freq_hz - self.sustained_hz) / (max_hz - self.sustained_hz)
+            self.heat += excess * self.heat_rate * dt_seconds
+        else:
+            self.heat -= self.cool_rate * dt_seconds
+        self.heat = max(0.0, self.heat)
+        if self.heat >= self.budget:
+            self.throttled = True
+        elif self.heat <= self.low_water:
+            self.throttled = False
+
+    def cap(self, requested_hz: float) -> float:
+        """Clamp a requested clock to the thermal envelope."""
+        if self.throttled:
+            return min(requested_hz, self.sustained_hz)
+        return requested_hz
+
+
+class SchedutilGovernor:
+    """Kernel-style utilization-driven frequency selection for one cluster."""
+
+    #: kernel's C constant: next_freq = 1.25 * util
+    MARGIN = 1.25
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        cluster: CpuCluster,
+        sample_period_ns: int = 10 * MSEC,
+        thermal: Optional[ThermalModel] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self._loop = loop
+        self.cluster = cluster
+        self.thermal = thermal
+        self._tracer = tracer
+        self._timer = PeriodicTimer(loop, sample_period_ns, self._sample, name="schedutil")
+        self._last_busy = {id(c): 0 for c in cluster.cores}
+        self._last_time = 0
+        self.sample_period_ns = sample_period_ns
+
+    def start(self) -> None:
+        """Begin periodic sampling; cores start at the minimum OPP."""
+        self.cluster.set_all_frequencies(self.cluster.min_freq_hz)
+        self._last_time = self._loop.now
+        for core in self.cluster.cores:
+            self._last_busy[id(core)] = core.busy_ns_up_to_now()
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop periodic sampling."""
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        now = self._loop.now
+        dt = max(1, now - self._last_time)
+        busiest_util_hz = 0.0
+        for core in self.cluster.cores:
+            busy = core.busy_ns_up_to_now()
+            frac = (busy - self._last_busy[id(core)]) / dt
+            self._last_busy[id(core)] = busy
+            busiest_util_hz = max(busiest_util_hz, frac * core.freq_hz)
+        self._last_time = now
+        target = self.MARGIN * busiest_util_hz
+        freq = self.cluster.nearest_opp(target)
+        if self.thermal is not None:
+            self.thermal.update(
+                self.cluster.cores[0].freq_hz,
+                self.cluster.max_freq_hz,
+                dt / 1e9,
+            )
+            freq = self.thermal.cap(freq)
+        self.cluster.set_all_frequencies(freq)
+
+
+class DynamicCpuPolicy:
+    """The paper's *Default* configuration: dynamic scaling + migration.
+
+    Runs schedutil-style sampling over both clusters of a
+    :class:`~repro.cpu.cluster.BigLittleCpu`, migrates the network-stack
+    binding from LITTLE to BIG when the LITTLE cluster cannot satisfy the
+    utilization target (with hysteresis on the way down), and applies a
+    :class:`ThermalModel` to the BIG cluster so sustained load settles at
+    the phone's sustainable clock rather than its burst maximum.
+    """
+
+    MARGIN = 1.25
+    #: fraction of LITTLE max below which we migrate back down
+    DOWN_THRESHOLD = 0.6
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        cpu: BigLittleCpu,
+        sample_period_ns: int = 10 * MSEC,
+        thermal: Optional[ThermalModel] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self._loop = loop
+        self.cpu = cpu
+        self.thermal = thermal
+        self._tracer = tracer
+        self._timer = PeriodicTimer(loop, sample_period_ns, self._sample, name="dynamic-policy")
+        self._last_busy = 0
+        self._last_time = 0
+        self.migrations = 0
+
+    def start(self) -> None:
+        """Start on the LITTLE cluster at its minimum OPP."""
+        self.cpu.little.set_all_frequencies(self.cpu.little.min_freq_hz)
+        if self.cpu.big is not None:
+            self.cpu.big.set_all_frequencies(self.cpu.big.min_freq_hz)
+        self.cpu.bind_to(self.cpu.little.cores[0])
+        self._last_time = self._loop.now
+        self._last_busy = self.cpu.active_core.busy_ns_up_to_now()
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop periodic sampling."""
+        self._timer.stop()
+
+    # -- internals ----------------------------------------------------------
+
+    def _sample(self) -> None:
+        now = self._loop.now
+        dt = max(1, now - self._last_time)
+        core = self.cpu.active_core
+        busy = core.busy_ns_up_to_now()
+        util_frac = (busy - self._last_busy) / dt
+        util_hz = util_frac * core.freq_hz
+        self._last_time = now
+        target = self.MARGIN * util_hz
+
+        big = self.cpu.big
+        on_big = big is not None and core in big.cores
+
+        if self.thermal is not None and big is not None:
+            self.thermal.update(core.freq_hz if on_big else 0.0, big.max_freq_hz, dt / 1e9)
+
+        if not on_big:
+            if big is not None and big.enabled and target > self.cpu.little.max_freq_hz:
+                self._migrate(big)
+                return
+            self.cpu.little.set_all_frequencies(self.cpu.little.nearest_opp(target))
+        else:
+            assert big is not None
+            if target < self.DOWN_THRESHOLD * self.cpu.little.max_freq_hz:
+                self._migrate(self.cpu.little)
+                return
+            freq = big.nearest_opp(target)
+            if self.thermal is not None:
+                freq = self.thermal.cap(freq)
+            big.set_all_frequencies(freq)
+
+    def _migrate(self, cluster: CpuCluster) -> None:
+        new_core = cluster.cores[0]
+        # Start the destination near the utilization point so the workload
+        # does not stall while the governor re-converges.
+        cluster.set_all_frequencies(cluster.nearest_opp(cluster.max_freq_hz * 0.6))
+        self.cpu.bind_to(new_core)
+        self.migrations += 1
+        self._last_busy = new_core.busy_ns_up_to_now()
+        self._tracer.emit(self._loop.now, "cpu-policy", "migrate", to=new_core.name)

@@ -1,0 +1,13 @@
+"""Device profiles (Pixel 4 / Pixel 6) and Table 1 CPU configurations."""
+
+from .configs import CpuConfig, DeviceSetup, build_device
+from .profiles import PIXEL_4, PIXEL_6, DeviceProfile
+
+__all__ = [
+    "DeviceProfile",
+    "PIXEL_4",
+    "PIXEL_6",
+    "CpuConfig",
+    "DeviceSetup",
+    "build_device",
+]

@@ -1,0 +1,16 @@
+"""Measurement and reporting: interval counters, accumulators, run
+aggregation, and text rendering of tables/figures."""
+
+from .collector import IntervalCounter, StatAccumulator
+from .report import render_bars, render_series, render_table
+from .summary import MetricSummary, RunSet
+
+__all__ = [
+    "IntervalCounter",
+    "StatAccumulator",
+    "MetricSummary",
+    "RunSet",
+    "render_table",
+    "render_series",
+    "render_bars",
+]

@@ -1,0 +1,79 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables as aligned columns, figures as labelled series (and a small
+unicode bar chart for goodput comparisons). Keeping rendering here means
+benches contain no formatting logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "render_bars"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[tuple],
+    title: str = "",
+) -> str:
+    """Render figure data: one labelled row of y-values per series.
+
+    *series* is a sequence of ``(label, [y0, y1, ...])`` pairs aligned
+    with *x_values*.
+    """
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = [[label] + list(values) for label, values in series]
+    return render_table(headers, rows, title=title)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "",
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render a horizontal unicode bar chart (for goodput comparisons)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(values) if values else 0.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar_len = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "█" * bar_len
+        lines.append(f"{label.ljust(label_width)} | {bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Aggregation of repeated experiment runs.
+
+The paper averages every iperf3 result over at least 10 runs; the
+equivalent here is :class:`RunSet`, which accumulates scalar metrics
+across seeded replications and reports mean and standard deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .collector import StatAccumulator
+
+__all__ = ["MetricSummary", "RunSet"]
+
+
+@dataclass
+class MetricSummary:
+    """Mean/stdev/min/max of one metric across runs."""
+
+    name: str
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    runs: int
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.2f} ± {self.stdev:.2f} (n={self.runs})"
+
+
+class RunSet:
+    """Collects named scalar metrics from replicated runs."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, StatAccumulator] = {}
+        self.runs = 0
+
+    def add_run(self, metrics: Dict[str, float]) -> None:
+        """Record one run's scalar metrics."""
+        self.runs += 1
+        for name, value in metrics.items():
+            self._metrics.setdefault(name, StatAccumulator()).add(float(value))
+
+    def mean(self, name: str) -> float:
+        """Mean of metric *name* across runs (0.0 if absent)."""
+        acc = self._metrics.get(name)
+        return acc.mean if acc else 0.0
+
+    def stdev(self, name: str) -> float:
+        """Standard deviation of metric *name* across runs."""
+        acc = self._metrics.get(name)
+        return acc.stdev if acc else 0.0
+
+    def summary(self, name: str) -> MetricSummary:
+        """Full summary of metric *name*."""
+        acc = self._metrics.get(name)
+        if acc is None or acc.count == 0:
+            return MetricSummary(name, 0.0, 0.0, 0.0, 0.0, 0)
+        return MetricSummary(
+            name=name,
+            mean=acc.mean,
+            stdev=acc.stdev,
+            minimum=acc.min_value or 0.0,
+            maximum=acc.max_value or 0.0,
+            runs=acc.count,
+        )
+
+    def names(self) -> List[str]:
+        """Metric names seen so far."""
+        return sorted(self._metrics)

@@ -1,0 +1,43 @@
+"""Network substrate: packets, links, queues, impairments, media, testbed.
+
+See :class:`~repro.netsim.testbed.Testbed` for the assembled Figure-1
+topology and :mod:`repro.netsim.media` for the Ethernet/WiFi/LTE profiles.
+"""
+
+from .link import Link
+from .media import (
+    ETHERNET_LAN,
+    LTE_CELLULAR,
+    WIFI_LAN,
+    MediumProfile,
+    VariableRateLink,
+    make_access_link,
+)
+from .packet import DEFAULT_MSS, HEADER_BYTES, Packet, SackBlock
+from .queue import DropTailQueue
+from .shaper import NetemConfig, NetemImpairment
+from .testbed import (
+    DEFAULT_PHONE_QDISC_SEGMENTS,
+    DEFAULT_ROUTER_BUFFER_SEGMENTS,
+    Testbed,
+)
+
+__all__ = [
+    "Link",
+    "MediumProfile",
+    "ETHERNET_LAN",
+    "WIFI_LAN",
+    "LTE_CELLULAR",
+    "VariableRateLink",
+    "make_access_link",
+    "Packet",
+    "SackBlock",
+    "DEFAULT_MSS",
+    "HEADER_BYTES",
+    "DropTailQueue",
+    "NetemConfig",
+    "NetemImpairment",
+    "Testbed",
+    "DEFAULT_PHONE_QDISC_SEGMENTS",
+    "DEFAULT_ROUTER_BUFFER_SEGMENTS",
+]

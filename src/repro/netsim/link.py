@@ -1,0 +1,105 @@
+"""Point-to-point links.
+
+A :class:`Link` serializes packets at a line rate and delivers them after
+a propagation delay. Links are unidirectional; a duplex cable is two
+links. Media with time-varying capacity (WiFi, LTE) subclass and adjust
+:attr:`rate_bps` from a periodic process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..sim import EventLoop, Tracer, NULL_TRACER
+from ..units import transmit_time
+from .packet import Packet
+
+__all__ = ["Link"]
+
+PacketSink = Callable[[Packet], None]
+
+
+class Link:
+    """A unidirectional link with rate, propagation delay, and a FIFO.
+
+    The internal FIFO only models *serialization* (one packet on the wire
+    at a time); buffering policy belongs to the upstream queue/qdisc. The
+    FIFO is unbounded because upstream components are expected to respect
+    :meth:`backlogged` (qdiscs do) or bound their own buffers (routers do).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rate_bps: float,
+        prop_delay_ns: int = 0,
+        name: str = "link",
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self._loop = loop
+        self.rate_bps = float(rate_bps)
+        self.prop_delay_ns = int(prop_delay_ns)
+        self.name = name
+        self._tracer = tracer
+        self.sink: Optional[PacketSink] = None
+        self._fifo: Deque[Packet] = deque()
+        self._transmitting = False
+        # stats
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.busy_ns = 0
+
+    def connect(self, sink: PacketSink) -> None:
+        """Set the receiver callback for delivered packets."""
+        self.sink = sink
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Begin (or queue for) serialization of *packet*."""
+        self._fifo.append(packet)
+        if not self._transmitting:
+            self._start_next()
+
+    @property
+    def backlogged(self) -> bool:
+        """True while the wire is busy or the FIFO is non-empty."""
+        return self._transmitting or bool(self._fifo)
+
+    @property
+    def queue_len(self) -> int:
+        """Packets waiting for the wire (excludes the one being sent)."""
+        return len(self._fifo)
+
+    def serialization_ns(self, packet: Packet) -> int:
+        """Time to clock *packet* onto the wire at the current rate."""
+        return transmit_time(packet.wire_bytes, self.rate_bps)
+
+    # -- internals ----------------------------------------------------------
+
+    def _start_next(self) -> None:
+        if not self._fifo:
+            return
+        packet = self._fifo.popleft()
+        self._transmitting = True
+        tx_ns = self.serialization_ns(packet)
+        self.busy_ns += tx_ns
+        self._loop.call_after(tx_ns, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self._transmitting = False
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_bytes
+        self._deliver(packet)
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.sink is None:
+            raise RuntimeError(f"link {self.name} has no sink connected")
+        if self.prop_delay_ns > 0:
+            self._loop.call_after(self.prop_delay_ns, self.sink, packet)
+        else:
+            self._loop.call_soon(self.sink, packet)

@@ -1,0 +1,149 @@
+"""Access media: Ethernet, WiFi, and LTE profiles (§3.2, Appendix A.1).
+
+Each medium is described by a :class:`MediumProfile` (rates, base one-way
+delays, and variability). WiFi capacity follows an AR(1) (Gauss-Markov)
+process around its mean, which is the standard first-order model for slow
+fading plus contention; LTE is a low fixed-rate uplink with higher base
+delay — the regime in which the paper finds *no* BBR/Cubic gap because
+the network, not the CPU, is the bottleneck.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..sim import EventLoop, PeriodicTimer
+from ..units import MSEC, USEC, gbps, mbps, microseconds, milliseconds
+from .link import Link
+
+__all__ = [
+    "MediumProfile",
+    "ETHERNET_LAN",
+    "WIFI_LAN",
+    "LTE_CELLULAR",
+    "VariableRateLink",
+    "make_access_link",
+]
+
+
+@dataclass(frozen=True)
+class MediumProfile:
+    """Static description of an access medium."""
+
+    name: str
+    #: uplink (phone -> router) capacity in bits/s
+    uplink_bps: float
+    #: downlink (router -> phone) capacity in bits/s
+    downlink_bps: float
+    #: one-way propagation/processing delay per direction, ns
+    one_way_delay_ns: int
+    #: relative std-dev of the AR(1) capacity process (0 = fixed rate)
+    rate_sigma: float = 0.0
+    #: AR(1) memory parameter in [0, 1); closer to 1 = slower fading
+    rate_phi: float = 0.9
+    #: capacity process update period, ns
+    rate_update_ns: int = 50 * MSEC
+
+
+#: Ethernet LAN via USB adapter: ~1 Gbps line rate, sub-millisecond RTT.
+ETHERNET_LAN = MediumProfile(
+    name="ethernet",
+    uplink_bps=gbps(1.0),
+    downlink_bps=gbps(1.0),
+    one_way_delay_ns=microseconds(250),
+)
+
+#: WiFi LAN, phone ~1 m from the AP: high but variable effective rate.
+WIFI_LAN = MediumProfile(
+    name="wifi",
+    uplink_bps=mbps(620.0),
+    downlink_bps=mbps(620.0),
+    one_way_delay_ns=milliseconds(1.0),
+    rate_sigma=0.12,
+    rate_phi=0.9,
+)
+
+#: T-Mobile LTE uplink: bandwidth-limited (<20 Mbps goodput in the paper).
+LTE_CELLULAR = MediumProfile(
+    name="lte",
+    uplink_bps=mbps(18.0),
+    downlink_bps=mbps(60.0),
+    one_way_delay_ns=milliseconds(30.0),
+    rate_sigma=0.08,
+    rate_phi=0.95,
+)
+
+
+class VariableRateLink(Link):
+    """A link whose rate follows an AR(1) process around a mean.
+
+    ``rate(t+1) = mean + phi * (rate(t) - mean) + noise`` with Gaussian
+    noise scaled so the stationary standard deviation is
+    ``sigma * mean``; the rate is clamped to ``[0.3, 1.5] * mean``.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        mean_rate_bps: float,
+        sigma: float,
+        phi: float,
+        update_ns: int,
+        prop_delay_ns: int,
+        rng: random.Random,
+        name: str = "varlink",
+    ):
+        super().__init__(loop, mean_rate_bps, prop_delay_ns, name=name)
+        self.mean_rate_bps = float(mean_rate_bps)
+        self.sigma = float(sigma)
+        self.phi = float(phi)
+        self._rng = rng
+        # stationary variance of AR(1) = noise_var / (1 - phi^2)
+        self._noise_std = sigma * mean_rate_bps * (1.0 - phi * phi) ** 0.5
+        self._timer = PeriodicTimer(loop, update_ns, self._update, name=f"{name}-rate")
+        if sigma > 0.0:
+            self._timer.start(initial_delay_ns=0)
+
+    def _update(self) -> None:
+        deviation = self.rate_bps - self.mean_rate_bps
+        new_rate = (
+            self.mean_rate_bps
+            + self.phi * deviation
+            + self._rng.gauss(0.0, self._noise_std)
+        )
+        low = 0.3 * self.mean_rate_bps
+        high = 1.5 * self.mean_rate_bps
+        self.rate_bps = min(high, max(low, new_rate))
+
+    def stop(self) -> None:
+        """Stop the rate process (lets the event loop drain)."""
+        self._timer.stop()
+
+
+def make_access_link(
+    loop: EventLoop,
+    profile: MediumProfile,
+    direction: str,
+    rng: random.Random,
+) -> Link:
+    """Build the uplink or downlink access link for *profile*.
+
+    *direction* is ``"up"`` (phone to router) or ``"down"``.
+    """
+    if direction not in ("up", "down"):
+        raise ValueError("direction must be 'up' or 'down'")
+    rate = profile.uplink_bps if direction == "up" else profile.downlink_bps
+    name = f"{profile.name}-{direction}link"
+    if profile.rate_sigma > 0.0:
+        return VariableRateLink(
+            loop,
+            rate,
+            profile.rate_sigma,
+            profile.rate_phi,
+            profile.rate_update_ns,
+            profile.one_way_delay_ns,
+            rng,
+            name=name,
+        )
+    return Link(loop, rate, profile.one_way_delay_ns, name=name)

@@ -1,0 +1,98 @@
+"""Wire units exchanged by the simulated hosts.
+
+To keep event counts tractable at gigabit rates, the simulator moves
+*GSO super-packets*: one :class:`Packet` carries a contiguous byte range
+of up to tens of kilobytes (exactly like an skb handed to a TSO-capable
+NIC). Queues account for them in MSS-sized segments, and the droptail
+router may split a super-packet, accepting the head segments and dropping
+the tail — which preserves per-segment loss behaviour at super-packet
+event cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Packet", "SackBlock", "DEFAULT_MSS", "HEADER_BYTES"]
+
+#: Default TCP maximum segment size (1500 MTU - 40 IP/TCP - 12 timestamps).
+DEFAULT_MSS = 1448
+
+#: Per-segment wire overhead: Ethernet (14+4+8+12 framing) + IP (20) + TCP (32).
+HEADER_BYTES = 90
+
+_packet_ids = itertools.count(1)
+
+SackBlock = Tuple[int, int]
+
+
+@dataclass
+class Packet:
+    """A data super-packet or an ACK.
+
+    Data packets carry the byte range ``[seq, seq + length)`` of a flow.
+    ACK packets have ``length == 0``, a cumulative ``ack`` sequence and an
+    optional list of SACK blocks. ``echo_ts`` carries the send timestamp of
+    the data that elicited the ACK (TCP timestamp option), which the sender
+    uses for RTT measurement.
+    """
+
+    flow_id: int
+    seq: int = 0
+    length: int = 0
+    mss: int = DEFAULT_MSS
+    is_ack: bool = False
+    ack: int = 0
+    #: receiver's advertised window in bytes (on ACKs)
+    rwnd: int = 1 << 30
+    sack_blocks: List[SackBlock] = field(default_factory=list)
+    echo_ts: Optional[int] = None
+    sent_ts: Optional[int] = None
+    is_retransmission: bool = False
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def end_seq(self) -> int:
+        """One past the last byte carried."""
+        return self.seq + self.length
+
+    @property
+    def segments(self) -> int:
+        """Number of MSS-sized wire segments this packet represents."""
+        if self.length <= 0:
+            return 1  # pure ACK occupies one slot
+        return -(-self.length // self.mss)  # ceil division
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire including per-segment header overhead."""
+        return self.length + self.segments * HEADER_BYTES
+
+    def split_head(self, max_segments: int) -> Optional["Packet"]:
+        """Split off the first *max_segments* segments as a new packet.
+
+        Shrinks ``self`` to the remaining tail and returns the head, or
+        ``None`` when ``max_segments`` is 0 or this is an ACK. Used by the
+        droptail queue to admit a partial super-packet.
+        """
+        if self.is_ack or max_segments <= 0 or max_segments >= self.segments:
+            return None
+        head_len = max_segments * self.mss
+        head = Packet(
+            flow_id=self.flow_id,
+            seq=self.seq,
+            length=head_len,
+            mss=self.mss,
+            sent_ts=self.sent_ts,
+            is_retransmission=self.is_retransmission,
+        )
+        self.seq += head_len
+        self.length -= head_len
+        return head
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_ack:
+            return f"<ACK flow={self.flow_id} ack={self.ack} sacks={len(self.sack_blocks)}>"
+        return f"<DATA flow={self.flow_id} [{self.seq},{self.end_seq}) segs={self.segments}>"

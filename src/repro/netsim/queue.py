@@ -1,0 +1,139 @@
+"""Droptail buffering in front of a link.
+
+:class:`DropTailQueue` is used both as the phone's transmit qdisc and as
+the router's egress buffer. Capacity is expressed in MSS-sized segments
+(the paper's "10-packet shallow buffer" is ``capacity_segments=10``).
+When an arriving GSO super-packet does not fully fit, the head segments
+that do fit are admitted and the tail is dropped — per-segment droptail
+semantics at super-packet event cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..sim import EventLoop, Tracer, NULL_TRACER
+from .link import Link
+from .packet import Packet
+
+__all__ = ["DropTailQueue"]
+
+
+class DropTailQueue:
+    """A bounded FIFO feeding a :class:`~repro.netsim.link.Link`.
+
+    The queue hands one packet at a time to the link and refills on the
+    link's delivery completions (modelled by polling the link's busy
+    state when packets are admitted and when the wire drains).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        link: Link,
+        capacity_segments: int = 1000,
+        name: str = "queue",
+        input_link: Optional[Link] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if capacity_segments < 1:
+            raise ValueError("queue capacity must be at least one segment")
+        self._loop = loop
+        self.link = link
+        #: upstream link feeding this queue, if any. Used to credit the
+        #: drain that happens *while a GSO super-packet's segments are
+        #: still arriving*: the simulator delivers a super-packet as one
+        #: event at the end of its serialization, but a real droptail
+        #: queue interleaves per-MTU arrivals with departures, so up to
+        #: ``segments * egress_rate / ingress_rate`` segments leave
+        #: during the arrival itself.
+        self.input_link = input_link
+        self.capacity_segments = int(capacity_segments)
+        self.name = name
+        self._tracer = tracer
+        self._fifo: Deque[Packet] = deque()
+        self._backlog_segments = 0
+        self._link_busy = False
+        # Optional callback invoked when segments are dropped
+        self.on_drop: Optional[Callable[[Packet, int], None]] = None
+        # stats
+        self.enqueued_segments = 0
+        self.dropped_segments = 0
+        self.dropped_packets = 0
+        self.max_backlog_segments = 0
+        self.backlog_sum_segments = 0.0
+        self._backlog_samples = 0
+
+    # -- ingress ------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        """Admit as much of *packet* as fits; drop the rest (tail drop)."""
+        free = self.capacity_segments - self._backlog_segments
+        if self.input_link is not None and not packet.is_ack:
+            ratio = min(1.0, self.link.rate_bps / self.input_link.rate_bps)
+            free += int(packet.segments * ratio)
+        segs = packet.segments
+        if segs <= free:
+            self._admit(packet)
+            return
+        if free > 0 and not packet.is_ack:
+            head = packet.split_head(free)
+            if head is not None:
+                self._admit(head)
+        # remainder of `packet` (possibly all of it) is dropped
+        self.dropped_packets += 1
+        self.dropped_segments += packet.segments
+        self._tracer.emit(self._loop.now, self.name, "drop",
+                          flow=packet.flow_id, segs=packet.segments)
+        if self.on_drop is not None:
+            self.on_drop(packet, packet.segments)
+
+    def _admit(self, packet: Packet) -> None:
+        self._fifo.append(packet)
+        self._backlog_segments += packet.segments
+        self.enqueued_segments += packet.segments
+        if self._backlog_segments > self.max_backlog_segments:
+            self.max_backlog_segments = self._backlog_segments
+        self._pump()
+
+    # -- egress -------------------------------------------------------------
+
+    def _pump(self) -> None:
+        if self._link_busy or not self._fifo:
+            return
+        packet = self._fifo.popleft()
+        self._backlog_segments -= packet.segments
+        self._link_busy = True
+        self.link.send(packet)
+        # The link serializes exactly one packet at a time here because we
+        # only hand it one; schedule the refill at serialization end.
+        self._loop.call_after(self.link.serialization_ns(packet), self._tx_done)
+
+    def _tx_done(self) -> None:
+        self._link_busy = False
+        self._pump()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def backlog_segments(self) -> int:
+        """Segments currently buffered (excluding the one on the wire)."""
+        return self._backlog_segments
+
+    @property
+    def backlog_packets(self) -> int:
+        """Super-packets currently buffered."""
+        return len(self._fifo)
+
+    def sample_backlog(self) -> None:
+        """Record the instantaneous backlog for averaging (metrics hook)."""
+        self.backlog_sum_segments += self._backlog_segments
+        self._backlog_samples += 1
+
+    @property
+    def mean_backlog_segments(self) -> float:
+        """Mean of sampled backlogs (0 if never sampled)."""
+        if self._backlog_samples == 0:
+            return 0.0
+        return self.backlog_sum_segments / self._backlog_samples

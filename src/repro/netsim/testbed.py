@@ -1,0 +1,134 @@
+"""The paper's testbed topology (Figure 1).
+
+::
+
+    [phone / iperf client] --access medium--> [OpenWRT router] --Ethernet--> [iperf server]
+
+Data flows uplink (phone to server); ACKs flow back. The phone side has a
+transmit qdisc (droptail, generous by default); the router's server-facing
+port carries the optional ``tc`` impairments (rate limit, delay, loss,
+buffer depth) of :class:`~repro.netsim.shaper.NetemConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..sim import EventLoop, RngStreams, Tracer, NULL_TRACER
+from ..units import gbps, microseconds
+from .link import Link
+from .media import MediumProfile, make_access_link
+from .packet import Packet
+from .queue import DropTailQueue
+from .shaper import NetemConfig, NetemImpairment
+
+__all__ = ["Testbed", "DEFAULT_PHONE_QDISC_SEGMENTS", "DEFAULT_ROUTER_BUFFER_SEGMENTS"]
+
+#: Default phone transmit qdisc depth in MSS segments (pfifo-like).
+DEFAULT_PHONE_QDISC_SEGMENTS = 1000
+
+#: Default router egress buffer in MSS segments (a deep LAN-router buffer).
+DEFAULT_ROUTER_BUFFER_SEGMENTS = 2000
+
+PacketSink = Callable[[Packet], None]
+
+
+class Testbed:
+    """Assembles links, queues and impairments into Figure 1's topology.
+
+    Hosts interact through four methods:
+
+    * :meth:`phone_send` — phone TCP stack hands a data packet to its qdisc,
+    * ``on_server_receive`` — called with packets arriving at the server,
+    * :meth:`server_send` — server hands an ACK to the return path,
+    * ``on_phone_receive`` — called with ACKs arriving at the phone.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        medium: MediumProfile,
+        netem: Optional[NetemConfig] = None,
+        rng: Optional[RngStreams] = None,
+        phone_qdisc_segments: int = DEFAULT_PHONE_QDISC_SEGMENTS,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.loop = loop
+        self.medium = medium
+        self.netem = netem or NetemConfig()
+        rngs = rng or RngStreams(0)
+        self._tracer = tracer
+
+        self.on_server_receive: Optional[PacketSink] = None
+        self.on_phone_receive: Optional[PacketSink] = None
+
+        # ---- uplink data path: phone qdisc -> access up -> router -> server
+        self.uplink = make_access_link(loop, medium, "up", rngs.stream("uplink"))
+        self.phone_qdisc = DropTailQueue(
+            loop, self.uplink, capacity_segments=phone_qdisc_segments,
+            name="phone-qdisc", tracer=tracer,
+        )
+        router_rate = self.netem.rate_bps or gbps(1.0)
+        self.router_server_link = Link(
+            loop, router_rate, microseconds(50), name="router-server"
+        )
+        buffer_segments = self.netem.buffer_segments or DEFAULT_ROUTER_BUFFER_SEGMENTS
+        self.router_queue = DropTailQueue(
+            loop, self.router_server_link, capacity_segments=buffer_segments,
+            name="router-queue", input_link=self.uplink, tracer=tracer,
+        )
+        self._uplink_impairment = NetemImpairment(
+            loop, self.netem, self.router_queue.enqueue, rngs.stream("netem"),
+        )
+        self.uplink.connect(self._uplink_impairment)
+        self.router_server_link.connect(self._deliver_to_server)
+
+        # ---- return path: server -> router -> access down -> phone
+        self.server_router_link = Link(
+            loop, gbps(1.0), microseconds(50), name="server-router"
+        )
+        self.downlink = make_access_link(loop, medium, "down", rngs.stream("downlink"))
+        self.server_router_link.connect(self.downlink.send)
+        self.downlink.connect(self._deliver_to_phone)
+
+    # -- host-facing API -----------------------------------------------------
+
+    def phone_send(self, packet: Packet) -> None:
+        """Phone NIC entry point: enqueue a data packet on the qdisc."""
+        self.phone_qdisc.enqueue(packet)
+
+    def server_send(self, packet: Packet) -> None:
+        """Server NIC entry point (ACKs)."""
+        self.server_router_link.send(packet)
+
+    # -- stats ----------------------------------------------------------------
+
+    @property
+    def router_dropped_segments(self) -> int:
+        """Segments tail-dropped at the router's egress buffer."""
+        return self.router_queue.dropped_segments
+
+    @property
+    def phone_dropped_segments(self) -> int:
+        """Segments tail-dropped at the phone's own qdisc."""
+        return self.phone_qdisc.dropped_segments
+
+    def stop_processes(self) -> None:
+        """Stop periodic media processes so the event loop can drain."""
+        for link in (self.uplink, self.downlink):
+            stop = getattr(link, "stop", None)
+            if stop is not None:
+                stop()
+
+    # -- internals -------------------------------------------------------------
+
+    def _deliver_to_server(self, packet: Packet) -> None:
+        if self.on_server_receive is None:
+            raise RuntimeError("no server receiver attached to testbed")
+        self.on_server_receive(packet)
+
+    def _deliver_to_phone(self, packet: Packet) -> None:
+        if self.on_phone_receive is None:
+            raise RuntimeError("no phone receiver attached to testbed")
+        self.on_phone_receive(packet)

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`~repro.sim.engine.EventLoop` — the clock and scheduler,
+* :class:`~repro.sim.engine.Event` — a cancellable scheduled callback,
+* :class:`~repro.sim.timer.Timer` / :class:`~repro.sim.timer.PeriodicTimer`
+  — hrtimer-style re-armable timers,
+* :class:`~repro.sim.rng.RngStreams` — named deterministic RNG streams,
+* :class:`~repro.sim.trace.Tracer` — structured tracing.
+"""
+
+from .engine import Event, EventLoop, SimulationError
+from .rng import RngStreams
+from .timer import PeriodicTimer, Timer
+from .trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "SimulationError",
+    "RngStreams",
+    "Timer",
+    "PeriodicTimer",
+    "Tracer",
+    "TraceRecord",
+    "NULL_TRACER",
+]

@@ -1,0 +1,123 @@
+"""Restartable timers in the style of Linux ``hrtimer``.
+
+The TCP stack arms and re-arms many timers (pacing, RTO, delayed ACK,
+PROBE_RTT deadlines). :class:`Timer` wraps the raw one-shot events of
+:class:`~repro.sim.engine.EventLoop` with the arm/cancel/restart life cycle
+those call sites expect, plus an optional *slack* that models timer
+coalescing granularity on real systems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .engine import Event, EventLoop
+
+__all__ = ["Timer", "PeriodicTimer"]
+
+
+class Timer:
+    """A one-shot, re-armable timer.
+
+    ``start(delay)`` schedules the callback; calling ``start`` again while
+    pending re-arms it (the previous schedule is cancelled), mirroring
+    ``hrtimer_start``'s semantics. *slack_ns* rounds the expiry up to the
+    next multiple of the slack, emulating coarse timer wheels.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        callback: Callable[[], None],
+        slack_ns: int = 0,
+        name: str = "",
+    ):
+        self._loop = loop
+        self._callback = callback
+        self._slack = max(0, int(slack_ns))
+        self._event: Optional[Event] = None
+        self.name = name
+        #: number of times the timer has fired (for tests and stats)
+        self.fire_count = 0
+
+    @property
+    def pending(self) -> bool:
+        """True if the timer is armed and has not fired."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expires_at(self) -> Optional[int]:
+        """Absolute expiry time in ns, or None when not armed."""
+        return self._event.when if self.pending else None
+
+    def start(self, delay_ns: int) -> None:
+        """(Re-)arm the timer *delay_ns* from now (>= 0)."""
+        self.start_at(self._loop.now + max(0, int(delay_ns)))
+
+    def start_at(self, when_ns: int) -> None:
+        """(Re-)arm the timer for absolute time *when_ns*."""
+        self.cancel()
+        when = max(when_ns, self._loop.now)
+        if self._slack:
+            remainder = when % self._slack
+            if remainder:
+                when += self._slack - remainder
+        self._event = self._loop.call_at(when, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if pending."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.fire_count += 1
+        self._callback()
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself every *period_ns* until stopped.
+
+    Used by the schedutil governor (utilization sampling), interval metric
+    collectors, and the WiFi rate process.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        period_ns: int,
+        callback: Callable[[], None],
+        name: str = "",
+    ):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self._loop = loop
+        self.period_ns = int(period_ns)
+        self._callback = callback
+        self._timer = Timer(loop, self._tick, name=name)
+        self._running = False
+        self.name = name
+
+    @property
+    def running(self) -> bool:
+        """True while the periodic timer is active."""
+        return self._running
+
+    def start(self, initial_delay_ns: Optional[int] = None) -> None:
+        """Start ticking; first fire after *initial_delay_ns* (default: one period)."""
+        self._running = True
+        delay = self.period_ns if initial_delay_ns is None else initial_delay_ns
+        self._timer.start(delay)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        self._running = False
+        self._timer.cancel()
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._timer.start(self.period_ns)

@@ -1,0 +1,68 @@
+"""Lightweight structured tracing for simulations.
+
+Components emit ``(time, source, event, fields)`` records through a
+:class:`Tracer`; tests and debugging sessions subscribe or dump them. The
+default tracer is disabled and costs one attribute check per emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+
+@dataclass
+class TraceRecord:
+    """One trace event."""
+
+    time_ns: int
+    source: str
+    event: str
+    fields: Dict[str, Any]
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time_ns / 1e6:10.3f}ms] {self.source:>16s} {self.event} {kv}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects and fans them out to sinks."""
+
+    def __init__(self, enabled: bool = True, keep: bool = True):
+        self.enabled = enabled
+        self.keep = keep
+        self.records: List[TraceRecord] = []
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time_ns: int, source: str, event: str, **fields: Any) -> None:
+        """Record an event if tracing is enabled."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time_ns, source, event, fields)
+        if self.keep:
+            self.records.append(record)
+        for sink in self._sinks:
+            sink(record)
+
+    def subscribe(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Add a callable invoked for every emitted record."""
+        self._sinks.append(sink)
+
+    def filter(self, source: Optional[str] = None, event: Optional[str] = None) -> List[TraceRecord]:
+        """Return kept records matching the given source/event names."""
+        out = self.records
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def clear(self) -> None:
+        """Drop all kept records."""
+        self.records.clear()
+
+
+#: A shared disabled tracer for components constructed without one.
+NULL_TRACER = Tracer(enabled=False, keep=False)

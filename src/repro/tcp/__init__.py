@@ -1,0 +1,51 @@
+"""Event-driven reimplementation of the Linux TCP sender/receiver pair.
+
+Highlights:
+
+* :class:`~repro.tcp.connection.TcpSender` — cwnd, SACK recovery, RTO,
+  delivery-rate sampling, TSO autosizing, internal pacing with the
+  paper's *pacing stride*,
+* :class:`~repro.tcp.receiver.TcpReceiverEndpoint` — reassembly + SACKs,
+* :class:`~repro.tcp.stack.MobileTcpStack` — binds everything to the
+  simulated device CPU,
+* :class:`~repro.tcp.pacing.PacingController` — Eq. 1/Eq. 2 of the paper.
+"""
+
+from .connection import (
+    TCP_INIT_CWND,
+    FiniteSource,
+    InfiniteSource,
+    SocketConfig,
+    TcpSender,
+)
+from .pacing import PacingController, PacingMode
+from .rate_sample import DeliveryRateEstimator, RateSample, TxRecord
+from .receiver import TcpReceiverEndpoint
+from .rtt import MinRttFilter, RttEstimator
+from .scoreboard import AckOutcome, Scoreboard
+from .segmentation import GSO_MAX_BYTES, PACING_SHIFT, tso_autosize_bytes, tso_autosize_segments
+from .stack import MobileTcpStack, ServerHost
+
+__all__ = [
+    "TcpSender",
+    "SocketConfig",
+    "InfiniteSource",
+    "FiniteSource",
+    "TCP_INIT_CWND",
+    "PacingController",
+    "PacingMode",
+    "RateSample",
+    "TxRecord",
+    "DeliveryRateEstimator",
+    "TcpReceiverEndpoint",
+    "RttEstimator",
+    "MinRttFilter",
+    "Scoreboard",
+    "AckOutcome",
+    "GSO_MAX_BYTES",
+    "PACING_SHIFT",
+    "tso_autosize_bytes",
+    "tso_autosize_segments",
+    "MobileTcpStack",
+    "ServerHost",
+]

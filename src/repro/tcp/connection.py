@@ -1,0 +1,649 @@
+"""The TCP sender: window management, transmission, recovery, pacing.
+
+:class:`TcpSender` is the phone-side half of a connection. It mirrors the
+structure of the Linux sender:
+
+* a :class:`~repro.tcp.scoreboard.Scoreboard` tracks in-flight data and
+  applies SACKs / loss marks,
+* a :class:`~repro.tcp.rate_sample.DeliveryRateEstimator` produces the
+  per-ACK rate samples consumed by BBR,
+* a :class:`~repro.tcp.pacing.PacingController` implements internal
+  pacing with the paper's stride,
+* a :class:`~repro.cc.base.CongestionOps` module owns cwnd and pacing
+  rate.
+
+Every CPU-visible operation — transmitting a super-packet, a pacing-timer
+fire, an RTO — is charged to the device CPU through the
+:class:`~repro.tcp.stack.StackServices` the stack provides; the sender
+never performs work "for free". That is what couples protocol behaviour
+to device configuration, which is the paper's subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..cc.base import CongestionOps
+from ..netsim.packet import Packet
+from ..sim import Timer
+from ..units import MSEC, SEC
+from .pacing import PacingController, PacingMode
+from .rate_sample import DeliveryRateEstimator, RateSample, TxRecord
+from .rtt import MinRttFilter, RttEstimator
+from .scoreboard import Scoreboard
+from .segmentation import GSO_MAX_BYTES, tso_autosize_bytes
+
+__all__ = [
+    "SocketConfig",
+    "TcpSender",
+    "InfiniteSource",
+    "FiniteSource",
+    "TCP_INIT_CWND",
+]
+
+#: Linux initial congestion window (RFC 6928).
+TCP_INIT_CWND = 10
+
+# Internal pacing-rate factors (sysctl_tcp_pacing_ss_ratio / _ca_ratio).
+_PACING_SS_RATIO = 2.0
+_PACING_CA_RATIO = 1.2
+
+
+class InfiniteSource:
+    """A greedy application (iperf3): always has data to send."""
+
+    def available_bytes(self, offset: int) -> int:
+        """Bytes ready beyond *offset* (effectively unbounded)."""
+        return 1 << 60
+
+
+class FiniteSource:
+    """An application sending exactly *total_bytes* then stopping."""
+
+    def __init__(self, total_bytes: int):
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be >= 0")
+        self.total_bytes = int(total_bytes)
+
+    def available_bytes(self, offset: int) -> int:
+        """Bytes ready beyond *offset*."""
+        return max(0, self.total_bytes - offset)
+
+
+@dataclass
+class SocketConfig:
+    """Per-socket tunables (the experiment knobs of §5–§6)."""
+
+    mss: int = 1448
+    initial_cwnd: int = TCP_INIT_CWND
+    #: pacing decision: auto (follow CC), forced on, forced off
+    pacing_mode: str = PacingMode.AUTO
+    #: the paper's pacing stride (Eq. 2); 1.0 = stock kernel behaviour
+    pacing_stride: float = 1.0
+    gso_max_bytes: int = GSO_MAX_BYTES
+    #: maximum cwnd in segments (sndbuf/wmem bound)
+    max_cwnd: int = 4096
+    min_rto_ns: int = 200 * MSEC
+    #: TCP-Small-Queues-style bound on one uninterrupted write_xmit burst
+    tsq_limit_bytes: int = 2 * GSO_MAX_BYTES
+    #: how far ``sendmsg`` may copy ahead of ``snd_nxt`` (unsent buffered
+    #: data in the socket; tcp_notsent_lowat-style bound)
+    sndbuf_unsent_bytes: int = 4 * GSO_MAX_BYTES
+
+    def __post_init__(self) -> None:
+        if self.pacing_mode not in PacingMode.ALL:
+            raise ValueError(f"unknown pacing mode {self.pacing_mode!r}")
+        if self.pacing_stride < 1.0:
+            raise ValueError("pacing stride must be >= 1")
+        if self.initial_cwnd < 1:
+            raise ValueError("initial cwnd must be >= 1")
+
+
+# Sender states (subset of the kernel's tcp_ca_state)
+OPEN = "open"
+RECOVERY = "recovery"
+LOSS = "loss"
+
+
+class TcpSender:
+    """One uplink TCP connection on the phone."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        services: "StackServicesProtocol",
+        cc: CongestionOps,
+        config: Optional[SocketConfig] = None,
+        source: Optional[object] = None,
+    ):
+        self.flow_id = flow_id
+        self.services = services
+        self.cc = cc
+        self.config = config or SocketConfig()
+        self.source = source if source is not None else InfiniteSource()
+        self.mss = self.config.mss
+
+        # window state (segments, kernel-style)
+        self.cwnd = self.config.initial_cwnd
+        self.ssthresh = 1 << 30
+        self.cwnd_cnt = 0  # fractional cwnd accumulator for cong_avoid
+        self.state = OPEN
+        self.high_seq = 0  # recovery exit point
+        self.snd_nxt = 0
+        #: receiver's advertised window (bytes), from the latest ACK
+        self.snd_wnd = 1 << 30
+
+        # components
+        self.scoreboard = Scoreboard(self.mss)
+        self.rtt = RttEstimator(min_rto_ns=self.config.min_rto_ns)
+        self.min_rtt = MinRttFilter()
+        self.delivery = DeliveryRateEstimator()
+        self.pacer = PacingController(
+            self.mss,
+            stride=self.config.pacing_stride,
+            min_tso_segs=cc.min_tso_segs(self),
+            gso_max_bytes=self.config.gso_max_bytes,
+        )
+
+        # timers (armed through the stack so fires are CPU-charged)
+        self._pacing_timer = Timer(services.loop, self._on_pacing_timer, name=f"pace-{flow_id}")
+        self._rto_timer = Timer(services.loop, self._on_rto_timer, name=f"rto-{flow_id}")
+        self._rto_backoff = 1
+
+        # CPU-work serialization: one outstanding xmit item per connection
+        self._xmit_pending = False
+        self._burst_bytes = 0
+        self._closed = False
+        # sendmsg copy-ahead pipeline: bytes copied into the socket so
+        # far; only copied data can be transmitted. The copy cost runs
+        # as its own (process-context) work items, so the transmit path
+        # can burst buffered data back-to-back.
+        self.copied_seq = 0
+        self._copy_pending = False
+
+        # stats / hooks
+        self.bytes_acked = 0
+        self.acks_processed = 0
+        self.rto_count = 0
+        self.recovery_episodes = 0
+        self.on_rtt_sample: Optional[Callable[[int], None]] = None
+        self.on_first_byte_acked: Optional[Callable[[], None]] = None
+
+        self.cc.init(self)
+        self._update_rates()
+
+    # -- convenience properties used by CC modules ----------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time (ns)."""
+        return self.services.loop.now
+
+    @property
+    def in_slow_start(self) -> bool:
+        """True while cwnd is below ssthresh."""
+        return self.cwnd < self.ssthresh
+
+    @property
+    def in_recovery(self) -> bool:
+        """True in fast recovery or RTO loss recovery."""
+        return self.state != OPEN
+
+    @property
+    def inflight_segments(self) -> int:
+        """Segments outstanding in the network."""
+        return self.scoreboard.inflight_segments
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Connection-lifetime delivered byte counter."""
+        return self.delivery.delivered_bytes
+
+    @property
+    def srtt_ns(self) -> Optional[int]:
+        """Smoothed RTT (None before the first sample)."""
+        return self.rtt.srtt_ns
+
+    @property
+    def min_rtt_ns(self) -> Optional[int]:
+        """Windowed minimum RTT (None before the first sample)."""
+        return self.min_rtt.min_rtt_ns
+
+    @property
+    def pacing_active(self) -> bool:
+        """Whether transmissions are paced (mode x CC resolution)."""
+        if self.config.pacing_mode == PacingMode.ON:
+            return True
+        if self.config.pacing_mode == PacingMode.OFF:
+            return False
+        return self.cc.wants_pacing
+
+    @property
+    def retransmitted_segments(self) -> int:
+        """Lifetime retransmitted segment count."""
+        return self.scoreboard.total_retransmitted_segments
+
+    @property
+    def send_quantum_bytes(self) -> int:
+        """Current autosized super-packet size (for CC cwnd budgets).
+
+        With no rate estimate yet (``rate <= 0``) there is nothing to
+        autosize against, so the GSO maximum applies — matching the
+        kernel, where an unknown pacing rate leaves TSO unconstrained.
+        """
+        if self.pacer.rate_bps <= 0:
+            return self.config.gso_max_bytes
+        return tso_autosize_bytes(
+            self.pacer.rate_bps, self.mss,
+            self.cc.min_tso_segs(self), self.config.gso_max_bytes,
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting (the app connected and wrote data)."""
+        self._maybe_copy()
+        self._try_send()
+
+    def close(self) -> None:
+        """Stop transmitting and cancel timers."""
+        self._closed = True
+        self._pacing_timer.cancel()
+        self._rto_timer.cancel()
+        self.cc.release(self)
+
+    # -- sendmsg copy-ahead pipeline ---------------------------------------------
+
+    def _unsent_copied_bytes(self) -> int:
+        """Copied-but-unsent bytes sitting in the socket."""
+        return self.copied_seq - self.snd_nxt
+
+    def _maybe_copy(self) -> None:
+        """Keep the socket's unsent buffer topped up (greedy sendmsg).
+
+        One copy work item is outstanding at a time; each charges the
+        per-byte cost in process context. Chunks are GSO-sized.
+        """
+        if self._copy_pending or self._closed:
+            return
+        headroom = self.config.sndbuf_unsent_bytes - self._unsent_copied_bytes()
+        available = self.source.available_bytes(self.copied_seq)
+        chunk = min(self.config.gso_max_bytes, headroom, available)
+        if chunk <= 0:
+            return
+        self._copy_pending = True
+        cycles = self.services.costs.copy_cycles(chunk)
+
+        def copied() -> None:
+            self._copy_pending = False
+            if self._closed:
+                return
+            self.copied_seq += chunk
+            self._try_send()
+            self._maybe_copy()
+
+        self.services.submit_work(self.flow_id, cycles, copied, "sendmsg")
+
+    # -- transmit path --------------------------------------------------------------
+
+    def _try_send(self, continuation: bool = False) -> None:
+        """tcp_write_xmit: push what cwnd, pacing, and the app allow.
+
+        *continuation* marks re-entry from a just-completed transmit of
+        the same connection: within the TSQ burst budget, the next skb's
+        work is queued at the head of the CPU queue, modelling how one
+        ``tcp_write_xmit`` softirq run drains a socket before other
+        queued work resumes.
+        """
+        if self._closed or self._xmit_pending:
+            return
+        if not continuation:
+            self._burst_bytes = 0
+        now = self.now
+
+        # Retransmissions take priority and bypass pacing (they are rare
+        # and urgent; the kernel subjects them to pacing but the
+        # difference is negligible at the loss rates studied here).
+        lost = self.scoreboard.next_lost_record()
+        if lost is not None and self.inflight_segments < self.cwnd:
+            self._submit_retransmit(lost)
+            return
+
+        if self.pacing_active:
+            if self.pacer.blocked(now):
+                self._ensure_pacing_timer()
+                return
+            if not self.pacer.in_period:
+                self.pacer.open_period(now)
+
+        skb_bytes = self._next_skb_bytes()
+        if skb_bytes <= 0:
+            self._handle_nothing_to_send()
+            return
+
+        chain = continuation and self._burst_bytes < self.config.tsq_limit_bytes
+        if continuation and not chain:
+            self._burst_bytes = 0  # yield the CPU, start a fresh burst
+        # The per-byte (copy/checksum) cost was already paid by sendmsg;
+        # the transmit softirq pays the fixed per-skb path cost.
+        cycles = self.services.costs.skb_xmit_fixed
+        if self.pacing_active:
+            cycles += self.services.costs.timer_program
+        self._xmit_pending = True
+        self.services.submit_work(
+            self.flow_id,
+            cycles,
+            lambda: self._do_transmit(skb_bytes),
+            "xmit",
+            continuation=chain,
+        )
+
+    def _receive_window_bytes(self) -> int:
+        """Bytes the receiver's advertised window still permits."""
+        return max(0, self.scoreboard.snd_una + self.snd_wnd - self.snd_nxt)
+
+    def _next_skb_bytes(self) -> int:
+        """Size of the next super-packet, honouring every bound.
+
+        Paced connections send *one* super-packet per pacing period (as
+        TCP's internal pacer does), sized up to the period budget —
+        ``stride × autosize goal`` bytes accumulate during the longer
+        idle and go out as one larger buffer, bounded by cwnd and the
+        GSO maximum. Unpaced connections use the plain TSO autosize.
+        """
+        window_segs = self.cwnd - self.inflight_segments
+        if window_segs <= 0:
+            return 0
+        allowed = window_segs * self.mss
+        if self.pacing_active:
+            allowed = min(allowed, self.pacer.budget_remaining)
+            allowed = min(allowed, self.config.gso_max_bytes)
+        else:
+            allowed = min(allowed, self.send_quantum_bytes)
+        allowed = min(allowed, self._unsent_copied_bytes())
+        allowed = min(allowed, self._receive_window_bytes())
+        if allowed < self.mss:
+            return 0
+        return (allowed // self.mss) * self.mss
+
+    def _do_transmit(self, planned_bytes: int) -> None:
+        """CPU work completed: emit the packet (revalidating bounds)."""
+        self._xmit_pending = False
+        if self._closed:
+            return
+        now = self.now
+        skb_bytes = min(planned_bytes, self._revalidated_bytes())
+        skb_bytes = (skb_bytes // self.mss) * self.mss
+        if skb_bytes <= 0:
+            # Window shrank while the CPU was busy; cycles were spent for
+            # nothing (as on real systems). Try again from the top.
+            self._handle_nothing_to_send()
+            self._try_send()
+            return
+
+        snapshot = self.delivery.on_send(
+            now,
+            has_inflight=self.scoreboard.has_inflight,
+            app_limited=self._unsent_copied_bytes() - skb_bytes <= 0
+            and self.source.available_bytes(self.copied_seq) <= 0,
+        )
+        record = TxRecord(
+            seq=self.snd_nxt,
+            end_seq=self.snd_nxt + skb_bytes,
+            segments=skb_bytes // self.mss,
+            sent_ns=now,
+            **snapshot,
+        )
+        self.scoreboard.on_transmit(record)
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=self.snd_nxt,
+            length=skb_bytes,
+            mss=self.mss,
+            sent_ts=now,
+        )
+        self.snd_nxt += skb_bytes
+        self.services.send_packet(packet)
+
+        self._burst_bytes += skb_bytes
+        if self.pacing_active and self.pacer.in_period:
+            # One socket buffer per pacing period (§6.1): consume and
+            # close immediately; the next send waits for the idle time.
+            self.pacer.consume(skb_bytes)
+            self._close_pacing_period()
+        if not self._rto_timer.pending:
+            self._arm_rto()
+        self._maybe_copy()  # refill the drained unsent buffer
+        self._try_send(continuation=True)
+
+    def _revalidated_bytes(self) -> int:
+        window_segs = self.cwnd - self.inflight_segments
+        if window_segs <= 0:
+            return 0
+        allowed = window_segs * self.mss
+        if self.pacing_active and self.pacer.in_period:
+            allowed = min(allowed, self.pacer.budget_remaining)
+        allowed = min(allowed, self._receive_window_bytes())
+        return min(allowed, self._unsent_copied_bytes())
+
+    def _handle_nothing_to_send(self) -> None:
+        """Bookkeeping when the write path found nothing sendable.
+
+        A pacing period ends as soon as the sender cannot continue it —
+        whether the period budget is spent or cwnd/rwnd/app data ran out.
+        One burst per period, then idle: this is what bounds the data per
+        pacing period by the instantaneous window, producing the
+        socket-buffer-saturation collapse of Table 2 at large strides.
+        A period in which nothing at all was sent is abandoned without
+        idling (the ACK clock resumes transmission).
+        """
+        if not self.pacing_active or not self.pacer.in_period:
+            return
+        if self.pacer.period_bytes_sent > 0:
+            self._close_pacing_period()
+        else:
+            self.pacer.abandon_period()
+
+    def _close_pacing_period(self) -> None:
+        idle = self.pacer.close_period(self.now)
+        if idle > 0:
+            self._pacing_timer.start(idle)
+
+    def _ensure_pacing_timer(self) -> None:
+        if not self._pacing_timer.pending:
+            self._pacing_timer.start_at(self.pacer.next_send_at_ns)
+
+    def _on_pacing_timer(self) -> None:
+        """Pacing hrtimer expired: charge the fire cost, then resume."""
+        if self._closed:
+            return
+        self.services.submit_work(
+            self.flow_id,
+            self.services.costs.pacing_timer_fire,
+            self._try_send,
+            "pacing-timer",
+            priority=0,
+        )
+
+    # -- retransmission ------------------------------------------------------------
+
+    def _submit_retransmit(self, record: TxRecord) -> None:
+        costs = self.services.costs
+        nbytes = record.length
+        cycles = costs.retransmit_fixed + costs.xmit_cycles(nbytes)
+        self._xmit_pending = True
+
+        def do_retransmit() -> None:
+            self._xmit_pending = False
+            if self._closed or record.sacked:
+                self._try_send()
+                return
+            self.scoreboard.on_retransmit(record)
+            record.last_sent_ns = self.now
+            packet = Packet(
+                flow_id=self.flow_id,
+                seq=record.seq,
+                length=record.length,
+                mss=self.mss,
+                sent_ts=self.now,
+                is_retransmission=True,
+            )
+            self.services.send_packet(packet)
+            self._arm_rto()
+            self._try_send(continuation=True)
+
+        self.services.submit_work(self.flow_id, cycles, do_retransmit, "retx")
+
+    # -- ACK path ----------------------------------------------------------------------
+
+    def on_ack_packet(self, packet: Packet) -> None:
+        """Process one ACK (called by the stack after the CPU charge)."""
+        if self._closed:
+            return
+        now = self.now
+        self.acks_processed += 1
+        prior_inflight = self.inflight_segments
+        prior_una = self.scoreboard.snd_una
+        self.snd_wnd = packet.rwnd
+
+        outcome = self.scoreboard.on_ack(packet.ack, list(packet.sack_blocks))
+        delivered = outcome.delivered_bytes
+        if delivered > 0:
+            self.delivery.on_delivered(delivered, now)
+        self.bytes_acked += outcome.newly_acked_bytes
+        if prior_una == 0 and packet.ack > 0 and self.on_first_byte_acked:
+            self.on_first_byte_acked()
+
+        min_rtt_was_expired = self.min_rtt.expired(now)
+        rs = RateSample(
+            delivered_total=self.delivery.delivered_bytes,
+            prior_inflight_segments=prior_inflight,
+            newly_acked_segments=outcome.newly_acked_segments,
+            newly_sacked_segments=outcome.newly_sacked_segments,
+            newly_lost_segments=outcome.newly_lost_segments,
+            ack_time_ns=now,
+            min_rtt_expired=min_rtt_was_expired,
+        )
+        record = outcome.newest_delivered_record
+        if record is not None and delivered > 0:
+            rs = self.delivery.make_sample(record, now)
+            rs.prior_inflight_segments = prior_inflight
+            rs.newly_acked_segments = outcome.newly_acked_segments
+            rs.newly_sacked_segments = outcome.newly_sacked_segments
+            rs.newly_lost_segments = outcome.newly_lost_segments
+            rs.min_rtt_expired = min_rtt_was_expired
+            if rs.rtt_ns > 0:
+                self.rtt.update(rs.rtt_ns)
+                if self.min_rtt.update(rs.rtt_ns, now):
+                    self.cc.on_min_rtt_update(self, self.min_rtt.min_rtt_ns or rs.rtt_ns)
+                if self.on_rtt_sample is not None:
+                    self.on_rtt_sample(rs.rtt_ns)
+
+        self._update_recovery_state(packet.ack, outcome.newly_lost_segments)
+        self.cc.cong_control(self, rs)
+        self.cwnd = max(2, min(self.cwnd, self.config.max_cwnd))
+        self._update_rates()
+        self._manage_rto_after_ack()
+        self._try_send()
+
+    def _update_recovery_state(self, ack_seq: int, newly_lost: int) -> None:
+        if self.state == OPEN:
+            if newly_lost > 0:
+                self.state = RECOVERY
+                self.high_seq = self.snd_nxt
+                self.recovery_episodes += 1
+                new_ssthresh = self.cc.ssthresh(self)
+                self.ssthresh = max(2, new_ssthresh)
+                self.cwnd = min(self.cwnd, max(self.ssthresh, 2))
+                self.cc.on_enter_recovery(self)
+        elif ack_seq >= self.high_seq:
+            self.state = OPEN
+            self._rto_backoff = 1
+            self.scoreboard.clear_loss_marks()
+            self.cc.on_exit_recovery(self)
+
+    # -- RTO ---------------------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        """Arm the RTO relative to the earliest outstanding transmission.
+
+        Mirrors ``tcp_rearm_rto``: re-arming on every ACK must not push
+        the deadline out indefinitely while SACKs stream in — the timer
+        expires ``rto`` after the oldest unacked packet's last
+        (re)transmission, so a lost retransmission is eventually retried.
+        """
+        timeout = self.rtt.rto_ns * self._rto_backoff
+        oldest = self.scoreboard.oldest_unacked_record()
+        base = oldest.last_sent_ns if oldest is not None else self.now
+        self._rto_timer.start_at(max(base + timeout, self.now + 1))
+
+    def _manage_rto_after_ack(self) -> None:
+        if self.scoreboard.has_inflight:
+            self._arm_rto()
+        else:
+            self._rto_timer.cancel()
+
+    def _on_rto_timer(self) -> None:
+        if self._closed or not self.scoreboard.has_inflight:
+            return
+        self.services.submit_work(
+            self.flow_id, self.services.costs.rto_fire, self._do_rto, "rto",
+            priority=0,
+        )
+
+    def _do_rto(self) -> None:
+        if self._closed or not self.scoreboard.has_inflight:
+            return
+        self.rto_count += 1
+        self.state = LOSS
+        self.high_seq = self.snd_nxt
+        self.scoreboard.mark_all_lost()
+        self.ssthresh = max(2, self.cc.ssthresh(self))
+        self.cwnd = 1
+        self.cc.on_rto(self)
+        self._rto_backoff = min(self._rto_backoff * 2, 64)
+        self._arm_rto()
+        if self.pacer.in_period:
+            self.pacer.abandon_period()
+        self.pacer.next_send_at_ns = self.now
+        self._try_send()
+
+    # -- rates ----------------------------------------------------------------------------
+
+    def internal_pacing_rate_bps(self) -> float:
+        """TCP's built-in pacing-rate formula (§5.2.2's Cubic+pacing)."""
+        srtt = self.srtt_ns
+        if not srtt:
+            return 0.0
+        factor = _PACING_SS_RATIO if self.in_slow_start else _PACING_CA_RATIO
+        return factor * self.cwnd * self.mss * 8 * SEC / srtt
+
+    def _update_rates(self) -> None:
+        rate = self.cc.pacing_rate_bps(self)
+        if rate is None:
+            rate = self.internal_pacing_rate_bps()
+        self.pacer.rate_bps = rate
+
+
+class StackServicesProtocol:
+    """What a :class:`TcpSender` needs from its host stack (documentation
+    class; the concrete provider is :class:`repro.tcp.stack.MobileTcpStack`).
+    """
+
+    loop = None  # type: ignore[assignment]
+    costs = None  # type: ignore[assignment]
+
+    def submit_work(
+        self, flow_id: int, cycles: int, callback, name: str, priority: int = 1
+    ) -> None:
+        """Charge *cycles* to the device CPU, then run *callback*.
+
+        ``priority`` 0 is interrupt/RX-class work (ACKs, timer fires);
+        1 is the bulk transmit path.
+        """
+        raise NotImplementedError
+
+    def send_packet(self, packet: Packet) -> None:
+        """Hand a packet to the device's qdisc/NIC."""
+        raise NotImplementedError

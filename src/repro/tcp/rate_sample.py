@@ -1,0 +1,158 @@
+"""Delivery-rate estimation (draft-cheng-iccrg-delivery-rate-estimation).
+
+BBR's bandwidth model is fed by per-ACK *rate samples*: when a packet is
+(s)acked, the sample measures how much data was delivered between that
+packet's transmission and its acknowledgment, over the longer of the send
+interval and the ACK interval (which filters both sender-side and
+receiver-side compression).
+
+The sender stores a :class:`TxRecord` per transmitted super-packet; the
+:class:`DeliveryRateEstimator` owns the connection-wide ``delivered``
+counters and produces :class:`RateSample` objects consumed by the
+congestion-control modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TxRecord", "RateSample", "DeliveryRateEstimator"]
+
+
+@dataclass
+class TxRecord:
+    """Per-transmitted-packet bookkeeping (subset of ``tcp_skb_cb``)."""
+
+    seq: int
+    end_seq: int
+    segments: int
+    sent_ns: int
+    #: connection ``delivered`` counter when this packet was sent
+    delivered_at_send: int
+    #: time of the most recent delivery event when this packet was sent
+    delivered_time_at_send: int
+    #: send time of the first packet of the current flight (send-rate leg)
+    first_sent_at_send: int
+    is_app_limited: bool = False
+    retransmitted: bool = False
+    sacked: bool = False
+    lost: bool = False
+    #: segments of this record already sacked (partial SACK coverage)
+    sacked_segments: int = 0
+    #: time of the most recent (re)transmission — drives RTO arming
+    last_sent_ns: int = -1
+
+    def __post_init__(self) -> None:
+        if self.last_sent_ns < 0:
+            self.last_sent_ns = self.sent_ns
+
+    @property
+    def length(self) -> int:
+        """Payload bytes covered."""
+        return self.end_seq - self.seq
+
+
+@dataclass
+class RateSample:
+    """One per-ACK rate sample handed to the congestion control."""
+
+    #: bytes delivered over the sample interval
+    delivered_bytes: int = 0
+    #: sample interval in ns (max of send and ack interval); <=0 = invalid
+    interval_ns: int = 0
+    #: RTT of the most recently sent packet that was (s)acked, ns
+    rtt_ns: int = -1
+    #: connection-wide delivered counter (bytes) after this ACK
+    delivered_total: int = 0
+    #: ``delivered`` counter when the sampled packet was sent
+    prior_delivered: int = 0
+    #: inflight segments before this ACK was processed
+    prior_inflight_segments: int = 0
+    #: segments newly cumulatively acked by this ACK
+    newly_acked_segments: int = 0
+    #: segments newly selectively acked by this ACK
+    newly_sacked_segments: int = 0
+    #: segments newly marked lost while processing this ACK
+    newly_lost_segments: int = 0
+    is_app_limited: bool = False
+    ack_time_ns: int = 0
+    #: the min-RTT filter window had expired *before* this ACK's sample
+    #: was folded in (the kernel evaluates PROBE_RTT eligibility on the
+    #: pre-sample state, so a refreshing sample still triggers it)
+    min_rtt_expired: bool = False
+
+    @property
+    def valid(self) -> bool:
+        """True when the sample can produce a bandwidth estimate."""
+        return self.interval_ns > 0 and self.delivered_bytes > 0
+
+    @property
+    def delivery_rate_bps(self) -> float:
+        """Delivery rate of this sample in bits/s (0 when invalid)."""
+        if not self.valid:
+            return 0.0
+        return self.delivered_bytes * 8 * 1e9 / self.interval_ns
+
+
+class DeliveryRateEstimator:
+    """Connection-wide delivered counters + sample generation."""
+
+    def __init__(self) -> None:
+        #: total bytes delivered (cumulatively acked or sacked)
+        self.delivered_bytes = 0
+        #: time of the most recent delivery event
+        self.delivered_time_ns = 0
+        #: send time of the packet that started the current flight
+        self.first_sent_ns = 0
+        #: when non-zero, samples are app-limited until ``delivered`` passes it
+        self.app_limited_until = 0
+
+    def on_send(self, now_ns: int, has_inflight: bool, app_limited: bool) -> "TxRecord.__class__":
+        """Update flight timing on transmit; returns snapshot kwargs.
+
+        When nothing is in flight the send starts a new flight, so both
+        the delivered clock and the first-sent clock restart at *now*.
+        """
+        if not has_inflight:
+            self.first_sent_ns = now_ns
+            self.delivered_time_ns = now_ns
+        if app_limited:
+            self.app_limited_until = self.delivered_bytes + 1
+        return {
+            "delivered_at_send": self.delivered_bytes,
+            "delivered_time_at_send": self.delivered_time_ns,
+            "first_sent_at_send": self.first_sent_ns,
+            "is_app_limited": self.app_limited_until > 0,
+        }
+
+    def on_delivered(self, nbytes: int, now_ns: int) -> None:
+        """Credit *nbytes* of newly (s)acked data."""
+        self.delivered_bytes += nbytes
+        self.delivered_time_ns = now_ns
+        if self.app_limited_until and self.delivered_bytes > self.app_limited_until:
+            self.app_limited_until = 0
+
+    def make_sample(self, record: TxRecord, now_ns: int) -> RateSample:
+        """Build the rate sample for the newest (s)acked *record*.
+
+        Following the draft: the interval is ``max(send interval, ack
+        interval)``; samples from retransmitted packets are invalid (Karn's
+        rule applies to rate as well as RTT here).
+        """
+        sample = RateSample(
+            delivered_total=self.delivered_bytes,
+            prior_delivered=record.delivered_at_send,
+            ack_time_ns=now_ns,
+        )
+        if record.retransmitted:
+            return sample  # invalid: interval_ns stays 0
+        send_interval = record.sent_ns - record.first_sent_at_send
+        ack_interval = now_ns - record.delivered_time_at_send
+        sample.interval_ns = max(send_interval, ack_interval)
+        sample.delivered_bytes = self.delivered_bytes - record.delivered_at_send
+        sample.rtt_ns = now_ns - record.sent_ns
+        sample.is_app_limited = record.is_app_limited
+        # Mark the flight restart for subsequent sends.
+        self.first_sent_ns = record.sent_ns
+        return sample

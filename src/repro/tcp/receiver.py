@@ -1,0 +1,143 @@
+"""Server-side TCP receiver: cumulative ACKs, SACK generation, goodput.
+
+The desktop iperf server in the paper's testbed is never the bottleneck,
+so the receiver here is protocol-faithful but compute-free. Each arriving
+GSO super-packet elicits one ACK — which is also what a GRO-enabled
+desktop NIC produces for the arrival patterns in these experiments (paced
+sub-millisecond-spaced buffers cannot be coalesced across the GRO flush
+timeout; unpaced bursts arrive pre-aggregated).
+
+Goodput is measured here, receiver-side, as the advance of ``rcv_nxt``
+(in-order bytes), so retransmissions never inflate it — matching iperf3's
+application-level accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..netsim.packet import Packet
+
+__all__ = ["TcpReceiverEndpoint"]
+
+#: Maximum SACK blocks carried on one ACK (TCP option-space limit).
+MAX_SACK_BLOCKS = 3
+
+
+#: default receive buffer (Linux tcp_rmem[2] is 6 MB on desktops)
+DEFAULT_RCV_BUFFER = 6 * 1024 * 1024
+
+
+class TcpReceiverEndpoint:
+    """Reassembly state and ACK generation for one flow."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        send_ack: Callable[[Packet], None],
+        rcv_buffer_bytes: int = DEFAULT_RCV_BUFFER,
+    ):
+        self.flow_id = flow_id
+        self._send_ack = send_ack
+        self.rcv_buffer_bytes = int(rcv_buffer_bytes)
+        self.rcv_nxt = 0
+        #: sorted, disjoint out-of-order intervals [(start, end), ...]
+        self._ooo: List[Tuple[int, int]] = []
+        #: most recently SACKed block goes first on the wire (RFC 2018)
+        self._recent_block: Optional[Tuple[int, int]] = None
+        # stats
+        self.bytes_in_order = 0
+        self.duplicate_bytes = 0
+        self.acks_sent = 0
+        #: hook invoked with (nbytes, now-implied) on each in-order advance
+        self.on_goodput: Optional[Callable[[int], None]] = None
+
+    # -- data path ----------------------------------------------------------
+
+    def on_data(self, packet: Packet) -> None:
+        """Accept a data packet, update reassembly, emit an ACK."""
+        if packet.is_ack:
+            raise ValueError("receiver endpoint got an ACK packet")
+        start, end = packet.seq, packet.end_seq
+        if end <= self.rcv_nxt:
+            self.duplicate_bytes += packet.length
+        elif start <= self.rcv_nxt:
+            advanced = end - self.rcv_nxt
+            if start < self.rcv_nxt:
+                self.duplicate_bytes += self.rcv_nxt - start
+            self.rcv_nxt = end
+            self._drain_ooo()
+            advanced = self.rcv_nxt - (end - advanced)
+            self.bytes_in_order += advanced
+            if self.on_goodput is not None:
+                self.on_goodput(advanced)
+        else:
+            self._insert_ooo(start, end)
+            self._recent_block = self._containing_block(start)
+        self._emit_ack(packet)
+
+    # -- internals ------------------------------------------------------------
+
+    def _drain_ooo(self) -> None:
+        """Fold now-contiguous out-of-order data into rcv_nxt."""
+        while self._ooo and self._ooo[0][0] <= self.rcv_nxt:
+            start, end = self._ooo.pop(0)
+            if end > self.rcv_nxt:
+                self.rcv_nxt = end
+
+    def _insert_ooo(self, start: int, end: int) -> None:
+        """Insert [start, end) into the sorted disjoint interval list."""
+        merged: List[Tuple[int, int]] = []
+        placed = False
+        for s, e in self._ooo:
+            if e < start or s > end:
+                if not placed and s > end:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:
+                start = min(start, s)
+                end = max(end, e)
+        if not placed:
+            merged.append((start, end))
+            merged.sort()
+        self._ooo = merged
+
+    def _containing_block(self, seq: int) -> Optional[Tuple[int, int]]:
+        for s, e in self._ooo:
+            if s <= seq < e:
+                return (s, e)
+        return None
+
+    def _sack_blocks(self) -> List[Tuple[int, int]]:
+        blocks: List[Tuple[int, int]] = []
+        if self._recent_block is not None and self._recent_block in self._ooo:
+            blocks.append(self._recent_block)
+        for block in self._ooo:
+            if block not in blocks:
+                blocks.append(block)
+            if len(blocks) >= MAX_SACK_BLOCKS:
+                break
+        return blocks
+
+    def advertised_window(self) -> int:
+        """Receive window: the buffer minus out-of-order data held.
+
+        The iperf server application consumes in-order data immediately,
+        so only reassembly-queue bytes occupy the buffer. This is what
+        stops a sender from streaming arbitrarily far past a stuck hole.
+        """
+        held = sum(e - s for s, e in self._ooo)
+        return max(0, self.rcv_buffer_bytes - held)
+
+    def _emit_ack(self, data_packet: Packet) -> None:
+        ack = Packet(
+            flow_id=self.flow_id,
+            is_ack=True,
+            ack=self.rcv_nxt,
+            rwnd=self.advertised_window(),
+            sack_blocks=self._sack_blocks(),
+            echo_ts=data_packet.sent_ts,
+        )
+        self.acks_sent += 1
+        self._send_ack(ack)

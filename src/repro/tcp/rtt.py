@@ -1,0 +1,91 @@
+"""RTT estimation and retransmission timeout (RFC 6298), plus a
+windowed minimum-RTT filter used by BBR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..units import MSEC, SEC
+
+__all__ = ["RttEstimator", "MinRttFilter"]
+
+
+class RttEstimator:
+    """SRTT / RTTVAR / RTO state machine per RFC 6298.
+
+    Times are integer nanoseconds. The RTO is clamped to
+    ``[min_rto, max_rto]``; Linux uses a 200 ms floor and 120 s ceiling.
+    """
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4
+
+    def __init__(self, min_rto_ns: int = 200 * MSEC, max_rto_ns: int = 120 * SEC):
+        self.min_rto_ns = int(min_rto_ns)
+        self.max_rto_ns = int(max_rto_ns)
+        self.srtt_ns: Optional[int] = None
+        self.rttvar_ns: int = 0
+        self.latest_rtt_ns: Optional[int] = None
+        self.samples = 0
+
+    def update(self, rtt_ns: int) -> None:
+        """Fold one RTT measurement into the estimator."""
+        if rtt_ns <= 0:
+            return
+        self.latest_rtt_ns = rtt_ns
+        self.samples += 1
+        if self.srtt_ns is None:
+            self.srtt_ns = rtt_ns
+            self.rttvar_ns = rtt_ns // 2
+            return
+        delta = abs(self.srtt_ns - rtt_ns)
+        self.rttvar_ns = int((1 - self.BETA) * self.rttvar_ns + self.BETA * delta)
+        self.srtt_ns = int((1 - self.ALPHA) * self.srtt_ns + self.ALPHA * rtt_ns)
+
+    @property
+    def rto_ns(self) -> int:
+        """Current retransmission timeout."""
+        if self.srtt_ns is None:
+            return SEC  # RFC 6298 initial RTO of 1 s
+        rto = self.srtt_ns + max(self.K * self.rttvar_ns, MSEC)
+        return max(self.min_rto_ns, min(self.max_rto_ns, rto))
+
+
+class MinRttFilter:
+    """Windowed minimum filter: the smallest RTT seen in the last *window*.
+
+    BBR uses a 10 s window; the minimum expires when no equal-or-lower
+    sample arrives within it, which is what triggers PROBE_RTT.
+    """
+
+    def __init__(self, window_ns: int = 10 * SEC):
+        self.window_ns = int(window_ns)
+        self._min_ns: Optional[int] = None
+        self._stamp_ns: int = 0
+
+    @property
+    def min_rtt_ns(self) -> Optional[int]:
+        """Current filtered minimum (None before any sample)."""
+        return self._min_ns
+
+    @property
+    def stamp_ns(self) -> int:
+        """Time the current minimum was recorded."""
+        return self._stamp_ns
+
+    def update(self, rtt_ns: int, now_ns: int) -> bool:
+        """Offer a sample; returns True if it became the new minimum."""
+        if rtt_ns <= 0:
+            return False
+        expired = self._min_ns is not None and now_ns - self._stamp_ns > self.window_ns
+        if self._min_ns is None or expired or rtt_ns <= self._min_ns:
+            self._min_ns = rtt_ns
+            self._stamp_ns = now_ns
+            return True
+        return False
+
+    def expired(self, now_ns: int) -> bool:
+        """True when the minimum is older than the window."""
+        return self._min_ns is not None and now_ns - self._stamp_ns > self.window_ns

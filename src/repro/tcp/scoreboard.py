@@ -1,0 +1,260 @@
+"""Sender-side SACK scoreboard and loss detection.
+
+Tracks every transmitted-but-not-cumulatively-acked
+:class:`~repro.tcp.rate_sample.TxRecord`, applies cumulative and selective
+acknowledgments, and marks losses using the classic dup-threshold rule
+generalized to byte ranges (a record is lost once data at least
+``reorder_degree`` segments beyond it has been SACKed — the FACK-style
+rule Linux applies when SACK is in use).
+
+Counters (``packets_out``, ``sacked_out``, ``lost_out``, ``retrans_out``)
+are *derived* from the record list (immune to incremental-bookkeeping
+bugs) and cached behind a dirty flag, so the O(records) refresh runs at
+most once per mutation rather than once per read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from .rate_sample import TxRecord
+
+__all__ = ["Scoreboard", "AckOutcome"]
+
+
+class AckOutcome:
+    """What one ACK did to the scoreboard (consumed by the sender)."""
+
+    __slots__ = (
+        "newly_acked_bytes",
+        "newly_acked_segments",
+        "newly_sacked_bytes",
+        "newly_sacked_segments",
+        "newly_lost_segments",
+        "newest_delivered_record",
+    )
+
+    def __init__(self) -> None:
+        self.newly_acked_bytes = 0
+        self.newly_acked_segments = 0
+        self.newly_sacked_bytes = 0
+        self.newly_sacked_segments = 0
+        self.newly_lost_segments = 0
+        #: the most recently *sent* record that this ACK delivered
+        self.newest_delivered_record: Optional[TxRecord] = None
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Total bytes newly delivered (cumulative + selective)."""
+        return self.newly_acked_bytes + self.newly_sacked_bytes
+
+
+class Scoreboard:
+    """Ordered collection of in-flight transmission records."""
+
+    def __init__(self, mss: int, reorder_degree: int = 3):
+        self.mss = int(mss)
+        self.reorder_degree = int(reorder_degree)
+        self._records: Deque[TxRecord] = deque()
+        self.snd_una = 0
+        self.highest_sacked = 0
+        # lifetime stats
+        self.total_retransmitted_segments = 0
+        # derived-counter cache: recomputed in one pass after mutations
+        self._counters_dirty = True
+        self._cached_counters = (0, 0, 0, 0)
+
+    # -- derived counters (kernel names, in segments) -------------------------
+    #
+    # The counters are derived from the record list (immune to
+    # incremental-bookkeeping bugs) but cached: every public mutator
+    # marks them dirty and one O(records) pass refreshes all four.
+
+    def _counters(self) -> tuple:
+        if self._counters_dirty:
+            packets = sacked = lost = retrans = 0
+            for r in self._records:
+                packets += r.segments
+                sacked += r.sacked_segments
+                if not r.sacked:
+                    remaining = r.segments - r.sacked_segments
+                    if r.lost:
+                        lost += remaining
+                    if r.retransmitted:
+                        retrans += remaining
+            self._cached_counters = (packets, sacked, lost, retrans)
+            self._counters_dirty = False
+        return self._cached_counters
+
+    @property
+    def packets_out(self) -> int:
+        """Segments sent and not yet cumulatively acked."""
+        return self._counters()[0]
+
+    @property
+    def sacked_out(self) -> int:
+        """Segments selectively acked."""
+        return self._counters()[1]
+
+    @property
+    def lost_out(self) -> int:
+        """Segments marked lost and not (re)delivered."""
+        return self._counters()[2]
+
+    @property
+    def retrans_out(self) -> int:
+        """Retransmitted segments still outstanding."""
+        return self._counters()[3]
+
+    @property
+    def inflight_segments(self) -> int:
+        """Segments considered in the network (tcp_packets_in_flight)."""
+        return max(0, self.packets_out - self.sacked_out - self.lost_out + self.retrans_out)
+
+    @property
+    def has_inflight(self) -> bool:
+        """True while any record is outstanding."""
+        return bool(self._records)
+
+    @property
+    def records(self) -> Iterable[TxRecord]:
+        """Outstanding records, lowest sequence first (read-only view)."""
+        return iter(self._records)
+
+    def oldest_unacked_record(self) -> Optional[TxRecord]:
+        """The record at ``snd_una`` (None when everything is acked)."""
+        return self._records[0] if self._records else None
+
+    # -- transmit --------------------------------------------------------------
+
+    def on_transmit(self, record: TxRecord) -> None:
+        """Register a freshly sent record (sequences must be in order)."""
+        self._counters_dirty = True
+        if self._records and record.seq < self._records[-1].end_seq:
+            raise ValueError("out-of-order original transmission")
+        self._records.append(record)
+
+    def on_retransmit(self, record: TxRecord) -> None:
+        """Account a retransmission of *record* (previously marked lost)."""
+        self._counters_dirty = True
+        record.retransmitted = True
+        self.total_retransmitted_segments += record.segments - record.sacked_segments
+
+    # -- acknowledgment ----------------------------------------------------------
+
+    def on_ack(self, ack_seq: int, sack_blocks: List[Tuple[int, int]]) -> AckOutcome:
+        """Apply one ACK; returns the delta it caused."""
+        self._counters_dirty = True
+        outcome = AckOutcome()
+        self._apply_cumulative(ack_seq, outcome)
+        self._apply_sacks(sack_blocks, outcome)
+        self._detect_losses(outcome)
+        return outcome
+
+    def mark_all_lost(self) -> int:
+        """RTO: every outstanding, un-SACKed segment is presumed lost.
+
+        Returns the number of segments newly marked lost. Retransmission
+        marks are cleared so loss recovery may resend the data.
+        """
+        self._counters_dirty = True
+        newly_lost = 0
+        for record in self._records:
+            if record.sacked:
+                continue
+            if not record.lost:
+                record.lost = True
+                newly_lost += record.segments - record.sacked_segments
+            record.retransmitted = False
+        return newly_lost
+
+    def next_lost_record(self) -> Optional[TxRecord]:
+        """First record marked lost and not yet retransmitted."""
+        for record in self._records:
+            if record.lost and not record.retransmitted and not record.sacked:
+                return record
+        return None
+
+    def clear_loss_marks(self) -> None:
+        """Forget loss/retransmission marks (recovery episode ended)."""
+        self._counters_dirty = True
+        for record in self._records:
+            record.lost = False
+            record.retransmitted = False
+
+    # -- internals ----------------------------------------------------------------
+
+    def _apply_cumulative(self, ack_seq: int, outcome: AckOutcome) -> None:
+        if ack_seq <= self.snd_una:
+            return
+        while self._records and self._records[0].seq < ack_seq:
+            record = self._records[0]
+            if record.end_seq <= ack_seq:
+                self._records.popleft()
+                unsacked = record.segments - record.sacked_segments
+                outcome.newly_acked_segments += unsacked
+                outcome.newly_acked_bytes += max(
+                    0, record.length - record.sacked_segments * self.mss
+                )
+                self._note_delivered(record, outcome)
+            else:
+                # Partial ACK inside a super-packet (router split): shrink
+                # the head. Sub-MSS remainders stay with the record.
+                acked_bytes = ack_seq - record.seq
+                acked_segs = acked_bytes // self.mss
+                if acked_segs <= 0:
+                    break
+                chopped = acked_segs * self.mss
+                record.seq += chopped
+                record.segments -= acked_segs
+                record.sacked_segments = min(record.sacked_segments, record.segments)
+                outcome.newly_acked_segments += acked_segs
+                outcome.newly_acked_bytes += chopped
+                self._note_delivered(record, outcome)
+                break
+        self.snd_una = max(self.snd_una, ack_seq)
+
+    def _apply_sacks(self, blocks: List[Tuple[int, int]], outcome: AckOutcome) -> None:
+        for start, end in blocks:
+            if end <= self.snd_una:
+                continue
+            self.highest_sacked = max(self.highest_sacked, end)
+            for record in self._records:
+                if record.seq >= end:
+                    break
+                overlap = min(record.end_seq, end) - max(record.seq, start)
+                if overlap <= 0:
+                    continue
+                covered_segs = min(record.segments, -(-overlap // self.mss))
+                newly = covered_segs - record.sacked_segments
+                if newly <= 0:
+                    continue
+                record.sacked_segments = covered_segs
+                outcome.newly_sacked_segments += newly
+                outcome.newly_sacked_bytes += newly * self.mss
+                if record.sacked_segments >= record.segments:
+                    record.sacked = True
+                    record.lost = False
+                self._note_delivered(record, outcome)
+
+    def _detect_losses(self, outcome: AckOutcome) -> None:
+        """FACK-style: data SACKed >= reorder_degree segments ahead => lost."""
+        if self.highest_sacked <= self.snd_una:
+            return
+        threshold = self.highest_sacked - self.reorder_degree * self.mss
+        for record in self._records:
+            if record.seq >= threshold:
+                break
+            if record.sacked or record.lost or record.retransmitted:
+                continue
+            if record.end_seq > threshold:
+                continue
+            record.lost = True
+            outcome.newly_lost_segments += record.segments - record.sacked_segments
+
+    @staticmethod
+    def _note_delivered(record: TxRecord, outcome: AckOutcome) -> None:
+        newest = outcome.newest_delivered_record
+        if newest is None or record.sent_ns >= newest.sent_ns:
+            outcome.newest_delivered_record = record

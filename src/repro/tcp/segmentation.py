@@ -1,0 +1,52 @@
+"""TSO/GSO automatic sizing (``tcp_tso_autosize``).
+
+Linux sizes each transmitted super-packet to roughly one millisecond of
+data at the socket's pacing rate, bounded below by a minimum segment
+count (BBR uses 2 at sub-gigabit rates) and above by the GSO maximum.
+This is the coupling at the heart of the paper's multi-connection result:
+more connections → lower per-connection pacing rate → *smaller* skbs →
+more pacing timer fires and fixed costs per byte of goodput.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GSO_MAX_BYTES", "PACING_SHIFT", "tso_autosize_bytes", "tso_autosize_segments"]
+
+#: Maximum bytes a single GSO super-packet may carry (64 KB, like Linux).
+GSO_MAX_BYTES = 65536
+
+#: ``sk_pacing_shift``: the autosize goal is ``rate >> PACING_SHIFT``
+#: bytes, i.e. about 1 ms of data at the pacing rate (Linux default 10).
+PACING_SHIFT = 10
+
+
+def tso_autosize_bytes(
+    pacing_rate_bps: float,
+    mss: int,
+    min_tso_segs: int = 2,
+    gso_max_bytes: int = GSO_MAX_BYTES,
+) -> int:
+    """Byte goal for one super-packet at *pacing_rate_bps*.
+
+    Mirrors ``tcp_tso_autosize``: ~1 ms of data at the pacing rate,
+    rounded to whole MSS segments, clamped to
+    ``[min_tso_segs * mss, gso_max_bytes]``.
+    """
+    if mss <= 0:
+        raise ValueError("mss must be positive")
+    rate_bytes_per_sec = max(0.0, pacing_rate_bps) / 8.0
+    goal = int(rate_bytes_per_sec) >> PACING_SHIFT
+    segs = max(goal // mss, max(1, min_tso_segs))
+    nbytes = segs * mss
+    max_segs = max(1, gso_max_bytes // mss)
+    return min(nbytes, max_segs * mss)
+
+
+def tso_autosize_segments(
+    pacing_rate_bps: float,
+    mss: int,
+    min_tso_segs: int = 2,
+    gso_max_bytes: int = GSO_MAX_BYTES,
+) -> int:
+    """Segment-count form of :func:`tso_autosize_bytes`."""
+    return tso_autosize_bytes(pacing_rate_bps, mss, min_tso_segs, gso_max_bytes) // mss

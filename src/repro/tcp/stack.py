@@ -1,0 +1,149 @@
+"""Host stacks: the phone's TCP stack (CPU-charged) and the server's.
+
+:class:`MobileTcpStack` is the phone: it owns the sender connections,
+charges every stack operation to the device CPU through a
+:class:`~repro.cpu.softirq.StackExecutor`, and exchanges packets with the
+:class:`~repro.netsim.testbed.Testbed`.
+
+:class:`ServerHost` is the desktop iperf server: compute-free receiver
+endpoints that ACK immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..cc.base import CongestionOps
+from ..cpu.costs import CostModel
+from ..cpu.softirq import StackExecutor
+from ..netsim.packet import Packet
+from ..netsim.testbed import Testbed
+from ..sim import EventLoop, Tracer, NULL_TRACER
+from .connection import SocketConfig, TcpSender
+from .receiver import TcpReceiverEndpoint
+
+__all__ = ["MobileTcpStack", "ServerHost"]
+
+
+class MobileTcpStack:
+    """The phone's transport stack, bound to the device CPU model.
+
+    Implements the ``StackServices`` contract senders rely on:
+    :meth:`submit_work` (CPU charging) and :meth:`send_packet` (qdisc
+    hand-off), plus :attr:`loop` and :attr:`costs`.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        executor: StackExecutor,
+        costs: CostModel,
+        testbed: Testbed,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.loop = loop
+        self.executor = executor
+        self.costs = costs
+        self.testbed = testbed
+        self.tracer = tracer
+        self.connections: Dict[int, TcpSender] = {}
+        self._next_flow_id = 1
+        testbed.on_phone_receive = self._on_receive
+        # stats
+        self.acks_received = 0
+        self.packets_sent = 0
+
+    # -- connection management -------------------------------------------------
+
+    def create_connection(
+        self,
+        cc: CongestionOps,
+        config: Optional[SocketConfig] = None,
+        source: Optional[object] = None,
+    ) -> TcpSender:
+        """Open a new uplink connection using congestion control *cc*."""
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        sender = TcpSender(flow_id, self, cc, config=config, source=source)
+        self.connections[flow_id] = sender
+        return sender
+
+    def close_all(self) -> None:
+        """Tear down every connection (end of an experiment run)."""
+        for sender in self.connections.values():
+            sender.close()
+
+    # -- StackServices contract ----------------------------------------------------
+
+    def submit_work(
+        self,
+        flow_id: int,
+        cycles: int,
+        callback: Callable[[], None],
+        name: str,
+        priority: int = 1,
+        continuation: bool = False,
+    ) -> None:
+        """Charge *cycles* on the device CPU, then run *callback*."""
+        self.executor.submit_for(
+            flow_id, cycles, callback, name, priority, continuation
+        )
+
+    def send_packet(self, packet: Packet) -> None:
+        """Hand a fully built packet to the phone's qdisc."""
+        self.packets_sent += 1
+        self.testbed.phone_send(packet)
+
+    # -- receive path -----------------------------------------------------------------
+
+    def _on_receive(self, packet: Packet) -> None:
+        if not packet.is_ack:
+            return  # uplink experiments: the phone only receives ACKs
+        sender = self.connections.get(packet.flow_id)
+        if sender is None:
+            return
+        self.acks_received += 1
+        cycles = self.costs.ack_cycles(
+            sack_blocks=len(packet.sack_blocks),
+            cc_cycles=sender.cc.ack_cost_cycles,
+        )
+        # ACK processing is ordinary softirq work: it queues with (not
+        # ahead of) transmit work. The resulting queueing delay is part
+        # of the RTT the phone measures — Table 2's stride-1x RTT is
+        # exactly this effect — and it is what keeps delivery-rate
+        # samples honest on a saturated CPU.
+        self.executor.submit_for(
+            packet.flow_id, cycles, lambda: sender.on_ack_packet(packet), "ack",
+            priority=1,
+        )
+
+
+class ServerHost:
+    """The desktop iperf server: per-flow receiver endpoints, free CPU."""
+
+    def __init__(self, testbed: Testbed):
+        self.testbed = testbed
+        self.endpoints: Dict[int, TcpReceiverEndpoint] = {}
+        #: called with each newly created endpoint (metrics attach here)
+        self.on_new_endpoint: Optional[Callable[[TcpReceiverEndpoint], None]] = None
+        testbed.on_server_receive = self._on_receive
+
+    def endpoint_for(self, flow_id: int) -> TcpReceiverEndpoint:
+        """Get or create the receiver endpoint for *flow_id*."""
+        endpoint = self.endpoints.get(flow_id)
+        if endpoint is None:
+            endpoint = TcpReceiverEndpoint(flow_id, self.testbed.server_send)
+            self.endpoints[flow_id] = endpoint
+            if self.on_new_endpoint is not None:
+                self.on_new_endpoint(endpoint)
+        return endpoint
+
+    @property
+    def total_goodput_bytes(self) -> int:
+        """In-order bytes received across all flows."""
+        return sum(e.bytes_in_order for e in self.endpoints.values())
+
+    def _on_receive(self, packet: Packet) -> None:
+        if packet.is_ack:
+            return
+        self.endpoint_for(packet.flow_id).on_data(packet)

@@ -1,0 +1,163 @@
+"""Unit helpers used throughout the simulator.
+
+Conventions (enforced by these helpers, relied on everywhere):
+
+* **time** is an ``int`` number of nanoseconds,
+* **data sizes** are ``int`` bytes,
+* **rates** are ``float`` bits per second.
+
+Keeping time integral makes the discrete-event engine deterministic: two
+runs with the same seeds schedule exactly the same event sequence, with no
+floating-point tie ambiguity.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time constructors (return integer nanoseconds)
+# ---------------------------------------------------------------------------
+
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+def nanoseconds(value: float) -> int:
+    """Return *value* nanoseconds as an integer tick count."""
+    return int(round(value))
+
+
+def microseconds(value: float) -> int:
+    """Return *value* microseconds in integer nanoseconds."""
+    return int(round(value * USEC))
+
+
+def milliseconds(value: float) -> int:
+    """Return *value* milliseconds in integer nanoseconds."""
+    return int(round(value * MSEC))
+
+
+def seconds(value: float) -> int:
+    """Return *value* seconds in integer nanoseconds."""
+    return int(round(value * SEC))
+
+
+def to_seconds(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return ns / SEC
+
+
+def to_milliseconds(ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds."""
+    return ns / MSEC
+
+
+def to_microseconds(ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return ns / USEC
+
+
+# ---------------------------------------------------------------------------
+# Rate constructors (return float bits per second)
+# ---------------------------------------------------------------------------
+
+
+def bits_per_second(value: float) -> float:
+    """Return *value* in bits/s (identity; for symmetry and readability)."""
+    return float(value)
+
+
+def kbps(value: float) -> float:
+    """Return *value* kilobits/s in bits/s."""
+    return float(value) * 1e3
+
+
+def mbps(value: float) -> float:
+    """Return *value* megabits/s in bits/s."""
+    return float(value) * 1e6
+
+
+def gbps(value: float) -> float:
+    """Return *value* gigabits/s in bits/s."""
+    return float(value) * 1e9
+
+
+def to_mbps(bits_per_sec: float) -> float:
+    """Convert bits/s to megabits/s."""
+    return bits_per_sec / 1e6
+
+
+def to_gbps(bits_per_sec: float) -> float:
+    """Convert bits/s to gigabits/s."""
+    return bits_per_sec / 1e9
+
+
+# ---------------------------------------------------------------------------
+# Size constructors (return integer bytes)
+# ---------------------------------------------------------------------------
+
+
+def bytes_(value: float) -> int:
+    """Return *value* bytes as an integer byte count."""
+    return int(round(value))
+
+
+def kib(value: float) -> int:
+    """Return *value* KiB (1024 bytes) in bytes."""
+    return int(round(value * 1024))
+
+
+def mib(value: float) -> int:
+    """Return *value* MiB in bytes."""
+    return int(round(value * 1024 * 1024))
+
+
+def kilobits(value: float) -> int:
+    """Return *value* kilobits (1000 bits) in whole bytes (floor)."""
+    return int(value * 1000) // 8
+
+
+def to_kilobits(nbytes: float) -> float:
+    """Convert bytes to kilobits (1000-bit units, as in the paper's Table 2)."""
+    return nbytes * 8.0 / 1000.0
+
+
+# ---------------------------------------------------------------------------
+# Derived helpers
+# ---------------------------------------------------------------------------
+
+
+def transmit_time(nbytes: int, rate_bps: float) -> int:
+    """Time (integer ns) to serialize *nbytes* onto a link of *rate_bps*.
+
+    A zero or negative rate means "infinitely fast" and returns 0; the
+    caller is expected to treat such links as unshaped.
+    """
+    if rate_bps <= 0:
+        return 0
+    return int(round(nbytes * 8 * SEC / rate_bps))
+
+
+def rate_from_bytes(nbytes: int, interval_ns: int) -> float:
+    """Average rate in bits/s for *nbytes* delivered over *interval_ns*."""
+    if interval_ns <= 0:
+        return 0.0
+    return nbytes * 8 * SEC / interval_ns
+
+
+def cycles_to_ns(cycles: int, freq_hz: float) -> int:
+    """Wall time (integer ns) to execute *cycles* at *freq_hz* (cycles/s)."""
+    if freq_hz <= 0:
+        raise ValueError("CPU frequency must be positive")
+    return int(round(cycles * SEC / freq_hz))
+
+
+def mhz(value: float) -> float:
+    """Return *value* MHz in Hz."""
+    return float(value) * 1e6
+
+
+def ghz(value: float) -> float:
+    """Return *value* GHz in Hz."""
+    return float(value) * 1e9

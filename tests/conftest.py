@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import FreeExecutor, ZERO_COSTS
+from repro.netsim import ETHERNET_LAN, MediumProfile, NetemConfig, Testbed
+from repro.sim import EventLoop, RngStreams
+from repro.tcp.stack import MobileTcpStack, ServerHost
+
+
+class ProtocolHarness:
+    """A phone+server pair on a free CPU: pure protocol behaviour.
+
+    Used by TCP/CC tests that want network dynamics without compute
+    effects. Real-CPU behaviour is covered by the experiment-level tests.
+    """
+
+    def __init__(
+        self,
+        medium: MediumProfile = ETHERNET_LAN,
+        netem: NetemConfig = None,
+        seed: int = 1,
+    ):
+        self.loop = EventLoop()
+        self.testbed = Testbed(self.loop, medium, netem=netem, rng=RngStreams(seed))
+        self.stack = MobileTcpStack(
+            self.loop, FreeExecutor(), ZERO_COSTS, self.testbed
+        )
+        self.server = ServerHost(self.testbed)
+
+    def run(self, until_ns: int) -> None:
+        """Advance the simulation to *until_ns*."""
+        self.loop.run(until=until_ns)
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    """A fresh event loop."""
+    return EventLoop()
+
+
+@pytest.fixture
+def harness() -> ProtocolHarness:
+    """A protocol harness on the default Ethernet medium."""
+    return ProtocolHarness()

@@ -1,0 +1,95 @@
+"""Tests for the iperf-like applications."""
+
+import pytest
+
+from repro.apps import IperfClientApp, IperfServerApp
+from repro.cc import Cubic
+from repro.cpu import FreeExecutor, ZERO_COSTS
+from repro.netsim import ETHERNET_LAN, Testbed as _Testbed
+from repro.sim import EventLoop, RngStreams
+from repro.tcp.stack import MobileTcpStack
+from repro.units import MSEC, SEC, seconds
+
+
+def build_session(parallel=2):
+    loop = EventLoop()
+    testbed = _Testbed(loop, ETHERNET_LAN, rng=RngStreams(1))
+    stack = MobileTcpStack(loop, FreeExecutor(), ZERO_COSTS, testbed)
+    server = IperfServerApp(loop, testbed)
+    client = IperfClientApp(loop, stack, Cubic, parallel=parallel)
+    return loop, server, client
+
+
+def test_parallel_connections_created():
+    loop, server, client = build_session(parallel=5)
+    assert len(client.connections) == 5
+    flow_ids = {c.flow_id for c in client.connections}
+    assert len(flow_ids) == 5
+
+
+def test_requires_at_least_one_connection():
+    loop = EventLoop()
+    testbed = _Testbed(loop, ETHERNET_LAN, rng=RngStreams(1))
+    stack = MobileTcpStack(loop, FreeExecutor(), ZERO_COSTS, testbed)
+    IperfServerApp(loop, testbed)
+    with pytest.raises(ValueError):
+        IperfClientApp(loop, stack, Cubic, parallel=0)
+
+
+def test_server_measures_aggregate_and_per_flow_goodput():
+    loop, server, client = build_session(parallel=2)
+    client.start()
+    loop.run(until=seconds(1))
+    start, end = 200 * MSEC, 1000 * MSEC
+    aggregate = server.goodput_bps_between(start, end)
+    per_flow = sum(
+        server.flow_goodput_bps_between(c.flow_id, start, end)
+        for c in client.connections
+    )
+    assert aggregate > 0
+    assert per_flow == pytest.approx(aggregate, rel=0.001)
+
+
+def test_staggered_start():
+    loop, server, client = build_session(parallel=3)
+    client.start()
+    loop.run(until=2 * MSEC)
+    starts = [c.snd_nxt > 0 or c.scoreboard.has_inflight for c in client.connections]
+    assert starts[0]  # first connection started immediately
+
+
+def test_rtt_window_gating():
+    loop, server, client = build_session(parallel=1)
+    client.rtt_window_start_ns = 500 * MSEC
+    client.start()
+    loop.run(until=seconds(1))
+    assert client.rtt_stats.count > 0
+    # No sample can predate the window by construction; verify the stats
+    # object only holds post-warmup values by checking count is far lower
+    # than total acks processed.
+    total_acks = sum(c.acks_processed for c in client.connections)
+    assert client.rtt_stats.count < total_acks
+
+
+def test_stop_closes_connections():
+    loop, server, client = build_session(parallel=2)
+    client.start()
+    loop.run(until=500 * MSEC)
+    client.stop()
+    sent = [c.snd_nxt for c in client.connections]
+    loop.run(until=seconds(1))
+    assert [c.snd_nxt for c in client.connections] == sent
+
+
+def test_aggregate_counters():
+    loop, server, client = build_session(parallel=3)
+    client.start()
+    loop.run(until=seconds(1))
+    # With a free CPU three slow-starting flows overflow the phone qdisc,
+    # so retransmissions are expected; the counters must simply be sane.
+    assert client.retransmitted_segments >= 0
+    assert client.rto_count >= 0
+    assert client.mean_cwnd_segments > 0
+    # Cubic does not pace: no pacer stats
+    assert client.mean_pacer_period_bytes() == 0.0
+    assert client.mean_pacer_idle_ns() == 0.0

@@ -1,0 +1,116 @@
+"""Unit tests for CUBIC and Reno behaviour."""
+
+from repro.cc import Cubic, Reno
+from repro.cc.cubic import BETA
+from repro.tcp import FiniteSource
+from repro.units import seconds
+
+from conftest import ProtocolHarness
+
+
+class FakeConn:
+    """Minimal stand-in exposing what the CC modules read/write."""
+
+    def __init__(self, cwnd=10, now=0):
+        self.cwnd = cwnd
+        self.ssthresh = 1 << 30
+        self.cwnd_cnt = 0
+        self.now = now
+        self.srtt_ns = 1_000_000
+        self.min_rtt_ns = 900_000
+        self.snd_nxt = 0
+
+    @property
+    def in_slow_start(self):
+        return self.cwnd < self.ssthresh
+
+
+def test_reno_slow_start_doubles_per_rtt():
+    conn = FakeConn(cwnd=10)
+    reno = Reno()
+    leftover = reno.slow_start(conn, acked=10)
+    assert conn.cwnd == 20
+    assert leftover == 0
+
+
+def test_reno_slow_start_stops_at_ssthresh():
+    conn = FakeConn(cwnd=10)
+    conn.ssthresh = 12
+    reno = Reno()
+    leftover = reno.slow_start(conn, acked=10)
+    assert conn.cwnd == 12
+    assert leftover == 8
+
+
+def test_reno_cong_avoid_one_per_rtt():
+    conn = FakeConn(cwnd=10)
+    conn.ssthresh = 5  # not in slow start
+    reno = Reno()
+    for _ in range(10):  # one cwnd's worth of acks
+        reno.cong_avoid(conn, 1)
+    assert conn.cwnd == 11
+
+
+def test_reno_ssthresh_halves():
+    conn = FakeConn(cwnd=20)
+    assert Reno().ssthresh(conn) == 10
+
+
+def test_cubic_ssthresh_uses_beta():
+    conn = FakeConn(cwnd=100)
+    cubic = Cubic()
+    assert cubic.ssthresh(conn) == int(100 * BETA)
+
+
+def test_cubic_fast_convergence_lowers_wmax():
+    conn = FakeConn(cwnd=100)
+    cubic = Cubic()
+    cubic.ssthresh(conn)              # first epoch: w_last_max = 100
+    conn.cwnd = 80                    # loss before regaining w_max
+    cubic.ssthresh(conn)
+    assert cubic.w_last_max < 80.0 * (2.0 - BETA) / 2.0 + 1e-9
+
+
+def test_cubic_window_growth_is_concave_then_convex():
+    """cwnd growth slows near w_max then accelerates beyond it."""
+    harness = ProtocolHarness()
+    sender = harness.stack.create_connection(Cubic())
+    sender.ssthresh = 50  # force congestion avoidance early
+    sender.start()
+    samples = []
+
+    def sample():
+        samples.append(sender.cwnd)
+        if harness.loop.now < seconds(2):
+            harness.loop.call_after(seconds(0.1), sample)
+
+    harness.loop.call_after(seconds(0.2), sample)
+    harness.run(seconds(2))
+    assert samples[-1] > samples[0]  # it grows
+    assert all(b >= a for a, b in zip(samples, samples[1:]))  # monotone
+
+
+def test_cubic_hystart_exits_slow_start_before_loss():
+    """HyStart should cut slow start when delay rises, without any loss."""
+    harness = ProtocolHarness()
+    sender = harness.stack.create_connection(Cubic())
+    sender.start()
+    harness.run(seconds(2))
+    # No losses on this clean LAN, yet ssthresh must have been set by
+    # HyStart (delay grows once the 1 Gbps line saturates).
+    assert sender.ssthresh < (1 << 30)
+    assert sender.retransmitted_segments == 0 or sender.ssthresh < (1 << 30)
+
+
+def test_cubic_rto_resets_epoch():
+    conn = FakeConn(cwnd=100)
+    cubic = Cubic()
+    cubic.ssthresh(conn)
+    cubic.epoch_start_ns = 123
+    cubic.on_rto(conn)
+    assert cubic.epoch_start_ns is None
+
+
+def test_cubic_is_cheaper_per_ack_than_bbr():
+    from repro.cc import Bbr
+    assert Cubic().ack_cost_cycles < Bbr().ack_cost_cycles

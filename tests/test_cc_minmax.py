@@ -1,0 +1,90 @@
+"""Unit tests for the windowed max filter (kernel minmax port)."""
+
+import pytest
+
+from repro.cc import WindowedMaxFilter
+
+
+def test_empty_filter_reads_zero():
+    f = WindowedMaxFilter(10)
+    assert f.value == 0.0
+
+
+def test_first_sample_becomes_max():
+    f = WindowedMaxFilter(10)
+    f.update(0, 5.0)
+    assert f.value == 5.0
+
+
+def test_higher_sample_replaces_immediately():
+    f = WindowedMaxFilter(10)
+    f.update(0, 5.0)
+    f.update(1, 9.0)
+    assert f.value == 9.0
+
+
+def test_lower_samples_do_not_displace_fresh_max():
+    f = WindowedMaxFilter(10)
+    f.update(0, 9.0)
+    for t in range(1, 8):
+        f.update(t, 3.0)
+    assert f.value == 9.0
+
+
+def test_stale_max_expires_to_newer_samples():
+    """The regression that mattered: an old maximum must decay."""
+    f = WindowedMaxFilter(10)
+    f.update(0, 9.0)
+    for t in range(1, 40):
+        f.update(t, 3.0)
+    assert f.value == 3.0
+
+
+def test_expiry_falls_back_to_recent_samples():
+    f = WindowedMaxFilter(10)
+    f.update(0, 9.0)
+    f.update(2, 7.0)  # between best and the later stream
+    for t in range(3, 12):
+        f.update(t, 1.0)
+    # Once the 9.0 ages past the window the filter must track the recent
+    # sample level (the kernel's quarter/half refreshes overwrite the 7.0
+    # runner-up with newer samples — same behaviour as lib/minmax.c).
+    assert f.value == 1.0
+
+
+def test_second_best_survives_if_large_enough():
+    f = WindowedMaxFilter(10)
+    f.update(0, 9.0)
+    for t in range(1, 9):
+        f.update(t, 7.0)  # >= the refreshed runners-up: retained
+    f.update(11, 1.0)  # best expires on this update
+    assert f.value == 7.0
+
+
+def test_gap_larger_than_window_resets():
+    f = WindowedMaxFilter(10)
+    f.update(0, 9.0)
+    f.update(100, 1.0)
+    assert f.value == 1.0
+
+
+def test_reset_seeds_all_slots():
+    f = WindowedMaxFilter(10)
+    f.reset(5, 4.0)
+    assert f.value == 4.0
+    f.update(6, 2.0)
+    assert f.value == 4.0
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        WindowedMaxFilter(0)
+
+
+def test_equal_values_refresh_timestamps():
+    f = WindowedMaxFilter(10)
+    f.update(0, 5.0)
+    f.update(8, 5.0)  # equal -> reset with fresh time
+    for t in range(9, 17):
+        f.update(t, 1.0)
+    assert f.value == 5.0  # still within window of the refresh

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_text_output():
+    code, text = run_cli([
+        "run", "--cc", "cubic", "--connections", "2",
+        "--duration", "1.5", "--warmup", "0.5",
+    ])
+    assert code == 0
+    assert "goodput_mbps" in text
+    assert "cubic" in text
+
+
+def test_run_json_output():
+    code, text = run_cli([
+        "run", "--cc", "bbr", "--connections", "2",
+        "--duration", "1.5", "--warmup", "0.5", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["goodput_mbps"] > 0
+    assert payload["runs"] == 1
+    assert "bbr" in payload["label"]
+
+
+def test_run_with_master_knobs():
+    code, text = run_cli([
+        "run", "--cc", "bbr", "--connections", "2",
+        "--duration", "1.5", "--warmup", "0.5",
+        "--fixed-cwnd", "70", "--disable-model", "--json",
+    ])
+    assert code == 0
+    assert json.loads(text)["goodput_mbps"] > 0
+
+
+def test_run_with_netem():
+    code, text = run_cli([
+        "run", "--cc", "cubic", "--connections", "1",
+        "--duration", "1.5", "--warmup", "0.5",
+        "--rate-limit-mbps", "50", "--json",
+    ])
+    assert code == 0
+    assert json.loads(text)["goodput_mbps"] < 55
+
+
+def test_compare_emits_gap():
+    code, text = run_cli([
+        "compare", "--connections", "4",
+        "--duration", "1.5", "--warmup", "0.5",
+    ])
+    assert code == 0
+    assert "gap" in text
+    assert "cubic" in text and "bbr" in text
+
+
+def test_sweep_strides_rows():
+    code, text = run_cli([
+        "sweep-strides", "--connections", "4",
+        "--duration", "1.5", "--warmup", "0.5",
+        "--strides", "1", "5", "--json",
+    ])
+    assert code == 0
+    rows = json.loads(text)
+    assert len(rows) == 2
+    assert rows[0]["stride"] == "1x"
+    assert rows[1]["stride"] == "5x"
+
+
+def test_invalid_choice_rejected():
+    with pytest.raises(SystemExit):
+        run_cli(["run", "--cc", "warp"])

@@ -1,0 +1,71 @@
+"""Unit tests for the adaptive-stride controller (§7.1.2 extension)."""
+
+from repro.apps.iperf import IperfClientApp, IperfServerApp
+from repro.cc import Bbr
+from repro.core.stride import AdaptiveStrideController
+from repro.cpu import NetStackExecutor
+from repro.devices import CpuConfig, PIXEL_4, build_device
+from repro.netsim import ETHERNET_LAN, Testbed as _Testbed
+from repro.sim import EventLoop, RngStreams
+from repro.tcp.stack import MobileTcpStack
+from repro.units import MSEC, seconds
+
+
+def build(parallel=10, config=CpuConfig.LOW_END, seed=2):
+    loop = EventLoop()
+    device = build_device(loop, PIXEL_4, config)
+    testbed = _Testbed(loop, ETHERNET_LAN, rng=RngStreams(seed))
+    stack = MobileTcpStack(loop, NetStackExecutor(device.cpu),
+                           device.cost_model, testbed)
+    server = IperfServerApp(loop, testbed)
+    client = IperfClientApp(loop, stack, Bbr, parallel=parallel)
+    controller = AdaptiveStrideController(loop, client.connections, device)
+    return loop, device, testbed, server, client, controller
+
+
+def test_controller_applies_stride_to_all_connections():
+    loop, device, testbed, server, client, controller = build()
+    device.start()
+    client.start()
+    controller.start()
+    loop.run(until=seconds(3))
+    stride = controller.stride
+    assert all(c.pacer.stride == stride for c in client.connections)
+    controller.stop()
+
+
+def test_controller_moves_up_under_cpu_saturation():
+    loop, device, testbed, server, client, controller = build(parallel=20)
+    device.start()
+    client.start()
+    controller.start()
+    loop.run(until=seconds(4))
+    # A saturated Low-End CPU must push the stride above stock pacing.
+    assert controller.stride > 1.0
+    assert len(controller.history) > 3
+    controller.stop()
+
+
+def test_controller_improves_goodput_over_stock():
+    # with controller
+    loop, device, testbed, server, client, controller = build(parallel=20)
+    device.start(); client.start(); controller.start()
+    loop.run(until=seconds(5))
+    adaptive = server.goodput_bps_between(seconds(2), seconds(5))
+    controller.stop()
+    # without controller (same seed)
+    loop2, device2, testbed2, server2, client2, _ = build(parallel=20)
+    device2.start(); client2.start()
+    loop2.run(until=seconds(5))
+    stock = server2.goodput_bps_between(seconds(2), seconds(5))
+    assert adaptive > 1.1 * stock
+
+
+def test_controller_stop_freezes_stride():
+    loop, device, testbed, server, client, controller = build()
+    device.start(); client.start(); controller.start()
+    loop.run(until=seconds(2))
+    controller.stop()
+    frozen = controller.stride
+    loop.run(until=seconds(3))
+    assert controller.stride == frozen

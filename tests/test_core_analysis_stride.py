@@ -1,0 +1,71 @@
+"""Tests for the §6 analytical model and stride helpers."""
+
+import pytest
+
+from repro import (
+    CpuConfig,
+    ExperimentSpec,
+    PAPER_STRIDES,
+    StrideRow,
+    expected_throughput_bps,
+    idle_time_ns,
+    sweep_strides,
+)
+from repro.units import SEC, mbps
+
+
+def test_idle_time_eq1():
+    # 4000 bytes at 32 Mbps = 1 ms
+    assert idle_time_ns(4000, mbps(32)) == pytest.approx(1e6, rel=1e-6)
+
+
+def test_idle_time_eq2_stride():
+    base = idle_time_ns(4000, mbps(32))
+    assert idle_time_ns(4000, mbps(32), stride=5) == 5 * base
+
+
+def test_idle_time_validation():
+    with pytest.raises(ValueError):
+        idle_time_ns(1000, 0)
+    with pytest.raises(ValueError):
+        idle_time_ns(1000, mbps(1), stride=0.5)
+
+
+def test_expected_throughput_eq3():
+    # Paper Table 2, 1x row: 32.1 kbit per buffer, 0.88 ms idle, 20 conns
+    skb_bytes = 32.1 * 1000 / 8
+    expected = expected_throughput_bps(skb_bytes, 0.88e6, 20)
+    assert expected / 1e6 == pytest.approx(729, rel=0.01)
+
+
+def test_expected_throughput_validation():
+    assert expected_throughput_bps(1000, 0, 20) == 0.0
+    with pytest.raises(ValueError):
+        expected_throughput_bps(1000, 1000, 0)
+
+
+def test_stride_row_from_measurement():
+    row = StrideRow.from_measurement(
+        stride=1.0, mean_skb_bytes=4012.5, mean_idle_ms=0.88,
+        actual_tx_mbps=430.0, rtt_ms=3.7, connections=20,
+    )
+    assert row.skb_len_kbits == pytest.approx(32.1, rel=0.01)
+    assert row.expected_tx_mbps == pytest.approx(729, rel=0.01)
+    cells = row.as_table_row()
+    assert cells[0] == "1x"
+    assert len(cells) == 6
+
+
+def test_paper_strides_constant():
+    assert PAPER_STRIDES == (1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+
+def test_sweep_strides_runs_each_point():
+    spec = ExperimentSpec(
+        cc="bbr", connections=4, cpu_config=CpuConfig.LOW_END,
+        duration_s=1.5, warmup_s=0.5,
+    )
+    results = sweep_strides(spec, strides=(1.0, 5.0), runs=1)
+    assert set(results) == {1.0, 5.0}
+    assert all(r.goodput_mbps > 0 for r in results.values())
+    assert results[5.0].runs[0].spec.pacing_stride == 5.0

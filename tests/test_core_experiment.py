@@ -1,0 +1,161 @@
+"""Tests for the experiment runner — the library's main entry point."""
+
+import pytest
+
+from repro import (
+    CpuConfig,
+    ExperimentSpec,
+    NetemConfig,
+    PacingMode,
+    run_experiment,
+    run_replicated,
+)
+from repro.core.experiment import make_cc_factory
+from repro.cc import MasterModule
+
+
+def quick(**kw):
+    defaults = dict(duration_s=1.5, warmup_s=0.5, cpu_config=CpuConfig.LOW_END)
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+def test_runs_and_reports_goodput():
+    result = run_experiment(quick(cc="cubic", connections=1))
+    assert 200 < result.goodput_mbps < 500
+    assert result.rtt_mean_ms > 0
+    assert result.cpu_busy_fraction > 0.9
+    assert result.events_processed > 1000
+
+
+def test_determinism_same_seed_same_result():
+    a = run_experiment(quick(cc="bbr", connections=2, seed=42))
+    b = run_experiment(quick(cc="bbr", connections=2, seed=42))
+    assert a.goodput_mbps == b.goodput_mbps
+    assert a.rtt_mean_ms == b.rtt_mean_ms
+    assert a.events_processed == b.events_processed
+
+
+def test_different_seeds_vary_on_wifi():
+    from repro import WIFI_LAN
+    a = run_experiment(quick(cc="bbr", medium=WIFI_LAN, seed=1))
+    b = run_experiment(quick(cc="bbr", medium=WIFI_LAN, seed=2))
+    assert a.goodput_mbps != b.goodput_mbps
+
+
+def test_bbr_underperforms_cubic_on_low_end_20c():
+    """The paper's headline result, as a regression test."""
+    bbr = run_experiment(quick(cc="bbr", connections=20, duration_s=3.0, warmup_s=1.0))
+    cubic = run_experiment(quick(cc="cubic", connections=20, duration_s=3.0, warmup_s=1.0))
+    assert bbr.goodput_mbps < 0.75 * cubic.goodput_mbps
+
+
+def test_disabling_pacing_raises_bbr_goodput():
+    paced = run_experiment(quick(cc="bbr", connections=20, duration_s=3.0, warmup_s=1.0))
+    unpaced = run_experiment(
+        quick(cc="bbr", connections=20, pacing_mode=PacingMode.OFF,
+              duration_s=3.0, warmup_s=1.0)
+    )
+    assert unpaced.goodput_mbps > 1.2 * paced.goodput_mbps
+    assert unpaced.rtt_mean_ms > paced.rtt_mean_ms
+
+
+def test_stride_improves_low_end_goodput():
+    s1 = run_experiment(quick(cc="bbr", connections=20, duration_s=3.0, warmup_s=1.0))
+    s5 = run_experiment(
+        quick(cc="bbr", connections=20, pacing_stride=5.0, duration_s=3.0, warmup_s=1.0)
+    )
+    assert s5.goodput_mbps > 1.1 * s1.goodput_mbps
+
+
+def test_per_flow_goodput_reported():
+    result = run_experiment(quick(cc="cubic", connections=4))
+    assert len(result.per_flow_goodput_mbps) == 4
+    assert all(g > 0 for g in result.per_flow_goodput_mbps)
+    assert sum(result.per_flow_goodput_mbps) == pytest.approx(
+        result.goodput_mbps, rel=0.01
+    )
+
+
+def test_replication_aggregates():
+    agg = run_replicated(quick(cc="cubic", connections=1), runs=3)
+    assert len(agg.runs) == 3
+    assert agg.goodput_mbps > 0
+    assert agg.stats.runs == 3
+    assert agg.mean("cpu_busy_fraction") > 0.9
+
+
+def test_replication_is_deterministic():
+    a = run_replicated(quick(cc="cubic"), runs=2)
+    b = run_replicated(quick(cc="cubic"), runs=2)
+    assert a.goodput_mbps == b.goodput_mbps
+
+
+def test_netem_shallow_buffer_causes_retransmissions():
+    spec = quick(
+        cc="bbr", connections=10, pacing_mode=PacingMode.OFF,
+        netem=NetemConfig(rate_bps=500e6, buffer_segments=10),
+        duration_s=3.0, warmup_s=1.0,
+    )
+    result = run_experiment(spec)
+    assert result.retransmitted_segments > 100
+    assert result.router_dropped_segments > 100
+
+
+def test_master_knobs_build_wrapped_module():
+    spec = quick(cc="bbr", fixed_cwnd_segments=70, disable_model=True)
+    module = make_cc_factory(spec)()
+    assert isinstance(module, MasterModule)
+    assert module.fixed_cwnd_segments == 70
+    result = run_experiment(spec)
+    assert result.mean_cwnd_segments == 70
+
+
+def test_fixed_pacing_rate_mbps():
+    spec = quick(cc="bbr", connections=1, fixed_pacing_rate_mbps=20.0,
+                 duration_s=2.0, warmup_s=0.5)
+    result = run_experiment(spec)
+    assert result.goodput_mbps < 25
+
+
+def test_unknown_cc_rejected():
+    with pytest.raises(ValueError):
+        run_experiment(quick(cc="warp-speed"))
+
+
+def test_bad_warmup_rejected():
+    with pytest.raises(ValueError):
+        run_experiment(ExperimentSpec(duration_s=1.0, warmup_s=2.0))
+
+
+def test_unknown_executor_rejected():
+    with pytest.raises(ValueError):
+        run_experiment(quick(executor="gpu"))
+
+
+def test_free_executor_removes_cpu_limit():
+    low = run_experiment(quick(cc="cubic", connections=1))
+    free = run_experiment(quick(cc="cubic", connections=1, executor="free"))
+    assert free.goodput_mbps > 2 * low.goodput_mbps
+    assert free.cpu_busy_fraction == 0.0
+
+
+def test_rps_executor_spreads_load():
+    serial = run_experiment(quick(cc="cubic", connections=8, duration_s=2.0, warmup_s=0.5))
+    rps = run_experiment(
+        quick(cc="cubic", connections=8, executor="rps", duration_s=2.0, warmup_s=0.5)
+    )
+    assert rps.goodput_mbps > 1.5 * serial.goodput_mbps
+
+
+def test_label_is_descriptive():
+    spec = quick(cc="bbr", connections=20, pacing_stride=5.0)
+    label = spec.label()
+    assert "bbr" in label and "20c" in label and "stride=5x" in label
+
+
+def test_memory_proxy_reported():
+    result = run_experiment(quick(cc="cubic", connections=4))
+    assert result.peak_memory_bytes > 0
+    assert result.mean_memory_bytes > 0
+    assert result.peak_memory_bytes >= result.mean_memory_bytes

@@ -1,0 +1,163 @@
+"""Unit tests for clusters, big.LITTLE topology, and governors."""
+
+import pytest
+
+from repro.cpu import (
+    BigLittleCpu,
+    CpuCluster,
+    DynamicCpuPolicy,
+    PerformanceGovernor,
+    SchedutilGovernor,
+    ThermalModel,
+    UserspaceGovernor,
+)
+from repro.units import MSEC, mhz
+
+
+def make_cpu(loop):
+    little = CpuCluster(loop, "little", [mhz(300), mhz(600), mhz(1200)], num_cores=4)
+    big = CpuCluster(loop, "big", [mhz(800), mhz(1600), mhz(2800)], num_cores=4)
+    return BigLittleCpu(little, big)
+
+
+def test_cluster_opp_queries(loop):
+    cluster = CpuCluster(loop, "c", [mhz(1200), mhz(300), mhz(600)])
+    assert cluster.min_freq_hz == mhz(300)
+    assert cluster.max_freq_hz == mhz(1200)
+    assert cluster.median_freq_hz == mhz(600)
+    assert cluster.nearest_opp(mhz(400)) == mhz(600)
+    assert cluster.nearest_opp(mhz(5000)) == mhz(1200)
+    assert cluster.nearest_opp(0) == mhz(300)
+
+
+def test_cluster_validation(loop):
+    with pytest.raises(ValueError):
+        CpuCluster(loop, "c", [])
+    with pytest.raises(ValueError):
+        CpuCluster(loop, "c", [mhz(100)], num_cores=0)
+
+
+def test_disable_big_rebinds_to_little(loop):
+    cpu = make_cpu(loop)
+    cpu.bind_to(cpu.big.cores[1])
+    cpu.disable_big()
+    assert cpu.active_core in cpu.little.cores
+    assert cpu.clusters() == [cpu.little]
+
+
+def test_disable_little_rebinds_to_big(loop):
+    cpu = make_cpu(loop)
+    cpu.disable_little()
+    assert cpu.active_core in cpu.big.cores
+    assert cpu.clusters() == [cpu.big]
+
+
+def test_disable_little_without_big_rejected(loop):
+    cpu = BigLittleCpu(CpuCluster(loop, "little", [mhz(300)]))
+    with pytest.raises(ValueError):
+        cpu.disable_little()
+
+
+def test_all_cores_spans_enabled_clusters(loop):
+    cpu = make_cpu(loop)
+    assert len(cpu.all_cores()) == 8
+    cpu.disable_big()
+    assert len(cpu.all_cores()) == 4
+
+
+def test_userspace_governor_pins_nearest_opp(loop):
+    cpu = make_cpu(loop)
+    governor = UserspaceGovernor(cpu.little, mhz(500))
+    governor.start()
+    assert all(c.freq_hz == mhz(600) for c in cpu.little.cores)
+
+
+def test_performance_governor_pins_max(loop):
+    cpu = make_cpu(loop)
+    governor = PerformanceGovernor(cpu.big)
+    governor.start()
+    assert all(c.freq_hz == mhz(2800) for c in cpu.big.cores)
+
+
+def test_schedutil_scales_up_under_load(loop):
+    cpu = make_cpu(loop)
+    governor = SchedutilGovernor(loop, cpu.little, sample_period_ns=10 * MSEC)
+    governor.start()
+    core = cpu.little.cores[0]
+
+    # Saturate the core: always keep work queued.
+    def refill():
+        core.submit_work(int(core.freq_hz * 0.005), refill)  # 5 ms of work
+
+    refill()
+    loop.run(until=200 * MSEC)
+    governor.stop()
+    assert core.freq_hz == cpu.little.max_freq_hz
+
+
+def test_schedutil_stays_low_when_idle(loop):
+    cpu = make_cpu(loop)
+    governor = SchedutilGovernor(loop, cpu.little, sample_period_ns=10 * MSEC)
+    governor.start()
+    loop.run(until=100 * MSEC)
+    governor.stop()
+    assert cpu.little.cores[0].freq_hz == cpu.little.min_freq_hz
+
+
+def test_thermal_model_throttles_and_recovers():
+    thermal = ThermalModel(
+        sustained_hz=mhz(1400), budget=1.0, low_water=0.2,
+        heat_rate=1.0, cool_rate=0.5,
+    )
+    # Run hot: full excess for 1.2 "budget units".
+    for _ in range(12):
+        thermal.update(mhz(2800), mhz(2800), 0.1)
+    assert thermal.throttled
+    assert thermal.cap(mhz(2800)) == mhz(1400)
+    # Cool down at the sustained clock.
+    for _ in range(40):
+        thermal.update(mhz(1400), mhz(2800), 0.1)
+    assert not thermal.throttled
+    assert thermal.cap(mhz(2800)) == mhz(2800)
+
+
+def test_dynamic_policy_migrates_to_big_under_load(loop):
+    cpu = make_cpu(loop)
+    policy = DynamicCpuPolicy(loop, cpu, sample_period_ns=10 * MSEC)
+    policy.start()
+    assert cpu.active_core in cpu.little.cores
+
+    def refill():
+        cpu.active_core.submit_work(int(cpu.active_core.freq_hz * 0.005), refill)
+
+    refill()
+    loop.run(until=500 * MSEC)
+    policy.stop()
+    assert cpu.active_core in cpu.big.cores
+    assert policy.migrations >= 1
+
+
+def test_dynamic_policy_stays_on_little_when_idle(loop):
+    cpu = make_cpu(loop)
+    policy = DynamicCpuPolicy(loop, cpu, sample_period_ns=10 * MSEC)
+    policy.start()
+    loop.run(until=300 * MSEC)
+    policy.stop()
+    assert cpu.active_core in cpu.little.cores
+    assert policy.migrations == 0
+
+
+def test_dynamic_policy_thermal_caps_sustained_clock(loop):
+    cpu = make_cpu(loop)
+    thermal = ThermalModel(sustained_hz=mhz(1600), budget=0.5, heat_rate=5.0)
+    policy = DynamicCpuPolicy(loop, cpu, sample_period_ns=10 * MSEC, thermal=thermal)
+    policy.start()
+
+    def refill():
+        cpu.active_core.submit_work(int(cpu.active_core.freq_hz * 0.005), refill)
+
+    refill()
+    loop.run(until=2_000 * MSEC)
+    policy.stop()
+    assert cpu.active_core in cpu.big.cores
+    assert cpu.active_core.freq_hz <= mhz(1600)

@@ -1,0 +1,148 @@
+"""Unit tests for the CPU core work-queue model."""
+
+import pytest
+
+from repro.cpu import CpuCore, WorkItem
+from repro.units import cycles_to_ns
+
+
+def test_work_takes_cycles_over_frequency_time(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    done = []
+    core.submit_work(1000, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [1000]  # 1000 cycles at 1 GHz = 1000 ns
+
+
+def test_low_frequency_takes_longer(loop):
+    core = CpuCore(loop, freq_hz=1e6)
+    done = []
+    core.submit_work(1000, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [1_000_000]
+
+
+def test_fifo_order_within_class(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    done = []
+    core.submit_work(100, lambda: done.append("a"))
+    core.submit_work(100, lambda: done.append("b"))
+    core.submit_work(100, lambda: done.append("c"))
+    loop.run()
+    assert done == ["a", "b", "c"]
+
+
+def test_high_priority_jumps_queue(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    done = []
+    core.submit_work(100, lambda: done.append("bulk1"))
+    core.submit_work(100, lambda: done.append("bulk2"))
+    core.submit_work(100, lambda: done.append("irq"), priority=WorkItem.HIGH)
+    loop.run()
+    # bulk1 was already executing; irq preempts the *queue*, not the
+    # running item.
+    assert done == ["bulk1", "irq", "bulk2"]
+
+
+def test_continuation_goes_to_head_of_class(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    done = []
+    core.submit_work(100, lambda: done.append("a"))
+    core.submit_work(100, lambda: done.append("b"))
+    core.submit(WorkItem(100, lambda: done.append("cont")), continuation=True)
+    loop.run()
+    assert done == ["a", "cont", "b"]
+
+
+def test_queue_serializes_work(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    times = []
+    for _ in range(3):
+        core.submit_work(1000, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [1000, 2000, 3000]
+
+
+def test_busy_accounting(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    core.submit_work(5000, lambda: None)
+    loop.run()
+    assert core.busy_ns_total == 5000
+    assert core.items_executed == 1
+    assert core.cycles_executed == 5000
+
+
+def test_busy_up_to_now_includes_running_item(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    core.submit_work(10_000, lambda: None)
+    loop.call_at(4_000, lambda: loop.stop())
+    loop.run()
+    assert core.busy_ns_up_to_now() == 4_000
+
+
+def test_frequency_change_applies_to_next_item(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    done = []
+    core.submit_work(1000, lambda: done.append(loop.now))
+    core.submit_work(1000, lambda: done.append(loop.now))
+    loop.call_at(500, lambda: core.set_frequency(2e9))
+    loop.run()
+    # First item ran at 1 GHz (1000 ns); second started after and ran at
+    # 2 GHz (500 ns).
+    assert done == [1000, 1500]
+
+
+def test_callback_submissions_are_fifo(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    done = []
+
+    def first():
+        done.append("first")
+        core.submit_work(100, lambda: done.append("child"))
+
+    core.submit_work(100, first)
+    core.submit_work(100, lambda: done.append("second"))
+    loop.run()
+    assert done == ["first", "second", "child"]
+
+
+def test_zero_cycle_work_completes_immediately(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    done = []
+    core.submit_work(0, lambda: done.append(loop.now))
+    loop.run()
+    assert done == [0]
+
+
+def test_negative_cycles_rejected():
+    with pytest.raises(ValueError):
+        WorkItem(-1, lambda: None)
+
+
+def test_invalid_priority_rejected():
+    with pytest.raises(ValueError):
+        WorkItem(10, lambda: None, priority=2)
+
+
+def test_invalid_frequency_rejected(loop):
+    with pytest.raises(ValueError):
+        CpuCore(loop, freq_hz=0)
+    core = CpuCore(loop, freq_hz=1e9)
+    with pytest.raises(ValueError):
+        core.set_frequency(-5)
+
+
+def test_max_queue_depth_tracked(loop):
+    core = CpuCore(loop, freq_hz=1e9)
+    for _ in range(4):
+        core.submit_work(100, lambda: None)
+    assert core.max_queue_depth == 3  # one is executing
+    loop.run()
+    assert core.queue_depth == 0
+
+
+def test_cycles_to_ns_helper():
+    assert cycles_to_ns(1000, 1e9) == 1000
+    assert cycles_to_ns(576, 576e6) == 1000
+    with pytest.raises(ValueError):
+        cycles_to_ns(100, 0)

@@ -1,0 +1,82 @@
+"""Unit tests for device profiles and Table 1 configurations."""
+
+import pytest
+
+from repro.cpu import DEFAULT_COSTS
+from repro.devices import PIXEL_4, PIXEL_6, CpuConfig, build_device
+from repro.units import ghz, mhz
+from repro.sim import EventLoop
+
+
+def test_pixel4_table1_pin_points():
+    assert PIXEL_4.low_end_hz == mhz(576)
+    assert PIXEL_4.mid_end_hz == mhz(1200)
+    assert PIXEL_4.high_end_hz == ghz(2.8)
+
+
+def test_pixel6_table1_pin_points():
+    assert PIXEL_6.low_end_hz == mhz(300)
+    assert PIXEL_6.mid_end_hz == mhz(1197)
+    assert PIXEL_6.high_end_hz == ghz(2.8)
+
+
+def test_pixel6_is_more_efficient_per_cycle():
+    assert PIXEL_6.cycles_scale < PIXEL_4.cycles_scale
+
+
+def test_low_end_build(loop):
+    dev = build_device(loop, PIXEL_4, CpuConfig.LOW_END)
+    dev.start()
+    assert not dev.cpu.big.enabled
+    assert dev.cpu.active_core in dev.cpu.little.cores
+    assert dev.cpu.active_core.freq_hz == mhz(576)
+    dev.stop()
+
+
+def test_mid_end_build(loop):
+    dev = build_device(loop, PIXEL_4, CpuConfig.MID_END)
+    dev.start()
+    assert not dev.cpu.big.enabled
+    assert dev.cpu.active_core.freq_hz == mhz(1200)
+    dev.stop()
+
+
+def test_high_end_build(loop):
+    dev = build_device(loop, PIXEL_4, CpuConfig.HIGH_END)
+    dev.start()
+    assert not dev.cpu.little.enabled
+    assert dev.cpu.active_core in dev.cpu.big.cores
+    assert dev.cpu.active_core.freq_hz == ghz(2.8)
+    dev.stop()
+
+
+def test_default_build_has_dynamic_policy(loop):
+    dev = build_device(loop, PIXEL_4, CpuConfig.DEFAULT)
+    dev.start()
+    assert dev.policy is not None
+    assert dev.cpu.big.enabled and dev.cpu.little.enabled
+    assert dev.policy.thermal is not None
+    assert dev.policy.thermal.sustained_hz == PIXEL_4.sustained_big_hz
+    dev.stop()
+
+
+def test_cost_model_scaled_by_profile(loop):
+    dev4 = build_device(loop, PIXEL_4, CpuConfig.LOW_END)
+    dev6 = build_device(loop, PIXEL_6, CpuConfig.LOW_END)
+    assert dev4.cost_model.skb_xmit_fixed == DEFAULT_COSTS.skb_xmit_fixed
+    assert dev6.cost_model.skb_xmit_fixed < dev4.cost_model.skb_xmit_fixed
+
+
+def test_unknown_config_rejected(loop):
+    with pytest.raises(ValueError):
+        build_device(loop, PIXEL_4, "turbo")
+
+
+def test_cpu_busy_fraction(loop):
+    dev = build_device(loop, PIXEL_4, CpuConfig.LOW_END)
+    dev.start()
+    core = dev.cpu.active_core
+    core.submit_work(int(core.freq_hz * 0.05), lambda: None)  # 50 ms of work
+    loop.run(until=100_000_000)
+    assert 0.45 < dev.cpu_busy_fraction(100_000_000) < 0.55
+    dev.stop()

@@ -1,0 +1,135 @@
+"""Integration tests: cross-module behaviour on the full simulated device.
+
+These exercise the complete pipeline (device CPU -> stack -> testbed ->
+server) and pin down the paper's qualitative results as regressions.
+They use short durations; the benchmark suite runs the full-scale grids.
+"""
+
+import pytest
+
+from repro import (
+    CpuConfig,
+    ExperimentSpec,
+    LTE_CELLULAR,
+    NetemConfig,
+    PIXEL_6,
+    PacingMode,
+    WIFI_LAN,
+    run_experiment,
+)
+from repro.units import mbps
+
+
+def spec(**kw):
+    defaults = dict(
+        cpu_config=CpuConfig.LOW_END, duration_s=3.0, warmup_s=1.0
+    )
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+# -- the paper's core findings, miniaturized ---------------------------------
+
+
+def test_high_end_reaches_near_line_rate_for_both():
+    for cc in ("bbr", "cubic"):
+        r = run_experiment(spec(cc=cc, connections=1, cpu_config=CpuConfig.HIGH_END,
+                                duration_s=2.0, warmup_s=0.5))
+        assert r.goodput_mbps > 900, cc
+
+
+def test_goodput_ordering_low_end_20c():
+    """cubic > bbr-unpaced > bbr-paced on a Low-End device at 20 conns."""
+    cubic = run_experiment(spec(cc="cubic", connections=20))
+    unpaced = run_experiment(spec(cc="bbr", connections=20,
+                                  pacing_mode=PacingMode.OFF))
+    paced = run_experiment(spec(cc="bbr", connections=20))
+    assert cubic.goodput_mbps > unpaced.goodput_mbps > paced.goodput_mbps
+
+
+def test_bbr_gap_grows_with_connections():
+    r1 = run_experiment(spec(cc="bbr", connections=1))
+    r20 = run_experiment(spec(cc="bbr", connections=20))
+    c1 = run_experiment(spec(cc="cubic", connections=1))
+    c20 = run_experiment(spec(cc="cubic", connections=20))
+    assert (r20.goodput_mbps / c20.goodput_mbps) < (r1.goodput_mbps / c1.goodput_mbps)
+
+
+def test_smaller_skbs_with_more_connections():
+    """The autosize coupling that drives the effect (DESIGN.md §4.3)."""
+    r1 = run_experiment(spec(cc="bbr", connections=1))
+    r20 = run_experiment(spec(cc="bbr", connections=20))
+    assert r20.mean_skb_bytes < 0.5 * r1.mean_skb_bytes
+
+
+def test_stride_amortizes_timer_fires():
+    s1 = run_experiment(spec(cc="bbr", connections=20))
+    s10 = run_experiment(spec(cc="bbr", connections=20, pacing_stride=10.0))
+    # An order of magnitude fewer pacing periods per delivered byte.
+    rate1 = s1.pacing_periods / max(1.0, s1.goodput_mbps)
+    rate10 = s10.pacing_periods / max(1.0, s10.goodput_mbps)
+    assert rate10 < 0.3 * rate1
+    assert s10.goodput_mbps > s1.goodput_mbps
+
+
+def test_stride_keeps_rtt_far_below_unpaced():
+    strided = run_experiment(spec(cc="bbr", connections=20, pacing_stride=10.0))
+    unpaced = run_experiment(spec(cc="bbr", connections=20,
+                                  pacing_mode=PacingMode.OFF))
+    assert strided.rtt_mean_ms < unpaced.rtt_mean_ms
+
+
+def test_pixel6_shows_same_shape():
+    bbr = run_experiment(spec(cc="bbr", connections=20, device=PIXEL_6))
+    cubic = run_experiment(spec(cc="cubic", connections=20, device=PIXEL_6))
+    assert bbr.goodput_mbps < 0.8 * cubic.goodput_mbps
+
+
+def test_wifi_medium_varies_but_preserves_gap():
+    bbr = run_experiment(spec(cc="bbr", connections=20, medium=WIFI_LAN))
+    cubic = run_experiment(spec(cc="cubic", connections=20, medium=WIFI_LAN))
+    assert bbr.goodput_mbps < cubic.goodput_mbps
+
+
+def test_lte_no_gap():
+    bbr = run_experiment(spec(cc="bbr", connections=5, medium=LTE_CELLULAR,
+                              duration_s=5.0, warmup_s=2.0))
+    cubic = run_experiment(spec(cc="cubic", connections=5, medium=LTE_CELLULAR,
+                                duration_s=5.0, warmup_s=2.0))
+    assert abs(bbr.goodput_mbps - cubic.goodput_mbps) / cubic.goodput_mbps < 0.3
+    assert bbr.goodput_mbps < 20
+
+
+def test_bbr2_behaves_like_bbr_on_low_end():
+    bbr2 = run_experiment(spec(cc="bbr2", connections=20))
+    cubic = run_experiment(spec(cc="cubic", connections=20))
+    assert bbr2.goodput_mbps < 0.85 * cubic.goodput_mbps
+
+
+def test_cpu_frequency_scales_goodput():
+    low = run_experiment(spec(cc="cubic", connections=1))
+    mid = run_experiment(spec(cc="cubic", connections=1,
+                              cpu_config=CpuConfig.MID_END))
+    # 1.2 GHz vs 576 MHz: roughly the frequency ratio, below line rate.
+    ratio = mid.goodput_mbps / low.goodput_mbps
+    assert 1.6 < ratio < 2.6
+
+
+def test_conservation_no_goodput_inflation_from_retransmits():
+    """Goodput is receiver-side in-order bytes; loss cannot inflate it."""
+    lossy = run_experiment(spec(
+        cc="cubic", connections=4,
+        netem=NetemConfig(loss_probability=0.03),
+    ))
+    clean = run_experiment(spec(cc="cubic", connections=4))
+    assert lossy.retransmitted_segments > 0
+    assert lossy.goodput_mbps <= clean.goodput_mbps * 1.05
+
+
+def test_default_config_sits_between_low_and_high():
+    low = run_experiment(spec(cc="bbr", connections=20, duration_s=5.0, warmup_s=2.5))
+    default = run_experiment(spec(cc="bbr", connections=20, duration_s=5.0,
+                                  warmup_s=2.5, cpu_config=CpuConfig.DEFAULT))
+    high = run_experiment(spec(cc="bbr", connections=20, duration_s=5.0,
+                               warmup_s=2.5, cpu_config=CpuConfig.HIGH_END))
+    assert low.goodput_mbps < default.goodput_mbps < high.goodput_mbps

@@ -1,0 +1,124 @@
+"""Unit tests for metrics collectors, summaries, and report rendering."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    IntervalCounter,
+    MetricSummary,
+    RunSet,
+    StatAccumulator,
+    render_bars,
+    render_series,
+    render_table,
+)
+from repro.sim import EventLoop
+from repro.units import MSEC, SEC
+
+
+def test_interval_counter_bins_by_time(loop):
+    counter = IntervalCounter(loop, 100 * MSEC)
+    counter.add(10)
+    loop.call_at(150 * MSEC, lambda: counter.add(20))
+    loop.call_at(250 * MSEC, lambda: counter.add(30))
+    loop.run()
+    series = counter.series()
+    assert series == [(0, 10), (100 * MSEC, 20), (200 * MSEC, 30)]
+    assert counter.total == 60
+
+
+def test_interval_counter_gap_filling(loop):
+    counter = IntervalCounter(loop, 100 * MSEC)
+    counter.add(1)
+    loop.call_at(350 * MSEC, lambda: counter.add(2))
+    loop.run()
+    series = counter.series()
+    assert len(series) == 4
+    assert series[1][1] == 0 and series[2][1] == 0
+
+
+def test_interval_counter_window_rate(loop):
+    counter = IntervalCounter(loop, 100 * MSEC)
+    for t in range(10):
+        loop.call_at(t * 100 * MSEC, lambda: counter.add(1_000_000))
+    loop.run()
+    # Bins [200ms, 800ms): six bins of 1 MB
+    rate = counter.rate_bps_between(200 * MSEC, 800 * MSEC)
+    assert rate == pytest.approx(6 * 1_000_000 * 8 / 0.6)
+
+
+def test_stat_accumulator_moments():
+    acc = StatAccumulator()
+    for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        acc.add(v)
+    assert acc.mean == pytest.approx(5.0)
+    assert acc.stdev == pytest.approx(math.sqrt(32 / 7.0))
+    assert acc.min_value == 2.0
+    assert acc.max_value == 9.0
+
+
+def test_stat_accumulator_percentiles():
+    acc = StatAccumulator(keep=True)
+    for v in range(1, 101):
+        acc.add(float(v))
+    assert acc.percentile(50) == pytest.approx(50.5)
+    assert acc.percentile(95) == pytest.approx(95.05)
+    assert acc.percentile(0) == 1.0
+    assert acc.percentile(100) == 100.0
+
+
+def test_percentile_requires_keep():
+    acc = StatAccumulator()
+    acc.add(1.0)
+    with pytest.raises(RuntimeError):
+        acc.percentile(50)
+
+
+def test_runset_aggregates():
+    rs = RunSet()
+    rs.add_run({"goodput": 100.0, "rtt": 2.0})
+    rs.add_run({"goodput": 120.0, "rtt": 4.0})
+    assert rs.mean("goodput") == 110.0
+    assert rs.stdev("goodput") == pytest.approx(math.sqrt(200.0))
+    summary = rs.summary("rtt")
+    assert isinstance(summary, MetricSummary)
+    assert summary.mean == 3.0
+    assert summary.runs == 2
+    assert "rtt" in str(summary)
+
+
+def test_runset_missing_metric_is_zero():
+    rs = RunSet()
+    assert rs.mean("nope") == 0.0
+    assert rs.summary("nope").runs == 0
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["name", "value"], [["bbr", 138.2], ["cubic", 310.0]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "bbr" in lines[3] and "138" in lines[3]
+
+
+def test_render_series_shapes_figure_data():
+    text = render_series(
+        "conns", [1, 5, 20],
+        [("bbr", [325, 250, 138]), ("cubic", [364, 350, 310])],
+    )
+    assert "bbr" in text and "cubic" in text and "20" in text
+
+
+def test_render_bars():
+    text = render_bars(["paced", "unpaced"], [138.0, 373.0], unit="Mbps")
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("█") > lines[0].count("█")
+
+
+def test_render_bars_validates_lengths():
+    with pytest.raises(ValueError):
+        render_bars(["a"], [1.0, 2.0])

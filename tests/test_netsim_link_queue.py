@@ -1,0 +1,134 @@
+"""Unit tests for Link serialization and the droptail queue."""
+
+import pytest
+
+from repro.netsim import DropTailQueue, Link, Packet
+from repro.netsim.packet import DEFAULT_MSS
+from repro.units import mbps, transmit_time
+
+
+def make_data(flow=1, segs=1, seq=0):
+    return Packet(flow_id=flow, seq=seq, length=DEFAULT_MSS * segs)
+
+
+def test_link_delivers_after_serialization_and_propagation(loop):
+    got = []
+    link = Link(loop, rate_bps=mbps(100), prop_delay_ns=1000)
+    link.connect(lambda p: got.append((loop.now, p)))
+    p = make_data()
+    link.send(p)
+    loop.run()
+    expected = transmit_time(p.wire_bytes, mbps(100)) + 1000
+    assert got[0][0] == expected
+
+
+def test_link_serializes_fifo(loop):
+    got = []
+    link = Link(loop, rate_bps=mbps(100))
+    link.connect(lambda p: got.append(p.seq))
+    link.send(make_data(seq=0))
+    link.send(make_data(seq=DEFAULT_MSS))
+    loop.run()
+    assert got == [0, DEFAULT_MSS]
+
+
+def test_link_requires_sink(loop):
+    link = Link(loop, rate_bps=mbps(10))
+    link.send(make_data())
+    with pytest.raises(RuntimeError):
+        loop.run()
+
+
+def test_link_stats(loop):
+    link = Link(loop, rate_bps=mbps(100))
+    link.connect(lambda p: None)
+    p = make_data(segs=2)
+    link.send(p)
+    loop.run()
+    assert link.packets_sent == 1
+    assert link.bytes_sent == p.wire_bytes
+    assert link.busy_ns == transmit_time(p.wire_bytes, mbps(100))
+
+
+def test_link_rejects_nonpositive_rate(loop):
+    with pytest.raises(ValueError):
+        Link(loop, rate_bps=0)
+
+
+def test_queue_admits_within_capacity(loop):
+    got = []
+    link = Link(loop, rate_bps=mbps(1000))
+    link.connect(got.append)
+    q = DropTailQueue(loop, link, capacity_segments=10)
+    q.enqueue(make_data(segs=4))
+    q.enqueue(make_data(segs=4, seq=4 * DEFAULT_MSS))
+    loop.run()
+    assert len(got) == 2
+    assert q.dropped_segments == 0
+
+
+def test_queue_tail_drops_overflow(loop):
+    got = []
+    link = Link(loop, rate_bps=mbps(1))  # slow: keeps queue backed up
+    link.connect(got.append)
+    q = DropTailQueue(loop, link, capacity_segments=5)
+    # First packet (3 segs) goes straight to the link; the queue holds
+    # the rest.
+    for i in range(5):
+        q.enqueue(make_data(segs=3, seq=i * 3 * DEFAULT_MSS))
+    assert q.dropped_segments > 0
+    assert q.backlog_segments <= 5
+
+
+def test_queue_splits_partially_fitting_packet(loop):
+    got = []
+    link = Link(loop, rate_bps=mbps(1))
+    link.connect(got.append)
+    q = DropTailQueue(loop, link, capacity_segments=4)
+    q.enqueue(make_data(segs=2))              # -> link (in flight)
+    q.enqueue(make_data(segs=3, seq=2 * DEFAULT_MSS))  # queued fully
+    q.enqueue(make_data(segs=3, seq=5 * DEFAULT_MSS))  # 1 seg fits, 2 dropped
+    assert q.backlog_segments == 4
+    assert q.dropped_segments == 2
+    assert q.dropped_packets == 1
+
+
+def test_queue_drop_callback(loop):
+    drops = []
+    link = Link(loop, rate_bps=mbps(1))
+    link.connect(lambda p: None)
+    q = DropTailQueue(loop, link, capacity_segments=2)
+    q.on_drop = lambda packet, segs: drops.append(segs)
+    q.enqueue(make_data(segs=2))
+    q.enqueue(make_data(segs=2, seq=2 * DEFAULT_MSS))
+    q.enqueue(make_data(segs=2, seq=4 * DEFAULT_MSS))
+    assert drops == [2]
+
+
+def test_queue_preserves_order_and_drains(loop):
+    got = []
+    link = Link(loop, rate_bps=mbps(100))
+    link.connect(lambda p: got.append(p.seq))
+    q = DropTailQueue(loop, link, capacity_segments=100)
+    seqs = [i * DEFAULT_MSS for i in range(10)]
+    for s in seqs:
+        q.enqueue(make_data(segs=1, seq=s))
+    loop.run()
+    assert got == seqs
+    assert q.backlog_segments == 0
+
+
+def test_queue_backlog_sampling(loop):
+    link = Link(loop, rate_bps=mbps(1))
+    link.connect(lambda p: None)
+    q = DropTailQueue(loop, link, capacity_segments=50)
+    q.enqueue(make_data(segs=10))
+    q.enqueue(make_data(segs=10, seq=10 * DEFAULT_MSS))
+    q.sample_backlog()
+    assert q.mean_backlog_segments == 10.0  # one on the wire, one queued
+
+
+def test_queue_capacity_validation(loop):
+    link = Link(loop, rate_bps=mbps(1))
+    with pytest.raises(ValueError):
+        DropTailQueue(loop, link, capacity_segments=0)

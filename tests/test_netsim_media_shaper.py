@@ -1,0 +1,105 @@
+"""Unit tests for media profiles, variable-rate links, and netem."""
+
+import pytest
+
+from repro.netsim import (
+    ETHERNET_LAN,
+    LTE_CELLULAR,
+    WIFI_LAN,
+    NetemConfig,
+    NetemImpairment,
+    Packet,
+    VariableRateLink,
+    make_access_link,
+)
+from repro.netsim.link import Link
+from repro.sim import RngStreams
+from repro.units import MSEC, SEC, mbps
+
+
+def test_profiles_have_sane_shape():
+    assert ETHERNET_LAN.uplink_bps > WIFI_LAN.uplink_bps > LTE_CELLULAR.uplink_bps
+    assert LTE_CELLULAR.one_way_delay_ns > ETHERNET_LAN.one_way_delay_ns
+    assert ETHERNET_LAN.rate_sigma == 0.0
+    assert WIFI_LAN.rate_sigma > 0.0
+
+
+def test_make_access_link_fixed_for_ethernet(loop):
+    link = make_access_link(loop, ETHERNET_LAN, "up", RngStreams(1).stream("x"))
+    assert type(link) is Link
+    assert link.rate_bps == ETHERNET_LAN.uplink_bps
+
+
+def test_make_access_link_variable_for_wifi(loop):
+    link = make_access_link(loop, WIFI_LAN, "up", RngStreams(1).stream("x"))
+    assert isinstance(link, VariableRateLink)
+
+
+def test_make_access_link_direction_validation(loop):
+    with pytest.raises(ValueError):
+        make_access_link(loop, ETHERNET_LAN, "sideways", RngStreams(1).stream("x"))
+
+
+def test_variable_rate_stays_in_clamp_band(loop):
+    rng = RngStreams(3).stream("wifi")
+    link = VariableRateLink(
+        loop, mbps(600), sigma=0.2, phi=0.9, update_ns=10 * MSEC,
+        prop_delay_ns=0, rng=rng,
+    )
+    rates = []
+    for _ in range(200):
+        loop.run(until=loop.now + 10 * MSEC)
+        rates.append(link.rate_bps)
+    link.stop()
+    assert all(0.3 * mbps(600) <= r <= 1.5 * mbps(600) for r in rates)
+    assert len(set(rates)) > 10  # it actually varies
+
+
+def test_variable_rate_mean_near_profile_mean(loop):
+    rng = RngStreams(5).stream("wifi")
+    link = VariableRateLink(
+        loop, mbps(600), sigma=0.12, phi=0.9, update_ns=10 * MSEC,
+        prop_delay_ns=0, rng=rng,
+    )
+    rates = []
+    for _ in range(2000):
+        loop.run(until=loop.now + 10 * MSEC)
+        rates.append(link.rate_bps)
+    link.stop()
+    mean = sum(rates) / len(rates)
+    assert abs(mean - mbps(600)) / mbps(600) < 0.1
+
+
+def test_netem_config_validation():
+    with pytest.raises(ValueError):
+        NetemConfig(loss_probability=1.5)
+    with pytest.raises(ValueError):
+        NetemConfig(extra_delay_ns=-1)
+
+
+def test_netem_no_impairment_forwards_immediately(loop):
+    got = []
+    imp = NetemImpairment(loop, NetemConfig(), got.append)
+    imp(Packet(flow_id=1, length=100))
+    assert len(got) == 1
+    assert imp.forwarded_packets == 1
+
+
+def test_netem_delay(loop):
+    got = []
+    imp = NetemImpairment(
+        loop, NetemConfig(extra_delay_ns=5 * MSEC), lambda p: got.append(loop.now)
+    )
+    imp(Packet(flow_id=1, length=100))
+    loop.run()
+    assert got == [5 * MSEC]
+
+
+def test_netem_loss_rate_roughly_honoured(loop):
+    rng = RngStreams(11).stream("netem")
+    got = []
+    imp = NetemImpairment(loop, NetemConfig(loss_probability=0.3), got.append, rng)
+    for i in range(2000):
+        imp(Packet(flow_id=1, seq=i, length=100))
+    loss = imp.dropped_packets / 2000
+    assert 0.25 < loss < 0.35

@@ -1,0 +1,68 @@
+"""Unit tests for Packet / segment accounting / splitting."""
+
+import pytest
+
+from repro.netsim import DEFAULT_MSS, HEADER_BYTES, Packet
+
+
+def test_segment_count_rounds_up():
+    p = Packet(flow_id=1, seq=0, length=DEFAULT_MSS * 2 + 1)
+    assert p.segments == 3
+
+
+def test_full_segments():
+    p = Packet(flow_id=1, seq=0, length=DEFAULT_MSS * 4)
+    assert p.segments == 4
+
+
+def test_ack_occupies_one_segment():
+    p = Packet(flow_id=1, is_ack=True, ack=100)
+    assert p.segments == 1
+    assert p.length == 0
+
+
+def test_wire_bytes_include_per_segment_headers():
+    p = Packet(flow_id=1, seq=0, length=DEFAULT_MSS * 2)
+    assert p.wire_bytes == DEFAULT_MSS * 2 + 2 * HEADER_BYTES
+
+
+def test_end_seq():
+    p = Packet(flow_id=1, seq=1000, length=500)
+    assert p.end_seq == 1500
+
+
+def test_split_head_basic():
+    p = Packet(flow_id=1, seq=0, length=DEFAULT_MSS * 10)
+    head = p.split_head(4)
+    assert head is not None
+    assert head.seq == 0
+    assert head.length == DEFAULT_MSS * 4
+    assert p.seq == DEFAULT_MSS * 4
+    assert p.segments == 6
+    assert head.segments == 4
+
+
+def test_split_head_preserves_metadata():
+    p = Packet(flow_id=3, seq=0, length=DEFAULT_MSS * 4, sent_ts=123, is_retransmission=True)
+    head = p.split_head(2)
+    assert head.flow_id == 3
+    assert head.sent_ts == 123
+    assert head.is_retransmission
+
+
+def test_split_head_refuses_full_or_zero():
+    p = Packet(flow_id=1, seq=0, length=DEFAULT_MSS * 2)
+    assert p.split_head(0) is None
+    assert p.split_head(2) is None
+    assert p.split_head(5) is None
+
+
+def test_split_head_refuses_ack():
+    p = Packet(flow_id=1, is_ack=True)
+    assert p.split_head(1) is None
+
+
+def test_packet_ids_unique():
+    a = Packet(flow_id=1)
+    b = Packet(flow_id=1)
+    assert a.packet_id != b.packet_id

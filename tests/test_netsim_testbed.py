@@ -1,0 +1,96 @@
+"""Unit tests for the assembled Figure-1 testbed."""
+
+import pytest
+
+from repro.netsim import ETHERNET_LAN, NetemConfig, Packet
+from repro.netsim import Testbed as _Testbed  # alias avoids pytest collection
+from repro.netsim.packet import DEFAULT_MSS
+from repro.sim import EventLoop, RngStreams
+from repro.units import MSEC, mbps
+
+
+def build(loop, **kwargs):
+    return _Testbed(loop, ETHERNET_LAN, rng=RngStreams(1), **kwargs)
+
+
+def test_data_reaches_server(loop):
+    tb = build(loop)
+    got = []
+    tb.on_server_receive = got.append
+    tb.on_phone_receive = lambda p: None
+    tb.phone_send(Packet(flow_id=1, seq=0, length=DEFAULT_MSS))
+    loop.run()
+    assert len(got) == 1
+    assert got[0].flow_id == 1
+
+
+def test_ack_returns_to_phone(loop):
+    tb = build(loop)
+    tb.on_server_receive = lambda p: tb.server_send(
+        Packet(flow_id=p.flow_id, is_ack=True, ack=p.end_seq)
+    )
+    acks = []
+    tb.on_phone_receive = acks.append
+    tb.phone_send(Packet(flow_id=1, seq=0, length=DEFAULT_MSS))
+    loop.run()
+    assert len(acks) == 1
+    assert acks[0].ack == DEFAULT_MSS
+
+
+def test_rtt_includes_both_directions(loop):
+    tb = build(loop)
+    tb.on_server_receive = lambda p: tb.server_send(
+        Packet(flow_id=1, is_ack=True, ack=p.end_seq)
+    )
+    times = []
+    tb.on_phone_receive = lambda p: times.append(loop.now)
+    tb.phone_send(Packet(flow_id=1, seq=0, length=DEFAULT_MSS))
+    loop.run()
+    # at least two propagation delays plus serialization
+    assert times[0] >= 2 * ETHERNET_LAN.one_way_delay_ns
+
+
+def test_netem_rate_limit_applies_to_router_egress(loop):
+    tb = build(loop, netem=NetemConfig(rate_bps=mbps(10)))
+    assert tb.router_server_link.rate_bps == mbps(10)
+
+
+def test_netem_buffer_overrides_router_queue(loop):
+    tb = build(loop, netem=NetemConfig(buffer_segments=10))
+    assert tb.router_queue.capacity_segments == 10
+
+
+def test_shallow_buffer_drops_bursts(loop):
+    tb = build(loop, netem=NetemConfig(rate_bps=mbps(50), buffer_segments=10))
+    got = []
+    tb.on_server_receive = got.append
+    tb.on_phone_receive = lambda p: None
+    # Burst 40 segments into a 10-segment buffer behind a 50 Mbps port.
+    for i in range(10):
+        tb.phone_send(Packet(flow_id=1, seq=i * 4 * DEFAULT_MSS, length=4 * DEFAULT_MSS))
+    loop.run()
+    assert tb.router_dropped_segments > 0
+    delivered = sum(p.segments for p in got)
+    assert delivered + tb.router_dropped_segments == 40
+
+
+def test_missing_receiver_raises(loop):
+    tb = build(loop)
+    tb.phone_send(Packet(flow_id=1, seq=0, length=DEFAULT_MSS))
+    with pytest.raises(RuntimeError):
+        loop.run()
+
+
+def test_netem_loss_drops_uplink_packets(loop):
+    tb = _Testbed(
+        loop, ETHERNET_LAN,
+        netem=NetemConfig(loss_probability=0.5),
+        rng=RngStreams(9),
+    )
+    got = []
+    tb.on_server_receive = got.append
+    tb.on_phone_receive = lambda p: None
+    for i in range(100):
+        tb.phone_send(Packet(flow_id=1, seq=i * DEFAULT_MSS, length=DEFAULT_MSS))
+    loop.run()
+    assert 20 < len(got) < 80

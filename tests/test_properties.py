@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core data structures and
+end-to-end invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cc import WindowedMaxFilter
+from repro.metrics import StatAccumulator
+from repro.netsim import DEFAULT_MSS, Packet
+from repro.sim import EventLoop, RngStreams
+from repro.tcp import Scoreboard, TxRecord
+from repro.tcp.receiver import TcpReceiverEndpoint
+from repro.tcp.segmentation import GSO_MAX_BYTES, tso_autosize_bytes
+from repro.units import SEC
+
+MSS = 1000
+
+
+# ---------------------------------------------------------------------------
+# Event loop ordering
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))
+def test_event_loop_fires_in_nondecreasing_time_order(delays):
+    loop = EventLoop()
+    fired = []
+    for d in delays:
+        loop.call_after(d, lambda d=d: fired.append(loop.now))
+    loop.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=40))
+def test_same_time_events_preserve_insertion_order(delays):
+    loop = EventLoop()
+    fired = []
+    when = 50
+    for i, _ in enumerate(delays):
+        loop.call_at(when, lambda i=i: fired.append(i))
+    loop.run()
+    assert fired == list(range(len(delays)))
+
+
+# ---------------------------------------------------------------------------
+# Windowed max filter
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),   # time increments
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_minmax_value_never_below_latest_sample_in_window(samples):
+    f = WindowedMaxFilter(10)
+    t = 0
+    for dt, v in samples:
+        t += dt
+        result = f.update(t, v)
+        # The running max is at least the sample just offered...
+        assert result >= v
+    # ...and equals some sample seen within the window.
+    recent = [v for (tt, v) in _accumulate(samples) if t - tt <= 30]
+    assert f.value <= max(v for _, v in _accumulate(samples))
+
+
+def _accumulate(samples):
+    t = 0
+    out = []
+    for dt, v in samples:
+        t += dt
+        out.append((t, v))
+    return out
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=25, max_size=80))
+def test_minmax_stale_max_expires(values):
+    """After a full window of strictly lower samples, a spike is gone."""
+    f = WindowedMaxFilter(10)
+    f.update(0, 1e9)  # giant spike at t=0
+    for i, v in enumerate(values, start=1):
+        f.update(i, v)
+    assert f.value <= max(values)
+
+
+# ---------------------------------------------------------------------------
+# Scoreboard conservation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def transmissions(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    segs = draw(st.lists(st.integers(min_value=1, max_value=8), min_size=n, max_size=n))
+    return segs
+
+
+@given(transmissions(), st.data())
+def test_scoreboard_counters_match_record_state(segs, data):
+    sb = Scoreboard(MSS)
+    seq = 0
+    for i, s in enumerate(segs):
+        sb.on_transmit(
+            TxRecord(
+                seq=seq, end_seq=seq + s * MSS, segments=s, sent_ns=i,
+                delivered_at_send=0, delivered_time_at_send=0,
+                first_sent_at_send=0,
+            )
+        )
+        seq += s * MSS
+    total = seq
+    # Apply a random cumulative ack and random SACK blocks.
+    ack = data.draw(st.integers(min_value=0, max_value=total // MSS)) * MSS
+    blocks = []
+    for _ in range(data.draw(st.integers(min_value=0, max_value=3))):
+        a = data.draw(st.integers(min_value=0, max_value=total // MSS - 1)) * MSS
+        b = data.draw(st.integers(min_value=a // MSS + 1, max_value=total // MSS)) * MSS
+        blocks.append((a, b))
+    sb.on_ack(ack, blocks)
+
+    # Invariants: counters equal a fresh walk over the records.
+    packets = sum(r.segments for r in sb.records)
+    sacked = sum(r.sacked_segments for r in sb.records)
+    assert sb.packets_out == packets
+    assert sb.sacked_out == sacked
+    assert 0 <= sb.sacked_out <= sb.packets_out
+    assert sb.inflight_segments >= 0
+    assert sb.snd_una >= ack or ack <= 0
+    for r in sb.records:
+        assert 0 <= r.sacked_segments <= r.segments
+        assert not (r.sacked and r.lost)
+
+
+# ---------------------------------------------------------------------------
+# Receiver reassembly
+# ---------------------------------------------------------------------------
+
+
+@given(st.permutations(list(range(12))))
+def test_receiver_delivers_exactly_once_any_arrival_order(order):
+    acks = []
+    ep = TcpReceiverEndpoint(1, acks.append)
+    for idx in order:
+        ep.on_data(Packet(flow_id=1, seq=idx * MSS, length=MSS, mss=MSS, sent_ts=0))
+    assert ep.rcv_nxt == 12 * MSS
+    assert ep.bytes_in_order == 12 * MSS
+    assert ep.duplicate_bytes == 0
+    assert acks[-1].ack == 12 * MSS
+    assert acks[-1].sack_blocks == []
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(1, 4)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_receiver_rcv_nxt_monotone_and_window_bounded(chunks):
+    ep = TcpReceiverEndpoint(1, lambda ack: None)
+    last = 0
+    for start_seg, len_seg in chunks:
+        ep.on_data(
+            Packet(flow_id=1, seq=start_seg * MSS, length=len_seg * MSS, mss=MSS, sent_ts=0)
+        )
+        assert ep.rcv_nxt >= last
+        last = ep.rcv_nxt
+        assert 0 <= ep.advertised_window() <= ep.rcv_buffer_bytes
+
+
+# ---------------------------------------------------------------------------
+# TSO autosize
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100e9, allow_nan=False),
+    st.integers(min_value=500, max_value=9000),
+)
+def test_autosize_bounds(rate, mss):
+    nbytes = tso_autosize_bytes(rate, mss)
+    assert nbytes % mss == 0
+    assert nbytes >= 2 * mss
+    assert nbytes <= max(GSO_MAX_BYTES // mss, 1) * mss
+
+
+@given(
+    st.floats(min_value=1e6, max_value=1e9, allow_nan=False),
+    st.floats(min_value=1.01, max_value=10.0, allow_nan=False),
+)
+def test_autosize_monotone_in_rate(rate, factor):
+    assert tso_autosize_bytes(rate * factor, 1448) >= tso_autosize_bytes(rate, 1448)
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=300))
+def test_stat_accumulator_matches_reference(values):
+    acc = StatAccumulator(keep=True)
+    for v in values:
+        acc.add(v)
+    mean = sum(values) / len(values)
+    assert abs(acc.mean - mean) < 1e-6 * max(1.0, abs(mean))
+    assert acc.min_value == min(values)
+    assert acc.max_value == max(values)
+    assert acc.percentile(0) == min(values)
+    assert acc.percentile(100) == max(values)
+
+
+# ---------------------------------------------------------------------------
+# RNG streams
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+def test_rng_streams_reproducible(seed, name):
+    a = RngStreams(seed).stream(name).random()
+    b = RngStreams(seed).stream(name).random()
+    assert a == b

@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import EventLoop, SimulationError
+
+
+def test_starts_at_time_zero(loop):
+    assert loop.now == 0
+
+
+def test_call_after_fires_at_right_time(loop):
+    seen = []
+    loop.call_after(100, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [100]
+
+
+def test_call_at_absolute_time(loop):
+    seen = []
+    loop.call_at(250, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [250]
+
+
+def test_events_fire_in_time_order(loop):
+    seen = []
+    loop.call_after(300, lambda: seen.append("c"))
+    loop.call_after(100, lambda: seen.append("a"))
+    loop.call_after(200, lambda: seen.append("b"))
+    loop.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_insertion_order(loop):
+    seen = []
+    for tag in ("first", "second", "third"):
+        loop.call_at(50, lambda t=tag: seen.append(t))
+    loop.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_call_soon_runs_after_pending_same_time_events(loop):
+    seen = []
+    loop.call_at(0, lambda: seen.append("pending"))
+    loop.call_soon(lambda: seen.append("soon"))
+    loop.run()
+    assert seen == ["pending", "soon"]
+
+
+def test_cannot_schedule_in_the_past(loop):
+    loop.call_after(100, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.call_at(50, lambda: None)
+
+
+def test_negative_delay_rejected(loop):
+    with pytest.raises(SimulationError):
+        loop.call_after(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(loop):
+    seen = []
+    event = loop.call_after(100, lambda: seen.append("x"))
+    event.cancel()
+    loop.run()
+    assert seen == []
+    assert not event.pending
+
+
+def test_run_until_stops_clock_at_horizon(loop):
+    loop.call_after(1000, lambda: None)
+    loop.run(until=500)
+    assert loop.now == 500
+    # The event is still pending and fires on the next run.
+    fired = []
+    loop.call_at(1000, lambda: fired.append(1))
+    loop.run(until=2000)
+    assert loop.now == 2000
+
+
+def test_event_at_exact_horizon_fires(loop):
+    seen = []
+    loop.call_at(500, lambda: seen.append(1))
+    loop.run(until=500)
+    assert seen == [1]
+
+
+def test_events_scheduled_during_run_execute(loop):
+    seen = []
+
+    def first():
+        loop.call_after(10, lambda: seen.append("second"))
+        seen.append("first")
+
+    loop.call_after(5, first)
+    loop.run()
+    assert seen == ["first", "second"]
+
+
+def test_stop_halts_processing(loop):
+    seen = []
+
+    def first():
+        seen.append(1)
+        loop.stop()
+
+    loop.call_after(1, first)
+    loop.call_after(2, lambda: seen.append(2))
+    loop.run()
+    assert seen == [1]
+    assert loop.pending_count() == 1
+
+
+def test_max_events_guard(loop):
+    def reschedule():
+        loop.call_after(1, reschedule)
+
+    loop.call_after(1, reschedule)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=100)
+
+
+def test_events_processed_counter(loop):
+    for i in range(5):
+        loop.call_after(i + 1, lambda: None)
+    cancelled = loop.call_after(10, lambda: None)
+    cancelled.cancel()
+    loop.run()
+    assert loop.events_processed == 5
+
+
+def test_peek_next_time_skips_cancelled(loop):
+    e1 = loop.call_after(10, lambda: None)
+    loop.call_after(20, lambda: None)
+    e1.cancel()
+    assert loop.peek_next_time() == 20
+
+
+def test_run_while_running_rejected(loop):
+    def reenter():
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    loop.call_after(1, reenter)
+    loop.run()

@@ -1,0 +1,74 @@
+"""Unit tests for RNG streams and the tracer."""
+
+from repro.sim import RngStreams, Tracer
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(42).stream("wifi")
+    b = RngStreams(42).stream("wifi")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_independent():
+    rngs = RngStreams(42)
+    a = [rngs.stream("wifi").random() for _ in range(5)]
+    b = [rngs.stream("lte").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_creation_order_irrelevant():
+    r1 = RngStreams(7)
+    r1.stream("a")
+    first = r1.stream("b").random()
+    r2 = RngStreams(7)
+    second = r2.stream("b").random()  # "a" never created
+    assert first == second
+
+
+def test_fork_is_deterministic_and_distinct():
+    base = RngStreams(1)
+    f1 = base.fork(3).stream("x").random()
+    f2 = RngStreams(1).fork(3).stream("x").random()
+    assert f1 == f2
+    assert f1 != RngStreams(1).stream("x").random()
+
+
+def test_tracer_records_and_filters():
+    tracer = Tracer()
+    tracer.emit(10, "link", "drop", flow=1)
+    tracer.emit(20, "link", "send", flow=2)
+    tracer.emit(30, "cpu", "drop", flow=3)
+    assert len(tracer.records) == 3
+    assert len(tracer.filter(source="link")) == 2
+    assert len(tracer.filter(event="drop")) == 2
+    assert len(tracer.filter(source="link", event="drop")) == 1
+
+
+def test_tracer_disabled_keeps_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(10, "x", "y")
+    assert tracer.records == []
+
+
+def test_tracer_subscriber_called():
+    tracer = Tracer(keep=False)
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.emit(5, "src", "evt", a=1)
+    assert len(seen) == 1
+    assert seen[0].fields == {"a": 1}
+    assert tracer.records == []
+
+
+def test_tracer_clear():
+    tracer = Tracer()
+    tracer.emit(1, "a", "b")
+    tracer.clear()
+    assert tracer.records == []
+
+
+def test_trace_record_str():
+    tracer = Tracer()
+    tracer.emit(1_000_000, "link", "drop", flow=7)
+    text = str(tracer.records[0])
+    assert "link" in text and "drop" in text and "flow=7" in text

@@ -1,0 +1,135 @@
+"""Unit tests for Timer and PeriodicTimer."""
+
+import pytest
+
+from repro.sim import EventLoop, PeriodicTimer, Timer
+
+
+def test_timer_fires_once(loop):
+    fired = []
+    timer = Timer(loop, lambda: fired.append(loop.now))
+    timer.start(100)
+    loop.run()
+    assert fired == [100]
+    assert timer.fire_count == 1
+    assert not timer.pending
+
+
+def test_timer_restart_rearms(loop):
+    fired = []
+    timer = Timer(loop, lambda: fired.append(loop.now))
+    timer.start(100)
+    timer.start(300)  # re-arm before expiry
+    loop.run()
+    assert fired == [300]
+
+
+def test_timer_cancel(loop):
+    fired = []
+    timer = Timer(loop, lambda: fired.append(1))
+    timer.start(100)
+    timer.cancel()
+    loop.run()
+    assert fired == []
+
+
+def test_timer_cancel_idempotent(loop):
+    timer = Timer(loop, lambda: None)
+    timer.cancel()
+    timer.cancel()  # must not raise
+
+
+def test_timer_expires_at(loop):
+    timer = Timer(loop, lambda: None)
+    timer.start(250)
+    assert timer.expires_at == 250
+    assert timer.pending
+
+
+def test_timer_start_at_absolute(loop):
+    fired = []
+    loop.call_after(50, lambda: None)
+    loop.run()
+    timer = Timer(loop, lambda: fired.append(loop.now))
+    timer.start_at(120)
+    loop.run()
+    assert fired == [120]
+
+
+def test_timer_start_at_past_clamps_to_now(loop):
+    fired = []
+    loop.call_after(100, lambda: None)
+    loop.run()
+    timer = Timer(loop, lambda: fired.append(loop.now))
+    timer.start_at(10)  # in the past
+    loop.run()
+    assert fired == [100]
+
+
+def test_timer_slack_rounds_up(loop):
+    fired = []
+    timer = Timer(loop, lambda: fired.append(loop.now), slack_ns=100)
+    timer.start(150)
+    loop.run()
+    assert fired == [200]
+
+
+def test_timer_rearm_from_callback(loop):
+    fired = []
+    timer = Timer(loop, lambda: None)
+
+    def on_fire():
+        fired.append(loop.now)
+        if len(fired) < 3:
+            timer.start(100)
+
+    timer._callback = on_fire
+    timer.start(100)
+    loop.run()
+    assert fired == [100, 200, 300]
+
+
+def test_periodic_timer_ticks(loop):
+    ticks = []
+    periodic = PeriodicTimer(loop, 100, lambda: ticks.append(loop.now))
+    periodic.start()
+    loop.run(until=350)
+    assert ticks == [100, 200, 300]
+
+
+def test_periodic_timer_initial_delay(loop):
+    ticks = []
+    periodic = PeriodicTimer(loop, 100, lambda: ticks.append(loop.now))
+    periodic.start(initial_delay_ns=0)
+    loop.run(until=250)
+    assert ticks == [0, 100, 200]
+
+
+def test_periodic_timer_stop(loop):
+    ticks = []
+    periodic = PeriodicTimer(loop, 100, lambda: ticks.append(loop.now))
+    periodic.start()
+    loop.call_at(250, periodic.stop)
+    loop.run(until=1000)
+    assert ticks == [100, 200]
+    assert not periodic.running
+
+
+def test_periodic_timer_stop_from_callback(loop):
+    ticks = []
+    periodic = PeriodicTimer(loop, 100, lambda: None)
+
+    def on_tick():
+        ticks.append(loop.now)
+        if len(ticks) == 2:
+            periodic.stop()
+
+    periodic._callback = on_tick
+    periodic.start()
+    loop.run(until=1000)
+    assert ticks == [100, 200]
+
+
+def test_periodic_rejects_nonpositive_period(loop):
+    with pytest.raises(ValueError):
+        PeriodicTimer(loop, 0, lambda: None)

@@ -1,0 +1,85 @@
+"""Edge-case tests for SocketConfig and sender internals."""
+
+import pytest
+
+from repro.cc import Bbr, Cubic, Reno
+from repro.tcp import FiniteSource, PacingMode, SocketConfig
+from repro.units import MSEC, SEC, seconds
+
+from conftest import ProtocolHarness
+
+
+def test_socket_config_validation():
+    with pytest.raises(ValueError):
+        SocketConfig(pacing_mode="sometimes")
+    with pytest.raises(ValueError):
+        SocketConfig(pacing_stride=0.9)
+    with pytest.raises(ValueError):
+        SocketConfig(initial_cwnd=0)
+
+
+def test_stride_flows_into_pacer(harness):
+    config = SocketConfig(pacing_stride=7.0)
+    sender = harness.stack.create_connection(Bbr(), config=config)
+    assert sender.pacer.stride == 7.0
+
+
+def test_internal_pacing_rate_uses_phase_factor(harness):
+    sender = harness.stack.create_connection(Cubic())
+    sender.rtt.update(MSEC)
+    sender.cwnd = 100
+    sender.ssthresh = 1 << 30  # slow start
+    ss_rate = sender.internal_pacing_rate_bps()
+    sender.ssthresh = 10  # congestion avoidance
+    ca_rate = sender.internal_pacing_rate_bps()
+    assert ss_rate == pytest.approx(2.0 * 100 * sender.mss * 8 * SEC / MSEC)
+    assert ca_rate == pytest.approx(1.2 * 100 * sender.mss * 8 * SEC / MSEC)
+
+
+def test_internal_rate_zero_before_first_rtt(harness):
+    sender = harness.stack.create_connection(Cubic())
+    assert sender.internal_pacing_rate_bps() == 0.0
+
+
+def test_send_quantum_falls_back_to_gso_without_rate(harness):
+    sender = harness.stack.create_connection(Reno())
+    sender.pacer.rate_bps = 0.0
+    assert sender.send_quantum_bytes == sender.config.gso_max_bytes
+
+
+def test_sub_mss_tail_stays_unsent(harness):
+    """Senders transmit whole segments; a sub-MSS tail waits forever
+    (iperf-style sources end on segment boundaries in practice)."""
+    sender = harness.stack.create_connection(
+        Reno(), source=FiniteSource(sender_bytes := 10 * 1448 + 100)
+    )
+    sender.start()
+    harness.run(seconds(2))
+    assert sender.snd_nxt == 10 * 1448
+
+
+def test_snd_wnd_tracks_latest_ack(harness):
+    sender = harness.stack.create_connection(Reno())
+    endpoint = harness.server.endpoint_for(sender.flow_id)
+    endpoint.rcv_buffer_bytes = 123_456
+    sender.start()
+    harness.run(seconds(1))
+    assert sender.snd_wnd <= 123_456
+
+
+def test_copy_pipeline_keeps_socket_fed(harness):
+    sender = harness.stack.create_connection(Reno())
+    sender.start()
+    harness.run(seconds(1))
+    # The copy-ahead never exceeds its configured bound.
+    assert 0 <= sender.copied_seq - sender.snd_nxt <= sender.config.sndbuf_unsent_bytes
+    assert sender.copied_seq > 0
+
+
+def test_bbr_min_tso_segs_scales_with_rate(harness):
+    bbr = Bbr()
+    sender = harness.stack.create_connection(bbr)
+    bbr._rate_bps = 100e6
+    assert bbr.min_tso_segs(sender) == 2
+    bbr._rate_bps = 2e9
+    assert bbr.min_tso_segs(sender) == 4

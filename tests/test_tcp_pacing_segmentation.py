@@ -1,0 +1,171 @@
+"""Unit tests for TSO autosizing and the pacing controller (Eqs. 1-2)."""
+
+import pytest
+
+from repro.tcp import GSO_MAX_BYTES, PacingController, tso_autosize_bytes, tso_autosize_segments
+from repro.units import MSEC, SEC, mbps
+
+MSS = 1448
+
+
+def test_autosize_is_about_one_ms_of_rate():
+    nbytes = tso_autosize_bytes(mbps(100), MSS)
+    # 100 Mbps ~ 12.5 kB/ms; rounded down to whole segments
+    assert 10_000 < nbytes < 13_000
+    assert nbytes % MSS == 0
+
+
+def test_autosize_scales_with_rate():
+    assert tso_autosize_bytes(mbps(400), MSS) > tso_autosize_bytes(mbps(100), MSS)
+
+
+def test_autosize_min_segments_floor():
+    assert tso_autosize_bytes(mbps(1), MSS) == 2 * MSS
+    assert tso_autosize_bytes(mbps(1), MSS, min_tso_segs=4) == 4 * MSS
+
+
+def test_autosize_gso_cap():
+    nbytes = tso_autosize_bytes(mbps(10_000), MSS)
+    assert nbytes <= GSO_MAX_BYTES
+    assert nbytes == (GSO_MAX_BYTES // MSS) * MSS
+
+
+def test_autosize_segments_form():
+    assert tso_autosize_segments(mbps(100), MSS) == tso_autosize_bytes(mbps(100), MSS) // MSS
+
+
+def test_autosize_rejects_bad_mss():
+    with pytest.raises(ValueError):
+        tso_autosize_bytes(mbps(100), 0)
+
+
+# ---------------------------------------------------------------------------
+# PacingController
+# ---------------------------------------------------------------------------
+
+
+def make_pacer(rate_mbps=100.0, stride=1.0):
+    pacer = PacingController(MSS, stride=stride)
+    pacer.rate_bps = mbps(rate_mbps)
+    return pacer
+
+
+def test_stride_below_one_rejected():
+    with pytest.raises(ValueError):
+        PacingController(MSS, stride=0.5)
+
+
+def test_not_blocked_initially():
+    pacer = make_pacer()
+    assert not pacer.blocked(0)
+
+
+def test_budget_is_stride_times_goal():
+    p1 = make_pacer(stride=1.0)
+    p5 = make_pacer(stride=5.0)
+    assert p5.period_budget_bytes() == 5 * p1.period_budget_bytes()
+
+
+def test_idle_time_follows_eq1():
+    pacer = make_pacer(rate_mbps=100, stride=1.0)
+    pacer.open_period(0)
+    budget = pacer.period_budget_bytes()
+    pacer.consume(budget)
+    idle = pacer.close_period(0)
+    expected = int(budget * 8 * SEC / mbps(100))
+    assert idle == expected
+    assert pacer.blocked(idle - 1)
+    assert not pacer.blocked(idle)
+
+
+def test_stride_scales_idle_time_eq2():
+    idle = {}
+    for stride in (1.0, 5.0):
+        pacer = make_pacer(rate_mbps=100, stride=stride)
+        pacer.open_period(0)
+        pacer.consume(pacer.period_budget_bytes())
+        idle[stride] = pacer.close_period(0)
+    assert idle[5.0] == pytest.approx(5 * idle[1.0], rel=0.01)
+
+
+def test_underfilled_period_still_idles_full_budget():
+    """cwnd-capped bursts idle by intent, not by what was sent (Table 2)."""
+    pacer = make_pacer(rate_mbps=100, stride=10.0)
+    pacer.open_period(0)
+    pacer.consume(MSS)  # far below the 10x budget
+    idle = pacer.close_period(0)
+    full = int(pacer.period_budget_bytes() * 8 * SEC / mbps(100))
+    assert idle == full
+
+
+def test_idle_measured_from_period_open():
+    """CPU work overlaps the pacing clock: delay is from open time."""
+    pacer = make_pacer(rate_mbps=100)
+    pacer.open_period(0)
+    budget = pacer.period_budget_bytes()
+    pacer.consume(budget)
+    full_idle = int(budget * 8 * SEC / mbps(100))
+    # The transmit work finished 60% into the idle window.
+    late = int(full_idle * 0.6)
+    remaining = pacer.close_period(late)
+    assert remaining == full_idle - late
+    assert pacer.next_send_at_ns == full_idle
+
+
+def test_cpu_slower_than_idle_means_no_delay():
+    pacer = make_pacer(rate_mbps=100)
+    pacer.open_period(0)
+    pacer.consume(pacer.period_budget_bytes())
+    remaining = pacer.close_period(10 * SEC)  # CPU took ages
+    assert remaining == 0
+    assert not pacer.blocked(10 * SEC)
+
+
+def test_zero_rate_never_blocks():
+    pacer = PacingController(MSS)
+    pacer.rate_bps = 0.0
+    pacer.open_period(0)
+    pacer.consume(MSS)
+    assert pacer.close_period(0) == 0
+    assert not pacer.blocked(0)
+
+
+def test_consume_outside_period_rejected():
+    pacer = make_pacer()
+    with pytest.raises(RuntimeError):
+        pacer.consume(100)
+
+
+def test_close_without_open_rejected():
+    pacer = make_pacer()
+    with pytest.raises(RuntimeError):
+        pacer.close_period(0)
+
+
+def test_open_while_blocked_rejected():
+    pacer = make_pacer()
+    pacer.open_period(0)
+    pacer.consume(pacer.period_budget_bytes())
+    pacer.close_period(0)
+    with pytest.raises(RuntimeError):
+        pacer.open_period(0)
+
+
+def test_abandon_period_does_not_pace():
+    pacer = make_pacer()
+    pacer.open_period(0)
+    pacer.abandon_period()
+    assert not pacer.blocked(0)
+    assert pacer.periods == 0
+
+
+def test_statistics_track_periods():
+    pacer = make_pacer(rate_mbps=100)
+    for t in range(3):
+        now = pacer.next_send_at_ns
+        pacer.open_period(now)
+        pacer.consume(pacer.period_budget_bytes())
+        pacer.close_period(now)
+    assert pacer.periods == 3
+    assert pacer.mean_period_bytes == pacer.period_budget_bytes()
+    assert pacer.mean_idle_ns > 0

@@ -1,0 +1,98 @@
+"""Unit tests for delivery-rate estimation."""
+
+from repro.tcp import DeliveryRateEstimator, TxRecord
+from repro.units import MSEC, SEC
+
+
+def send_record(est, seq, nbytes, now, has_inflight, app_limited=False):
+    snapshot = est.on_send(now, has_inflight=has_inflight, app_limited=app_limited)
+    return TxRecord(
+        seq=seq, end_seq=seq + nbytes, segments=max(1, nbytes // 1448),
+        sent_ns=now, **snapshot,
+    )
+
+
+def test_flight_restart_resets_clocks():
+    est = DeliveryRateEstimator()
+    record = send_record(est, 0, 1448, now=5 * MSEC, has_inflight=False)
+    assert record.first_sent_at_send == 5 * MSEC
+    assert record.delivered_time_at_send == 5 * MSEC
+
+
+def test_chained_sends_keep_clocks():
+    est = DeliveryRateEstimator()
+    send_record(est, 0, 1448, now=0, has_inflight=False)
+    second = send_record(est, 1448, 1448, now=MSEC, has_inflight=True)
+    assert second.first_sent_at_send == 0
+
+
+def test_sample_rate_matches_delivery():
+    est = DeliveryRateEstimator()
+    record = send_record(est, 0, 10_000, now=0, has_inflight=False)
+    est.on_delivered(10_000, now_ns=10 * MSEC)
+    rs = est.make_sample(record, now_ns=10 * MSEC)
+    assert rs.valid
+    assert rs.delivered_bytes == 10_000
+    # 10 kB over 10 ms = 8 Mbps
+    assert abs(rs.delivery_rate_bps - 8e6) / 8e6 < 0.01
+    assert rs.rtt_ns == 10 * MSEC
+
+
+def test_interval_takes_max_of_send_and_ack_legs():
+    est = DeliveryRateEstimator()
+    send_record(est, 0, 1000, now=0, has_inflight=False)
+    # second packet sent 50 ms after the first: send leg dominates
+    second = send_record(est, 1000, 1000, now=50 * MSEC, has_inflight=True)
+    est.on_delivered(1000, now_ns=51 * MSEC)
+    est.on_delivered(1000, now_ns=52 * MSEC)
+    rs = est.make_sample(second, now_ns=52 * MSEC)
+    # send leg = 50 ms (sent at 50 ms, flight began at 0); ack leg = 52 ms
+    # (no delivery had occurred when it was sent) — the max wins.
+    assert rs.interval_ns == 52 * MSEC
+
+
+def test_retransmitted_record_gives_invalid_sample():
+    est = DeliveryRateEstimator()
+    record = send_record(est, 0, 1000, now=0, has_inflight=False)
+    record.retransmitted = True
+    est.on_delivered(1000, now_ns=MSEC)
+    rs = est.make_sample(record, now_ns=MSEC)
+    assert not rs.valid
+    assert rs.delivery_rate_bps == 0.0
+
+
+def test_app_limited_marking():
+    est = DeliveryRateEstimator()
+    record = send_record(est, 0, 1000, now=0, has_inflight=False, app_limited=True)
+    assert record.is_app_limited
+    est.on_delivered(1000, now_ns=MSEC)
+    rs = est.make_sample(record, now_ns=MSEC)
+    assert rs.is_app_limited
+    # Once delivery passes the app-limited point, new sends are clean.
+    est.on_delivered(1000, now_ns=2 * MSEC)
+    clean = send_record(est, 2000, 1000, now=2 * MSEC, has_inflight=True)
+    assert not clean.is_app_limited
+
+
+def test_first_sent_chains_after_sample():
+    est = DeliveryRateEstimator()
+    first = send_record(est, 0, 1000, now=0, has_inflight=False)
+    est.on_delivered(1000, now_ns=5 * MSEC)
+    est.make_sample(first, now_ns=5 * MSEC)
+    assert est.first_sent_ns == 0  # set to the sampled packet's send time
+    nxt = send_record(est, 1000, 1000, now=6 * MSEC, has_inflight=True)
+    assert nxt.first_sent_at_send == 0
+
+
+def test_delivered_counter_accumulates():
+    est = DeliveryRateEstimator()
+    est.on_delivered(100, 1)
+    est.on_delivered(200, 2)
+    assert est.delivered_bytes == 300
+    assert est.delivered_time_ns == 2
+
+
+def test_last_sent_defaults_to_sent():
+    est = DeliveryRateEstimator()
+    record = send_record(est, 0, 1000, now=7, has_inflight=False)
+    assert record.last_sent_ns == 7

@@ -1,0 +1,124 @@
+"""Unit tests for the server-side receiver endpoint."""
+
+import pytest
+
+from repro.netsim import Packet
+from repro.tcp import TcpReceiverEndpoint
+
+MSS = 1000
+
+
+def data(seq, segs=1, flow=1, sent_ts=123):
+    return Packet(flow_id=flow, seq=seq, length=segs * MSS, mss=MSS, sent_ts=sent_ts)
+
+
+def make_endpoint():
+    acks = []
+    ep = TcpReceiverEndpoint(1, acks.append)
+    return ep, acks
+
+
+def test_in_order_data_advances_rcv_nxt():
+    ep, acks = make_endpoint()
+    ep.on_data(data(0, 2))
+    assert ep.rcv_nxt == 2000
+    assert ep.bytes_in_order == 2000
+    assert acks[-1].ack == 2000
+    assert acks[-1].sack_blocks == []
+
+
+def test_ack_echoes_timestamp():
+    ep, acks = make_endpoint()
+    ep.on_data(data(0, 1, sent_ts=777))
+    assert acks[-1].echo_ts == 777
+
+
+def test_out_of_order_generates_sack():
+    ep, acks = make_endpoint()
+    ep.on_data(data(2000, 2))
+    assert ep.rcv_nxt == 0
+    assert acks[-1].ack == 0
+    assert acks[-1].sack_blocks == [(2000, 4000)]
+
+
+def test_hole_fill_drains_ooo_queue():
+    ep, acks = make_endpoint()
+    ep.on_data(data(2000, 2))
+    ep.on_data(data(0, 2))
+    assert ep.rcv_nxt == 4000
+    assert acks[-1].sack_blocks == []
+    assert ep.bytes_in_order == 4000
+
+
+def test_ooo_intervals_merge():
+    ep, acks = make_endpoint()
+    ep.on_data(data(2000, 1))
+    ep.on_data(data(4000, 1))
+    ep.on_data(data(3000, 1))  # bridges the two
+    assert acks[-1].sack_blocks == [(2000, 5000)]
+
+
+def test_most_recent_block_listed_first():
+    ep, acks = make_endpoint()
+    ep.on_data(data(2000, 1))
+    ep.on_data(data(6000, 1))
+    blocks = acks[-1].sack_blocks
+    assert blocks[0] == (6000, 7000)
+    assert (2000, 3000) in blocks
+
+
+def test_at_most_three_sack_blocks():
+    ep, acks = make_endpoint()
+    for i in range(5):
+        ep.on_data(data(2000 + i * 2000, 1))
+    assert len(acks[-1].sack_blocks) == 3
+
+
+def test_duplicate_data_counted():
+    ep, acks = make_endpoint()
+    ep.on_data(data(0, 2))
+    ep.on_data(data(0, 2))
+    assert ep.duplicate_bytes == 2000
+    assert ep.bytes_in_order == 2000
+
+
+def test_overlap_partial_duplicate():
+    ep, acks = make_endpoint()
+    ep.on_data(data(0, 2))
+    ep.on_data(data(1000, 2))  # 1 segment duplicate, 1 new
+    assert ep.rcv_nxt == 3000
+    assert ep.duplicate_bytes == 1000
+    assert ep.bytes_in_order == 3000
+
+
+def test_goodput_hook_sees_in_order_advances():
+    ep, _ = make_endpoint()
+    seen = []
+    ep.on_goodput = seen.append
+    ep.on_data(data(2000, 2))   # OOO: no goodput
+    ep.on_data(data(0, 2))      # fills hole: 4000 in-order bytes at once
+    assert seen == [4000]
+
+
+def test_advertised_window_shrinks_with_held_ooo():
+    ep, acks = make_endpoint()
+    full = ep.advertised_window()
+    ep.on_data(data(2000, 2))
+    assert ep.advertised_window() == full - 2000
+    assert acks[-1].rwnd == full - 2000
+    ep.on_data(data(0, 2))
+    assert ep.advertised_window() == full
+
+
+def test_receiver_rejects_ack_packets():
+    ep, _ = make_endpoint()
+    with pytest.raises(ValueError):
+        ep.on_data(Packet(flow_id=1, is_ack=True))
+
+
+def test_acks_sent_counter():
+    ep, acks = make_endpoint()
+    for i in range(4):
+        ep.on_data(data(i * 1000, 1))
+    assert ep.acks_sent == 4
+    assert len(acks) == 4

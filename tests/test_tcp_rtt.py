@@ -1,0 +1,83 @@
+"""Unit tests for RTT estimation, RTO, and the min-RTT filter."""
+
+from repro.tcp import MinRttFilter, RttEstimator
+from repro.units import MSEC, SEC, milliseconds
+
+
+def test_first_sample_initializes_srtt():
+    est = RttEstimator()
+    est.update(milliseconds(10))
+    assert est.srtt_ns == milliseconds(10)
+    assert est.rttvar_ns == milliseconds(5)
+
+
+def test_smoothing_converges_toward_stable_rtt():
+    est = RttEstimator()
+    for _ in range(100):
+        est.update(milliseconds(20))
+    assert abs(est.srtt_ns - milliseconds(20)) < milliseconds(1)
+    assert est.rttvar_ns < milliseconds(1)
+
+
+def test_initial_rto_is_one_second():
+    est = RttEstimator()
+    assert est.rto_ns == SEC
+
+
+def test_rto_has_min_floor():
+    est = RttEstimator()
+    for _ in range(50):
+        est.update(milliseconds(1))
+    assert est.rto_ns == 200 * MSEC
+
+
+def test_rto_tracks_variance():
+    est = RttEstimator()
+    for rtt in (100, 300, 100, 300, 100, 300):
+        est.update(milliseconds(rtt))
+    assert est.rto_ns > milliseconds(300)
+
+
+def test_rto_max_ceiling():
+    est = RttEstimator(max_rto_ns=2 * SEC)
+    est.update(100 * SEC)
+    assert est.rto_ns == 2 * SEC
+
+
+def test_nonpositive_samples_ignored():
+    est = RttEstimator()
+    est.update(0)
+    est.update(-5)
+    assert est.samples == 0
+    assert est.srtt_ns is None
+
+
+def test_min_filter_takes_minimum():
+    f = MinRttFilter(window_ns=SEC)
+    f.update(milliseconds(10), 0)
+    f.update(milliseconds(5), 100)
+    f.update(milliseconds(8), 200)
+    assert f.min_rtt_ns == milliseconds(5)
+
+
+def test_min_filter_equal_sample_refreshes_stamp():
+    f = MinRttFilter(window_ns=SEC)
+    f.update(milliseconds(5), 0)
+    f.update(milliseconds(5), 500 * MSEC)
+    assert f.stamp_ns == 500 * MSEC
+
+
+def test_min_filter_expires_and_accepts_higher():
+    f = MinRttFilter(window_ns=SEC)
+    f.update(milliseconds(5), 0)
+    assert f.expired(2 * SEC)
+    assert f.update(milliseconds(9), 2 * SEC)  # accepted: window expired
+    assert f.min_rtt_ns == milliseconds(9)
+
+
+def test_min_filter_not_expired_inside_window():
+    f = MinRttFilter(window_ns=SEC)
+    f.update(milliseconds(5), 0)
+    assert not f.expired(900 * MSEC)
+    assert not f.update(milliseconds(9), 900 * MSEC)
+    assert f.min_rtt_ns == milliseconds(5)

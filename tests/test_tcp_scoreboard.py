@@ -1,0 +1,179 @@
+"""Unit tests for the SACK scoreboard."""
+
+import pytest
+
+from repro.tcp import Scoreboard, TxRecord
+
+MSS = 1000
+
+
+def record(seq, segs, sent=0, **kw):
+    return TxRecord(
+        seq=seq,
+        end_seq=seq + segs * MSS,
+        segments=segs,
+        sent_ns=sent,
+        delivered_at_send=0,
+        delivered_time_at_send=0,
+        first_sent_at_send=0,
+        **kw,
+    )
+
+
+def make_board(*recs):
+    sb = Scoreboard(MSS)
+    for r in recs:
+        sb.on_transmit(r)
+    return sb
+
+
+def test_transmit_accumulates_packets_out():
+    sb = make_board(record(0, 4), record(4000, 2))
+    assert sb.packets_out == 6
+    assert sb.inflight_segments == 6
+
+
+def test_out_of_order_transmit_rejected():
+    sb = make_board(record(0, 4))
+    with pytest.raises(ValueError):
+        sb.on_transmit(record(2000, 1))
+
+
+def test_cumulative_ack_retires_records():
+    sb = make_board(record(0, 4), record(4000, 4))
+    outcome = sb.on_ack(4000, [])
+    assert outcome.newly_acked_segments == 4
+    assert outcome.newly_acked_bytes == 4000
+    assert sb.packets_out == 4
+    assert sb.snd_una == 4000
+
+
+def test_partial_ack_shrinks_head_record():
+    sb = make_board(record(0, 4))
+    outcome = sb.on_ack(2000, [])
+    assert outcome.newly_acked_segments == 2
+    assert sb.packets_out == 2
+    head = sb.oldest_unacked_record()
+    assert head.seq == 2000
+
+
+def test_duplicate_ack_changes_nothing():
+    sb = make_board(record(0, 4))
+    sb.on_ack(4000, [])
+    outcome = sb.on_ack(4000, [])
+    assert outcome.newly_acked_segments == 0
+
+
+def test_sack_marks_segments():
+    sb = make_board(record(0, 4), record(4000, 4))
+    outcome = sb.on_ack(0, [(4000, 8000)])
+    assert outcome.newly_sacked_segments == 4
+    assert sb.sacked_out == 4
+    # FACK also marks the un-SACKed head lost (3+ segments below the
+    # highest SACK), so nothing is considered in flight any more.
+    assert sb.lost_out == 4
+    assert sb.inflight_segments == 0
+
+
+def test_sack_is_idempotent():
+    sb = make_board(record(0, 4), record(4000, 4))
+    sb.on_ack(0, [(4000, 8000)])
+    outcome = sb.on_ack(0, [(4000, 8000)])
+    assert outcome.newly_sacked_segments == 0
+    assert sb.sacked_out == 4
+
+
+def test_partial_sack_coverage():
+    sb = make_board(record(0, 4))
+    outcome = sb.on_ack(0, [(2000, 3000)])
+    assert outcome.newly_sacked_segments == 1
+    assert not sb.oldest_unacked_record().sacked
+
+
+def test_fack_loss_detection():
+    # Records: [0,2000), [2000,4000), [4000,8000). SACKing the last block
+    # puts both earlier records >= 3 segments below the highest SACK, so
+    # FACK marks both lost.
+    sb = make_board(record(0, 2), record(2000, 2), record(4000, 4))
+    outcome = sb.on_ack(0, [(4000, 8000)])
+    assert outcome.newly_lost_segments == 4
+    assert sb.lost_out == 4
+    assert sb.next_lost_record().seq == 0
+
+
+def test_loss_requires_reorder_degree_distance():
+    sb = make_board(record(0, 2), record(2000, 2))
+    outcome = sb.on_ack(0, [(2000, 4000)])
+    # Highest sacked is only 2 segments past the hole: below threshold 3.
+    assert outcome.newly_lost_segments == 0
+
+
+def test_retransmit_accounting():
+    sb = make_board(record(0, 2), record(2000, 2), record(4000, 4))
+    sb.on_ack(0, [(4000, 8000)])  # marks records 1 and 2 lost (4 segs)
+    lost = sb.next_lost_record()
+    sb.on_retransmit(lost)
+    assert sb.retrans_out == 2
+    assert sb.total_retransmitted_segments == 2
+    # The second lost record is still awaiting retransmission.
+    assert sb.next_lost_record().seq == 2000
+    # inflight = packets(8) - sacked(4) - lost(4) + retrans(2)
+    assert sb.inflight_segments == 2
+
+
+def test_cumack_of_retransmitted_record_clears_counts():
+    sb = make_board(record(0, 2), record(2000, 2), record(4000, 4))
+    sb.on_ack(0, [(4000, 8000)])
+    sb.on_retransmit(sb.next_lost_record())
+    sb.on_ack(8000, [])
+    assert sb.packets_out == 0
+    assert sb.retrans_out == 0
+    assert sb.lost_out == 0
+    assert sb.inflight_segments == 0
+
+
+def test_fully_sacked_record_clears_lost_mark():
+    sb = make_board(record(0, 2), record(2000, 2), record(4000, 4))
+    sb.on_ack(0, [(4000, 8000)])
+    assert sb.lost_out == 4
+    sb.on_ack(0, [(0, 2000)])  # the "lost" head arrives after all
+    assert sb.lost_out == 2
+
+
+def test_mark_all_lost_on_rto():
+    sb = make_board(record(0, 2), record(2000, 2), record(4000, 4))
+    sb.on_ack(0, [(4000, 8000)])  # both un-SACKed records already lost
+    sb.on_retransmit(sb.next_lost_record())
+    newly = sb.mark_all_lost()
+    assert newly == 0  # nothing new: they were lost before the RTO
+    assert sb.retrans_out == 0  # retransmission marks cleared
+    assert sb.lost_out == 4
+    assert sb.next_lost_record() is not None
+
+
+def test_clear_loss_marks():
+    sb = make_board(record(0, 2), record(2000, 2), record(4000, 4))
+    sb.on_ack(0, [(4000, 8000)])
+    sb.clear_loss_marks()
+    assert sb.lost_out == 0
+    assert sb.next_lost_record() is None
+
+
+def test_newest_delivered_record_selection():
+    sb = make_board(record(0, 2, sent=100), record(2000, 2, sent=200))
+    outcome = sb.on_ack(4000, [])
+    assert outcome.newest_delivered_record.sent_ns == 200
+
+
+def test_delivered_bytes_combines_ack_and_sack():
+    sb = make_board(record(0, 2), record(2000, 2))
+    outcome = sb.on_ack(2000, [(3000, 4000)])
+    assert outcome.delivered_bytes == 2000 + 1000
+
+
+def test_counters_consistent_after_mixed_operations():
+    sb = make_board(record(0, 4), record(4000, 4), record(8000, 4))
+    sb.on_ack(2000, [(8000, 12000)])
+    packets = sum(r.segments for r in sb.records)
+    assert sb.packets_out == packets
+    assert sb.sacked_out == sum(r.sacked_segments for r in sb.records)

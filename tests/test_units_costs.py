@@ -1,0 +1,104 @@
+"""Unit tests for unit helpers and the cost model."""
+
+import pytest
+
+from repro.cpu import CostModel, DEFAULT_COSTS, ZERO_COSTS
+from repro.units import (
+    MSEC,
+    SEC,
+    USEC,
+    gbps,
+    ghz,
+    kib,
+    kilobits,
+    mbps,
+    mhz,
+    microseconds,
+    milliseconds,
+    rate_from_bytes,
+    seconds,
+    to_kilobits,
+    to_mbps,
+    to_milliseconds,
+    to_seconds,
+    transmit_time,
+)
+
+
+def test_time_constructors_are_integral():
+    assert seconds(1.5) == 1_500_000_000
+    assert milliseconds(2.5) == 2_500_000
+    assert microseconds(3) == 3_000
+    assert isinstance(seconds(0.1), int)
+
+
+def test_time_round_trips():
+    assert to_seconds(seconds(2.5)) == 2.5
+    assert to_milliseconds(milliseconds(7)) == 7.0
+
+
+def test_rate_constructors():
+    assert mbps(100) == 100e6
+    assert gbps(1) == 1e9
+    assert to_mbps(250e6) == 250.0
+    assert mhz(576) == 576e6
+    assert ghz(2.8) == 2.8e9
+
+
+def test_size_helpers():
+    assert kib(2) == 2048
+    assert kilobits(8) == 1000
+    assert to_kilobits(4012.5) == pytest.approx(32.1)
+
+
+def test_transmit_time():
+    # 1250 bytes at 10 Mbps = 1 ms
+    assert transmit_time(1250, mbps(10)) == MSEC
+    assert transmit_time(1250, 0) == 0
+
+
+def test_rate_from_bytes():
+    assert rate_from_bytes(1_250_000, SEC) == mbps(10)
+    assert rate_from_bytes(100, 0) == 0.0
+
+
+def test_cost_model_xmit_and_copy_split():
+    costs = CostModel()
+    nbytes = 10_000
+    assert costs.xmit_cycles(nbytes) == costs.skb_xmit_fixed + costs.copy_cycles(nbytes)
+    assert costs.copy_cycles(nbytes) == int(costs.cycles_per_byte_xmit * nbytes)
+
+
+def test_cost_model_ack_cycles():
+    costs = CostModel()
+    base = costs.ack_cycles()
+    with_sack = costs.ack_cycles(sack_blocks=2)
+    with_cc = costs.ack_cycles(cc_cycles=2400)
+    assert with_sack == base + 2 * costs.cycles_per_sack_block
+    assert with_cc == base + 2400
+
+
+def test_cost_model_scaling():
+    half = DEFAULT_COSTS.scaled(0.5)
+    assert half.skb_xmit_fixed == DEFAULT_COSTS.skb_xmit_fixed // 2
+    assert half.pacing_timer_fire == DEFAULT_COSTS.pacing_timer_fire // 2
+    assert half.cycles_per_byte_xmit == DEFAULT_COSTS.cycles_per_byte_xmit / 2
+
+
+def test_cost_model_without_pacing_overhead():
+    free = DEFAULT_COSTS.without_pacing_overhead()
+    assert free.pacing_timer_fire == 0
+    assert free.timer_program == 0
+    assert free.skb_xmit_fixed == DEFAULT_COSTS.skb_xmit_fixed
+
+
+def test_zero_costs_all_zero():
+    assert ZERO_COSTS.xmit_cycles(10_000) == 0
+    assert ZERO_COSTS.ack_cycles(3, 0) == 0
+    assert ZERO_COSTS.copy_cycles(10_000) == 0
+
+
+def test_pacing_timer_dominates_skb_fixed_cost():
+    """The calibration premise: a pacing-timer fire costs more than a
+    plain transmit's fixed path (that ratio is what strides amortize)."""
+    assert DEFAULT_COSTS.pacing_timer_fire > DEFAULT_COSTS.skb_xmit_fixed
