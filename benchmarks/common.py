@@ -19,7 +19,12 @@ import os
 from dataclasses import replace
 from typing import Dict, Iterable, List, Sequence
 
-from repro import ExperimentSpec, ReplicatedResult, run_replicated
+from repro import (
+    ExperimentSpec,
+    ReplicatedResult,
+    run_replicated_grid,
+    run_replicated_parallel,
+)
 
 #: simulated seconds per run (measurement starts after WARMUP_S)
 DURATION_S = 4.0
@@ -42,8 +47,19 @@ def base_spec(**overrides) -> ExperimentSpec:
 
 
 def measure(spec: ExperimentSpec, runs: int = RUNS) -> ReplicatedResult:
-    """Run a grid point with the suite's replication count."""
-    return run_replicated(spec, runs=runs)
+    """Run a grid point with the suite's replication count.
+
+    Replications fan out across worker processes (``REPRO_JOBS`` or all
+    cores; see :mod:`repro.runner`); results are identical to serial.
+    """
+    return run_replicated_parallel(spec, runs=runs)
+
+
+def measure_grid(
+    specs: Sequence[ExperimentSpec], runs: int = RUNS
+) -> List[ReplicatedResult]:
+    """Run a whole grid through the parallel runner, in grid order."""
+    return run_replicated_grid(specs, runs=runs)
 
 
 def goodput_series(
@@ -52,10 +68,8 @@ def goodput_series(
     runs: int = RUNS,
 ) -> List[float]:
     """Mean goodput (Mbps) for each connection count."""
-    out = []
-    for n in connections:
-        out.append(measure(replace(spec, connections=n), runs=runs).goodput_mbps)
-    return out
+    specs = [replace(spec, connections=n) for n in connections]
+    return [agg.goodput_mbps for agg in measure_grid(specs, runs=runs)]
 
 
 def publish(name: str, text: str) -> None:

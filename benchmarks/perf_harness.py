@@ -1,0 +1,170 @@
+"""Perf harness: track simulator speed and runner scaling across PRs.
+
+Run it directly (``PYTHONPATH=src python benchmarks/perf_harness.py``) to
+measure
+
+* **single-run speed** — wall-clock and events/sec for three canonical
+  grid points (1- and 20-connection BBR on the Low-End config, and a
+  20-connection Cubic run on Default), best-of-``REPEATS`` to suppress
+  scheduler noise;
+* **parallel scaling** — the Figure 2 Low-End grid (BBR + Cubic over
+  {1, 5, 10, 20} connections) at ``jobs=1`` versus ``jobs=N``.
+
+Results are written to ``benchmarks/results/BENCH_runner.json``. The
+``baseline`` block is *preserved* across reruns — it records the seed
+repo's numbers on the machine that first established it — so the
+``current`` block always has something fixed to be compared against.
+Future perf PRs should rerun this harness and keep ``current`` moving.
+
+``--quick`` shortens simulated durations for CI smoke use; quick numbers
+are noisier and are not written unless ``--write`` is also given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List
+
+from repro import ExperimentSpec, run_experiment, run_grid_report
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_runner.json")
+
+#: best-of repetitions per single-run point
+REPEATS = 5
+
+#: Seed-repo single-run numbers (pre parallel-runner/event-loop PR),
+#: measured on the container that established the baseline. Used to seed
+#: the ``baseline`` block when BENCH_runner.json does not exist yet.
+SEED_BASELINE: Dict[str, Dict[str, float]] = {
+    "bbr_1c_low-end": {"wall_s": 0.197, "events": 27451, "events_per_sec": 139319.5},
+    "bbr_20c_low-end": {"wall_s": 1.1971, "events": 164376, "events_per_sec": 137317.4},
+    "cubic_20c_default": {"wall_s": 2.7164, "events": 293844, "events_per_sec": 108175.4},
+}
+
+
+def canonical_points(duration_s: float = 2.0, warmup_s: float = 0.5) -> Dict[str, ExperimentSpec]:
+    """The three single-run measurement points (stable across PRs)."""
+    return {
+        "bbr_1c_low-end": ExperimentSpec(
+            cc="bbr", connections=1, cpu_config="low-end",
+            duration_s=duration_s, warmup_s=warmup_s),
+        "bbr_20c_low-end": ExperimentSpec(
+            cc="bbr", connections=20, cpu_config="low-end",
+            duration_s=duration_s, warmup_s=warmup_s),
+        "cubic_20c_default": ExperimentSpec(
+            cc="cubic", connections=20, cpu_config="default",
+            duration_s=duration_s, warmup_s=warmup_s),
+    }
+
+
+def fig2_lowend_grid(duration_s: float = 2.0, warmup_s: float = 0.5) -> List[ExperimentSpec]:
+    """The Figure 2 Low-End slice: BBR + Cubic x {1, 5, 10, 20} connections."""
+    return [
+        ExperimentSpec(cc=cc, connections=n, cpu_config="low-end",
+                       duration_s=duration_s, warmup_s=warmup_s)
+        for cc in ("bbr", "cubic")
+        for n in (1, 5, 10, 20)
+    ]
+
+
+def measure_single_runs(duration_s: float, warmup_s: float) -> Dict[str, Dict[str, float]]:
+    """Best-of-REPEATS wall/events/sec for each canonical point."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, spec in canonical_points(duration_s, warmup_s).items():
+        best_wall = float("inf")
+        events = 0
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            result = run_experiment(spec)
+            wall = time.perf_counter() - t0
+            if wall < best_wall:
+                best_wall = wall
+                events = result.events_processed
+        out[name] = {
+            "wall_s": round(best_wall, 4),
+            "events": events,
+            "events_per_sec": round(events / best_wall, 1),
+        }
+        print(f"  {name}: {best_wall:.3f}s  {events / best_wall:,.0f} ev/s")
+    return out
+
+
+def measure_parallel_scaling(duration_s: float, warmup_s: float) -> Dict[str, object]:
+    """Fig. 2 Low-End grid wall-clock at jobs=1 vs jobs=N."""
+    grid = fig2_lowend_grid(duration_s, warmup_s)
+    # At least 2 so the process-pool path is always exercised, even on a
+    # single-core box (where the speedup will honestly be ~1x or below —
+    # meta.cpu_count records the hardware this ran on).
+    jobs_n = max(2, min(os.cpu_count() or 1, 4))
+    serial = run_grid_report(grid, jobs=1)
+    print(f"  jobs=1: {serial.summary_line()}")
+    parallel = run_grid_report(grid, jobs=jobs_n)
+    print(f"  jobs={jobs_n}: {parallel.summary_line()}")
+    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s > 0 else 0.0
+    return {
+        "grid": "fig2_low-end (bbr+cubic x 1/5/10/20 connections)",
+        "points": serial.points,
+        "jobs1_wall_s": round(serial.wall_s, 3),
+        "jobsN": parallel.jobs,
+        "jobsN_wall_s": round(parallel.wall_s, 3),
+        "speedup": round(speedup, 2),
+        "events_per_sec_jobs1": round(serial.events_per_sec, 1),
+        "events_per_sec_jobsN": round(parallel.events_per_sec, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short simulations (CI smoke; noisier numbers)")
+    parser.add_argument("--write", action="store_true", default=None,
+                        help="write BENCH_runner.json (default unless --quick)")
+    args = parser.parse_args(argv)
+
+    duration_s, warmup_s = (0.8, 0.2) if args.quick else (2.0, 0.5)
+    write = args.write if args.write is not None else not args.quick
+
+    print("single-run speed (best of %d):" % REPEATS)
+    current = measure_single_runs(duration_s, warmup_s)
+    print("parallel scaling:")
+    scaling = measure_parallel_scaling(duration_s, warmup_s)
+
+    existing: Dict[str, object] = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as f:
+            existing = json.load(f)
+    baseline = existing.get("baseline") or SEED_BASELINE
+
+    payload = {
+        "baseline": baseline,
+        "current": current,
+        "parallel": scaling,
+        "meta": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "quick": bool(args.quick),
+        },
+    }
+    if write:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(BENCH_PATH, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote {BENCH_PATH}")
+
+    for name, cur in current.items():
+        base = baseline.get(name)
+        if base:
+            gain = cur["events_per_sec"] / base["events_per_sec"] - 1
+            print(f"  {name}: events/sec {gain:+.1%} vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

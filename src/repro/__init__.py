@@ -33,6 +33,16 @@ from .core import (
 )
 from .devices import PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
 from .netsim import ETHERNET_LAN, LTE_CELLULAR, WIFI_LAN, NetemConfig
+from .runner import (
+    ExperimentGridError,
+    GridPointError,
+    GridReport,
+    resolve_jobs,
+    run_grid,
+    run_grid_report,
+    run_replicated_grid,
+    run_replicated_parallel,
+)
 from .tcp.pacing import PacingMode
 
 __version__ = "1.0.0"
@@ -60,4 +70,12 @@ __all__ = [
     "LTE_CELLULAR",
     "NetemConfig",
     "PacingMode",
+    "ExperimentGridError",
+    "GridPointError",
+    "GridReport",
+    "resolve_jobs",
+    "run_grid",
+    "run_grid_report",
+    "run_replicated_grid",
+    "run_replicated_parallel",
 ]

@@ -21,6 +21,8 @@ import json
 import sys
 from typing import List, Optional
 
+import time
+
 from . import (
     CpuConfig,
     ETHERNET_LAN,
@@ -31,7 +33,8 @@ from . import (
     PIXEL_6,
     PacingMode,
     WIFI_LAN,
-    run_replicated,
+    resolve_jobs,
+    run_replicated_grid,
     sweep_strides,
 )
 from .metrics import render_table
@@ -66,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--runs", type=int, default=1,
                        help="seeded replications to average")
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes for grid/replication fan-out "
+                            "(default: $REPRO_JOBS, then CPU count)")
         p.add_argument("--rate-limit-mbps", type=float, default=None,
                        help="tc rate limit on the router's server port")
         p.add_argument("--buffer-segments", type=int, default=None,
@@ -144,6 +150,26 @@ def _emit(rows: List[dict], as_json: bool, out) -> None:
     out.write(table + "\n")
 
 
+def _timing_line(aggs, jobs: int, wall_s: float) -> str:
+    """One-line sweep timing summary (points, workers, wall, events/sec)."""
+    points = sum(len(a.runs) for a in aggs)
+    events = sum(r.events_processed for a in aggs for r in a.runs)
+    rate = events / wall_s if wall_s > 0 else 0.0
+    return (
+        f"# points={points} workers={min(jobs, points)} "
+        f"wall={wall_s:.2f}s events/sec={rate:,.0f}"
+    )
+
+
+def _run_specs(args, specs):
+    """Run replicated specs through the parallel runner, with timing."""
+    jobs = resolve_jobs(args.jobs)
+    start = time.perf_counter()
+    aggs = run_replicated_grid(specs, runs=args.runs, jobs=jobs)
+    wall = time.perf_counter() - start
+    return aggs, _timing_line(aggs, jobs, wall)
+
+
 def _cmd_run(args, out) -> int:
     spec = _spec_from_args(
         args,
@@ -154,27 +180,35 @@ def _cmd_run(args, out) -> int:
         fixed_pacing_rate_mbps=args.fixed_pacing_mbps,
         disable_model=args.disable_model,
     )
-    agg = run_replicated(spec, runs=args.runs)
+    (agg,), timing = _run_specs(args, [spec])
     _emit([_result_dict(agg)], args.json, out)
+    if not args.json:
+        out.write(timing + "\n")
     return 0
 
 
 def _cmd_compare(args, out) -> int:
-    rows = []
-    for cc in ("cubic", "bbr"):
-        spec = _spec_from_args(args, cc=cc, pacing_stride=args.stride)
-        rows.append(_result_dict(run_replicated(spec, runs=args.runs)))
+    specs = [
+        _spec_from_args(args, cc=cc, pacing_stride=args.stride)
+        for cc in ("cubic", "bbr")
+    ]
+    aggs, timing = _run_specs(args, specs)
+    rows = [_result_dict(agg) for agg in aggs]
     _emit(rows, args.json, out)
     if not args.json:
         cubic, bbr = rows[0], rows[1]
         gap = 100 * (1 - bbr["goodput_mbps"] / max(1e-9, cubic["goodput_mbps"]))
         out.write(f"\nBBR vs Cubic goodput gap: {gap:.1f}%\n")
+        out.write(timing + "\n")
     return 0
 
 
 def _cmd_sweep(args, out) -> int:
     spec = _spec_from_args(args, cc="bbr")
-    results = sweep_strides(spec, strides=args.strides, runs=args.runs)
+    jobs = resolve_jobs(args.jobs)
+    start = time.perf_counter()
+    results = sweep_strides(spec, strides=args.strides, runs=args.runs, jobs=jobs)
+    wall = time.perf_counter() - start
     rows = []
     for stride in args.strides:
         agg = results[float(stride)]
@@ -183,6 +217,8 @@ def _cmd_sweep(args, out) -> int:
         del row["label"]
         rows.append(row)
     _emit(rows, args.json, out)
+    if not args.json:
+        out.write(_timing_line(list(results.values()), jobs, wall) + "\n")
     return 0
 
 

@@ -256,49 +256,54 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         memory_stats.add(backlog + inflight)
 
     memory_sampler = PeriodicTimer(loop, 50 * MSEC, sample_memory, name="memsample")
-    memory_sampler.start()
 
-    device.start()
-    client.start()
-    loop.run(until=duration_ns)
+    # Teardown runs in the finally block so that an exception anywhere in
+    # the run or in metrics extraction cannot leak live periodic timers.
+    # This matters once worker processes reuse interpreters across grid
+    # points (see repro.runner): a leaked sampler would keep the dead
+    # testbed reachable for the worker's lifetime.
+    try:
+        memory_sampler.start()
+        device.start()
+        client.start()
+        loop.run(until=duration_ns)
 
-    goodput_bps = server.goodput_bps_between(warmup_ns, duration_ns)
-    per_flow = [
-        to_mbps(server.flow_goodput_bps_between(c.flow_id, warmup_ns, duration_ns))
-        for c in client.connections
-    ]
-    rtt = client.rtt_stats
-    pacing_periods = sum(c.pacer.periods for c in client.connections)
+        goodput_bps = server.goodput_bps_between(warmup_ns, duration_ns)
+        per_flow = [
+            to_mbps(server.flow_goodput_bps_between(c.flow_id, warmup_ns, duration_ns))
+            for c in client.connections
+        ]
+        rtt = client.rtt_stats
+        pacing_periods = sum(c.pacer.periods for c in client.connections)
 
-    result = ExperimentResult(
-        spec=spec,
-        goodput_mbps=to_mbps(goodput_bps),
-        per_flow_goodput_mbps=per_flow,
-        rtt_mean_ms=rtt.mean,
-        rtt_p50_ms=rtt.percentile(50) if rtt.count else 0.0,
-        rtt_p95_ms=rtt.percentile(95) if rtt.count else 0.0,
-        rtt_min_ms=rtt.min_value or 0.0,
-        retransmitted_segments=client.retransmitted_segments,
-        rto_count=client.rto_count,
-        cpu_busy_fraction=device.cpu_busy_fraction(duration_ns),
-        mean_skb_bytes=client.mean_pacer_period_bytes(),
-        mean_idle_ms=client.mean_pacer_idle_ns() / 1e6,
-        pacing_periods=pacing_periods,
-        router_dropped_segments=testbed.router_dropped_segments,
-        phone_dropped_segments=testbed.phone_dropped_segments,
-        peak_qdisc_segments=testbed.phone_qdisc.max_backlog_segments,
-        peak_memory_bytes=int(memory_stats.max_value or 0),
-        mean_memory_bytes=memory_stats.mean,
-        mean_cwnd_segments=client.mean_cwnd_segments,
-        events_processed=loop.events_processed,
-    )
-
-    # Teardown so the loop holds no live periodic sources.
-    memory_sampler.stop()
-    client.stop()
-    device.stop()
-    testbed.stop_processes()
-    return result
+        return ExperimentResult(
+            spec=spec,
+            goodput_mbps=to_mbps(goodput_bps),
+            per_flow_goodput_mbps=per_flow,
+            rtt_mean_ms=rtt.mean,
+            rtt_p50_ms=rtt.percentile(50) if rtt.count else 0.0,
+            rtt_p95_ms=rtt.percentile(95) if rtt.count else 0.0,
+            rtt_min_ms=rtt.min_value or 0.0,
+            retransmitted_segments=client.retransmitted_segments,
+            rto_count=client.rto_count,
+            cpu_busy_fraction=device.cpu_busy_fraction(duration_ns),
+            mean_skb_bytes=client.mean_pacer_period_bytes(),
+            mean_idle_ms=client.mean_pacer_idle_ns() / 1e6,
+            pacing_periods=pacing_periods,
+            router_dropped_segments=testbed.router_dropped_segments,
+            phone_dropped_segments=testbed.phone_dropped_segments,
+            peak_qdisc_segments=testbed.phone_qdisc.max_backlog_segments,
+            peak_memory_bytes=int(memory_stats.max_value or 0),
+            mean_memory_bytes=memory_stats.mean,
+            mean_cwnd_segments=client.mean_cwnd_segments,
+            events_processed=loop.events_processed,
+        )
+    finally:
+        # Teardown so the loop holds no live periodic sources.
+        memory_sampler.stop()
+        client.stop()
+        device.stop()
+        testbed.stop_processes()
 
 
 def run_replicated(spec: ExperimentSpec, runs: int = 3) -> ReplicatedResult:

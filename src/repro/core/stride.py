@@ -12,10 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence
 
+from typing import Optional
+
 from ..devices import DeviceSetup
 from ..sim import EventLoop, PeriodicTimer
 from ..units import MSEC
-from .experiment import ExperimentSpec, ReplicatedResult, run_replicated
+from .experiment import ExperimentSpec, ReplicatedResult
 
 __all__ = ["PAPER_STRIDES", "sweep_strides", "AdaptiveStrideController"]
 
@@ -27,13 +29,23 @@ def sweep_strides(
     spec: ExperimentSpec,
     strides: Sequence[float] = PAPER_STRIDES,
     runs: int = 3,
+    jobs: Optional[int] = None,
 ) -> Dict[float, ReplicatedResult]:
-    """Run *spec* at each stride; returns ``{stride: aggregate}``."""
-    results: Dict[float, ReplicatedResult] = {}
-    for stride in strides:
-        stride_spec = replace(spec, pacing_stride=float(stride))
-        results[float(stride)] = run_replicated(stride_spec, runs=runs)
-    return results
+    """Run *spec* at each stride; returns ``{stride: aggregate}``.
+
+    Points fan out across *jobs* worker processes (``None`` resolves via
+    ``REPRO_JOBS`` / cpu count; see :mod:`repro.runner`); results are
+    deterministic and independent of the worker count.
+    """
+    from ..runner import run_replicated_grid  # deferred: avoids import cycle
+
+    stride_specs = [
+        replace(spec, pacing_stride=float(stride)) for stride in strides
+    ]
+    aggregates = run_replicated_grid(stride_specs, runs=runs, jobs=jobs)
+    return {
+        float(stride): agg for stride, agg in zip(strides, aggregates)
+    }
 
 
 @dataclass

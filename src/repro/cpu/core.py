@@ -15,7 +15,7 @@ from collections import deque
 from typing import Callable, Deque, Optional
 
 from ..sim import EventLoop, Tracer, NULL_TRACER
-from ..units import cycles_to_ns
+from ..units import SEC
 
 __all__ = ["WorkItem", "CpuCore"]
 
@@ -130,8 +130,9 @@ class CpuCore:
             queue.appendleft(item)
         else:
             queue.append(item)
-        if self.queue_depth > self.max_queue_depth:
-            self.max_queue_depth = self.queue_depth
+        depth = len(self._queue) + len(self._high_queue)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
         if self._current is None:
             self._start_next()
 
@@ -165,16 +166,20 @@ class CpuCore:
             item = self._queue.popleft()
         else:
             return
+        loop = self._loop
+        now = loop.now
         self._current = item
-        item.started_at = self._loop.now
-        self._busy_since = self._loop.now
-        duration = cycles_to_ns(item.cycles, self._freq_hz)
-        self._completion_event = self._loop.call_after(duration, self._complete, item)
+        item.started_at = now
+        self._busy_since = now
+        # Inlined cycles_to_ns (same expression, so timings stay
+        # bit-identical); the freq > 0 invariant is enforced at set time.
+        duration = int(round(item.cycles * SEC / self._freq_hz))
+        self._completion_event = loop.call_after(duration, self._complete, item)
 
     def _complete(self, item: WorkItem) -> None:
-        now = self._loop.now
-        if self._busy_since is not None:
-            self.busy_ns_total += now - self._busy_since
+        busy_since = self._busy_since
+        if busy_since is not None:
+            self.busy_ns_total += self._loop.now - busy_since
             self._busy_since = None
         self._current = None
         self._completion_event = None

@@ -1,0 +1,260 @@
+"""Parallel experiment runner: fan grids and replications across cores.
+
+Every figure/table of the paper is a grid of independent
+(cc x connections x cpu_config x ...) points, and each point is a fully
+deterministic simulation — perfect fan-out material. This module runs
+grids through a :class:`concurrent.futures.ProcessPoolExecutor` while
+keeping the three properties the benchmarks rely on:
+
+1. **Determinism** — results come back keyed by grid index, never by
+   completion order, so ``run_grid(specs, jobs=N)`` is element-wise
+   identical to ``jobs=1`` (simulations are seeded; pickling transports
+   ints and floats exactly).
+2. **Error isolation** — one failing point becomes a
+   :class:`GridPointError` carrying its spec and traceback instead of
+   killing the sweep; by default the errors are raised together once
+   every other point has finished.
+3. **Graceful degradation** — ``jobs=1`` (or a platform without working
+   multiprocessing) runs the same grid serially in-process.
+
+The worker count comes from, in order: the ``jobs`` argument, the
+``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .core.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    ReplicatedResult,
+    run_experiment,
+)
+from .metrics.summary import RunSet
+
+__all__ = [
+    "GridPointError",
+    "GridReport",
+    "ExperimentGridError",
+    "resolve_jobs",
+    "run_grid",
+    "run_grid_report",
+    "run_replicated_grid",
+    "run_replicated_parallel",
+]
+
+#: environment variable consulted when ``jobs`` is not given explicitly
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+@dataclass
+class GridPointError:
+    """One grid point that raised instead of producing a result."""
+
+    index: int
+    spec: ExperimentSpec
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"grid point {self.index} ({self.spec.label()}): {self.error}"
+
+
+class ExperimentGridError(RuntimeError):
+    """Raised by :func:`run_grid` when points failed (after all finished)."""
+
+    def __init__(self, errors: Sequence[GridPointError]):
+        self.errors = list(errors)
+        first = self.errors[0]
+        summary = "; ".join(str(e) for e in self.errors[:3])
+        if len(self.errors) > 3:
+            summary += f"; ... ({len(self.errors)} total)"
+        super().__init__(
+            f"{len(self.errors)} grid point(s) failed: {summary}\n"
+            f"first traceback:\n{first.traceback}"
+        )
+
+
+@dataclass
+class GridReport:
+    """A grid's results plus the timing data the CLI/benchmarks print."""
+
+    results: List[Union[ExperimentResult, GridPointError]]
+    #: worker processes actually used (1 = serial path)
+    jobs: int
+    wall_s: float
+    #: total simulation events dispatched across all points
+    total_events: int
+    errors: List[GridPointError] = field(default_factory=list)
+
+    @property
+    def points(self) -> int:
+        """Number of grid points."""
+        return len(self.results)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulation event throughput over the wall clock."""
+        return self.total_events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary_line(self) -> str:
+        """One-line human-readable timing summary."""
+        return (
+            f"points={self.points} workers={self.jobs} "
+            f"wall={self.wall_s:.2f}s events/sec={self.events_per_sec:,.0f}"
+            + (f" errors={len(self.errors)}" if self.errors else "")
+        )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: argument > ``REPRO_JOBS`` > cpu_count."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_point(
+    indexed: Tuple[int, ExperimentSpec],
+) -> Tuple[int, Optional[ExperimentResult], Optional[GridPointError]]:
+    """Worker body: never raises, so one bad point can't kill the sweep."""
+    index, spec = indexed
+    try:
+        return index, run_experiment(spec), None
+    except Exception as exc:  # noqa: BLE001 - captured per point by design
+        return index, None, GridPointError(
+            index=index,
+            spec=spec,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+
+
+def run_grid_report(
+    specs: Sequence[ExperimentSpec],
+    jobs: Optional[int] = None,
+    raise_on_error: bool = True,
+) -> GridReport:
+    """Run every spec and return results (grid order) plus timing data.
+
+    ``jobs`` > 1 fans points across a process pool; results are ordered
+    by grid index regardless of completion order. Failed points appear
+    as :class:`GridPointError` entries in ``results`` (and in
+    ``errors``); with *raise_on_error* they are raised as one
+    :class:`ExperimentGridError` after the whole grid has run, so a
+    sweep always produces every result it can.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if specs:
+        jobs = min(jobs, len(specs))
+    start = time.perf_counter()
+    outcomes: List[Tuple[int, Optional[ExperimentResult], Optional[GridPointError]]]
+    if jobs == 1 or len(specs) <= 1:
+        jobs = 1
+        outcomes = [_run_point(item) for item in enumerate(specs)]
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                # map() yields in submission order == grid order.
+                outcomes = list(pool.map(_run_point, enumerate(specs)))
+        except (OSError, NotImplementedError, PermissionError):
+            # Platforms without working process pools (restricted
+            # sandboxes, missing /dev/shm) fall back to the serial path.
+            jobs = 1
+            outcomes = [_run_point(item) for item in enumerate(specs)]
+    wall = time.perf_counter() - start
+
+    results: List[Union[ExperimentResult, GridPointError]] = []
+    errors: List[GridPointError] = []
+    total_events = 0
+    for index, result, error in outcomes:
+        assert index == len(results), "grid ordering violated"
+        if error is not None:
+            errors.append(error)
+            results.append(error)
+        else:
+            total_events += result.events_processed
+            results.append(result)
+    if errors and raise_on_error:
+        raise ExperimentGridError(errors)
+    return GridReport(
+        results=results,
+        jobs=jobs,
+        wall_s=wall,
+        total_events=total_events,
+        errors=errors,
+    )
+
+
+def run_grid(
+    specs: Sequence[ExperimentSpec],
+    jobs: Optional[int] = None,
+    raise_on_error: bool = True,
+) -> List[Union[ExperimentResult, GridPointError]]:
+    """Run every spec (possibly in parallel); results in grid order."""
+    return run_grid_report(specs, jobs=jobs, raise_on_error=raise_on_error).results
+
+
+def _replication_specs(spec: ExperimentSpec, runs: int) -> List[ExperimentSpec]:
+    """The seeded replication points of *spec*, in replication order.
+
+    Matches :func:`repro.core.experiment.run_replicated`: seeds are
+    ``spec.seed + 1000*i``, so parallel and serial replication use
+    identical simulations.
+    """
+    if runs < 1:
+        raise ValueError("need at least one run")
+    return [replace(spec, seed=spec.seed + 1000 * i) for i in range(runs)]
+
+
+def run_replicated_grid(
+    specs: Sequence[ExperimentSpec],
+    runs: int = 3,
+    jobs: Optional[int] = None,
+) -> List[ReplicatedResult]:
+    """Replicated aggregates for every spec, fanned out at run granularity.
+
+    The pool sees ``len(specs) * runs`` independent points (the finest
+    parallel grain), and each spec's :class:`ReplicatedResult` is then
+    assembled in replication order — exactly what serial
+    :func:`run_replicated` produces.
+    """
+    specs = list(specs)
+    flat: List[ExperimentSpec] = []
+    for spec in specs:
+        flat.extend(_replication_specs(spec, runs))
+    flat_results = run_grid(flat, jobs=jobs)
+    aggregates: List[ReplicatedResult] = []
+    for i, spec in enumerate(specs):
+        chunk = flat_results[i * runs : (i + 1) * runs]
+        stats = RunSet()
+        for result in chunk:
+            stats.add_run(result.scalar_metrics())
+        aggregates.append(ReplicatedResult(spec=spec, runs=list(chunk), stats=stats))
+    return aggregates
+
+
+def run_replicated_parallel(
+    spec: ExperimentSpec,
+    runs: int = 3,
+    jobs: Optional[int] = None,
+) -> ReplicatedResult:
+    """Parallel drop-in for :func:`repro.core.experiment.run_replicated`."""
+    return run_replicated_grid([spec], runs=runs, jobs=jobs)[0]

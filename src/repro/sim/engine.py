@@ -8,6 +8,12 @@ rules make every simulation in this package reproducible bit-for-bit:
    monotonically increasing sequence number breaks heap ties);
 3. all randomness flows through named, seeded streams
    (:class:`repro.sim.rng.RngStreams`), never the global ``random`` module.
+
+Cancellation is lazy (an :class:`Event` is flagged and skipped when it
+reaches the top of the heap), which keeps ``cancel`` O(1). The loop counts
+cancelled entries still buried in the heap and compacts when they dominate,
+so workloads that re-arm timers millions of times (pacing, RTO) keep the
+heap proportional to the number of *live* events.
 """
 
 from __future__ import annotations
@@ -31,6 +37,12 @@ class SimulationError(RuntimeError):
 # Event object itself is never compared (tuple comparison short-circuits).
 _HeapEntry = Tuple[int, int, "Event"]
 
+# Compaction policy: rebuild the heap when at least _COMPACT_MIN cancelled
+# entries are buried in it AND they make up at least half of it. The floor
+# keeps small simulations from compacting over and over; the fraction
+# bounds heap size at ~2x the live event count.
+_COMPACT_MIN = 512
+
 
 class Event:
     """A scheduled callback.
@@ -41,18 +53,31 @@ class Event:
     keeps cancellation O(1).
     """
 
-    __slots__ = ("when", "callback", "args", "cancelled", "_fired")
+    __slots__ = ("when", "callback", "args", "cancelled", "_fired", "_loop")
 
-    def __init__(self, when: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        when: int,
+        callback: Callable[..., None],
+        args: tuple,
+        loop: Optional["EventLoop"] = None,
+    ):
         self.when = when
         self.callback = callback
         self.args = args
         self.cancelled = False
         self._fired = False
+        self._loop = loop
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Only events still buried in the heap count toward compaction;
+        # a fired event was already popped.
+        if not self._fired and self._loop is not None:
+            self._loop._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -84,6 +109,10 @@ class EventLoop:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        #: cancelled events still sitting in the heap (lazy deletion debt)
+        self._cancelled_in_heap = 0
+        #: heap rebuilds triggered by cancellation debt (for tests/stats)
+        self.compactions = 0
         #: arbitrary per-simulation scratch space (used by tracing helpers)
         self.context: Dict[str, Any] = {}
 
@@ -111,23 +140,29 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule at t={when} before now={self._now}"
             )
-        event = Event(when, callback, args)
+        event = Event(when, callback, args, self)
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, event))
         return event
 
     def call_after(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule *callback(*args)* after *delay* ns (must be >= 0)."""
+        # Folded fast path: delay >= 0 implies now + delay >= now, so the
+        # past-scheduling guard of call_at is subsumed by the delay check
+        # and the push happens without a second call.
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, callback, *args)
+        event = Event(self._now + delay, callback, args, self)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.when, self._seq, event))
+        return event
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule *callback(*args)* at the current instant.
 
         The callback runs after everything already queued for ``now``.
         """
-        return self.call_at(self._now, callback, *args)
+        return self.call_after(0, callback, *args)
 
     # -- execution ----------------------------------------------------------
 
@@ -153,21 +188,33 @@ class EventLoop:
             raise SimulationError("loop is already running")
         self._running = True
         self._stopped = False
+        # Hot path: this loop dispatches every simulated event. Heap and
+        # function lookups are bound to locals; `until`/`max_events` are
+        # normalized to plain comparisons (int/inf compare exactly in
+        # Python, so an integer horizon keeps its precision).
+        heap = self._heap
+        heappop = heapq.heappop
+        horizon = float("inf") if until is None else until
+        limit = float("inf") if max_events is None else max_events
+        processed = 0
         try:
-            processed = 0
-            while self._heap and not self._stopped:
-                when = self._heap[0][0]
-                if until is not None and when > until:
+            while heap and not self._stopped:
+                entry = heap[0]
+                when = entry[0]
+                if when > horizon:
                     break
-                event = heapq.heappop(self._heap)[2]
+                heappop(heap)
+                event = entry[2]
                 if event.cancelled:
+                    self._cancelled_in_heap -= 1
                     continue
-                self._now = event.when
+                self._now = when
                 event._fired = True
                 event.callback(*event.args)
-                self._events_processed += 1
                 processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed >= limit:
+                    self._events_processed += processed
+                    processed = 0
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway simulation?)"
                     )
@@ -176,6 +223,7 @@ class EventLoop:
                 # calls observe contiguous time.
                 self._now = until
         finally:
+            self._events_processed += processed
             self._running = False
         return self._now
 
@@ -185,10 +233,36 @@ class EventLoop:
 
     def peek_next_time(self) -> Optional[int]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        return heap[0][0] if heap else None
 
     def pending_count(self) -> int:
-        """Number of scheduled, non-cancelled events (O(n); for tests)."""
-        return sum(1 for entry in self._heap if not entry[2].cancelled)
+        """Number of scheduled, non-cancelled events (O(1))."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    # -- lazy-deletion bookkeeping ------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Record one more cancelled-in-heap event; compact when they dominate."""
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= _COMPACT_MIN
+            and self._cancelled_in_heap * 2 >= len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries from the heap and re-heapify.
+
+        Heap order among live entries is fully determined by their
+        (when, seq) keys, so rebuilding never perturbs firing order.
+        """
+        if not self._cancelled_in_heap:
+            return
+        self._heap[:] = [e for e in self._heap if not e[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1

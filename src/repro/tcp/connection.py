@@ -151,6 +151,15 @@ class TcpSender:
         self._rto_timer = Timer(services.loop, self._on_rto_timer, name=f"rto-{flow_id}")
         self._rto_backoff = 1
 
+        # Fixed per-skb transmit costs, resolved once: the unpaced cost
+        # and the paced cost (+ timer programming). The transmit path is
+        # the hottest per-event code in a run, so it must not re-chase
+        # services.costs attributes on every skb.
+        self._xmit_cycles_unpaced = services.costs.skb_xmit_fixed
+        self._xmit_cycles_paced = (
+            services.costs.skb_xmit_fixed + services.costs.timer_program
+        )
+
         # CPU-work serialization: one outstanding xmit item per connection
         self._xmit_pending = False
         self._burst_bytes = 0
@@ -310,7 +319,8 @@ class TcpSender:
             self._submit_retransmit(lost)
             return
 
-        if self.pacing_active:
+        pacing = self.pacing_active
+        if pacing:
             if self.pacer.blocked(now):
                 self._ensure_pacing_timer()
                 return
@@ -327,9 +337,9 @@ class TcpSender:
             self._burst_bytes = 0  # yield the CPU, start a fresh burst
         # The per-byte (copy/checksum) cost was already paid by sendmsg;
         # the transmit softirq pays the fixed per-skb path cost.
-        cycles = self.services.costs.skb_xmit_fixed
-        if self.pacing_active:
-            cycles += self.services.costs.timer_program
+        cycles = (
+            self._xmit_cycles_paced if pacing else self._xmit_cycles_unpaced
+        )
         self._xmit_pending = True
         self.services.submit_work(
             self.flow_id,

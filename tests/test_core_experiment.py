@@ -159,3 +159,24 @@ def test_memory_proxy_reported():
     assert result.peak_memory_bytes > 0
     assert result.mean_memory_bytes > 0
     assert result.peak_memory_bytes >= result.mean_memory_bytes
+
+
+def test_teardown_runs_even_when_metrics_extraction_fails(monkeypatch):
+    """A metrics exception must not leak live timers (worker reuse)."""
+    import repro.core.experiment as exp_mod
+    from repro.apps.iperf import IperfClientApp
+
+    stops = []
+    original_stop = IperfClientApp.stop
+    monkeypatch.setattr(
+        IperfClientApp, "stop",
+        lambda self: (stops.append(True), original_stop(self)),
+    )
+
+    def boom(_bps):
+        raise RuntimeError("metrics exploded")
+
+    monkeypatch.setattr(exp_mod, "to_mbps", boom)
+    with pytest.raises(RuntimeError, match="metrics exploded"):
+        run_experiment(quick())
+    assert stops, "client.stop() must run despite the metrics failure"

@@ -1,0 +1,147 @@
+"""Tests for the parallel experiment runner (:mod:`repro.runner`).
+
+The load-bearing property is determinism: fanning a grid across worker
+processes must change *nothing* about the results — same metrics, same
+ordering — versus the serial path. Short simulations keep these quick.
+"""
+
+import pytest
+
+from repro import (
+    ExperimentGridError,
+    ExperimentSpec,
+    GridPointError,
+    resolve_jobs,
+    run_grid,
+    run_grid_report,
+    run_replicated,
+    run_replicated_grid,
+    run_replicated_parallel,
+)
+from repro.runner import JOBS_ENV_VAR, _replication_specs
+
+
+def _quick(**overrides) -> ExperimentSpec:
+    defaults = dict(duration_s=0.8, warmup_s=0.2)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def _grid():
+    return [
+        _quick(cc=cc, connections=n)
+        for cc in ("bbr", "cubic")
+        for n in (1, 2)
+    ]
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_parallel_grid_matches_serial_exactly():
+    specs = _grid()
+    serial = run_grid(specs, jobs=1)
+    parallel = run_grid(specs, jobs=4)
+    assert len(serial) == len(parallel) == len(specs)
+    for s, p, spec in zip(serial, parallel, specs):
+        # Results come back in grid order regardless of completion order.
+        assert s.spec == p.spec == spec
+        assert s.scalar_metrics() == p.scalar_metrics()
+        assert s.per_flow_goodput_mbps == p.per_flow_goodput_mbps
+        assert s.events_processed == p.events_processed
+
+
+def test_parallel_replication_matches_serial_run_replicated():
+    spec = _quick(cc="bbr", connections=2)
+    serial = run_replicated(spec, runs=3)
+    pooled = run_replicated_parallel(spec, runs=3, jobs=3)
+    assert len(serial.runs) == len(pooled.runs) == 3
+    for s, p in zip(serial.runs, pooled.runs):
+        assert s.spec == p.spec  # identical derived seeds
+        assert s.scalar_metrics() == p.scalar_metrics()
+    assert serial.goodput_mbps == pooled.goodput_mbps
+    assert serial.goodput_stdev == pooled.goodput_stdev
+    for name in serial.stats.names():
+        assert serial.stats.mean(name) == pooled.stats.mean(name)
+
+
+def test_replication_seeds_match_serial_derivation():
+    spec = _quick(seed=7)
+    seeds = [s.seed for s in _replication_specs(spec, 4)]
+    assert seeds == [7, 1007, 2007, 3007]
+
+
+def test_run_replicated_grid_orders_by_spec():
+    specs = [_quick(cc="bbr"), _quick(cc="cubic")]
+    aggs = run_replicated_grid(specs, runs=2, jobs=2)
+    assert [a.spec.cc for a in aggs] == ["bbr", "cubic"]
+    assert all(len(a.runs) == 2 for a in aggs)
+
+
+# -- error capture ----------------------------------------------------------
+
+
+def test_failing_point_is_captured_not_fatal():
+    good = _quick()
+    bad = ExperimentSpec(duration_s=0.5, warmup_s=1.0)  # warmup >= duration
+    results = run_grid([good, bad, good], jobs=2, raise_on_error=False)
+    assert results[0].scalar_metrics() == results[2].scalar_metrics()
+    err = results[1]
+    assert isinstance(err, GridPointError)
+    assert err.index == 1
+    assert err.spec == bad
+    assert "ValueError" in err.error
+    assert "warmup must be shorter" in err.traceback
+
+
+def test_failing_point_raises_after_grid_completes():
+    bad = ExperimentSpec(duration_s=0.5, warmup_s=1.0)
+    with pytest.raises(ExperimentGridError) as excinfo:
+        run_grid([_quick(), bad], jobs=1)
+    assert len(excinfo.value.errors) == 1
+    assert excinfo.value.errors[0].index == 1
+
+
+# -- jobs resolution / fallback ---------------------------------------------
+
+
+def test_resolve_jobs_explicit_wins(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV_VAR, "8")
+    assert resolve_jobs(3) == 3
+
+
+def test_resolve_jobs_env_var(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV_VAR, "5")
+    assert resolve_jobs() == 5
+
+
+def test_resolve_jobs_bad_env(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        resolve_jobs()
+
+
+def test_resolve_jobs_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+def test_report_serial_fallback_for_single_point():
+    report = run_grid_report([_quick()], jobs=4)
+    assert report.jobs == 1  # capped at the point count
+    assert report.points == 1
+    assert report.total_events > 0
+    assert report.events_per_sec > 0
+    assert "points=1" in report.summary_line()
+
+
+def test_report_caps_workers_at_point_count():
+    report = run_grid_report([_quick(), _quick(cc="cubic")], jobs=16)
+    assert report.jobs == 2
+    assert not report.errors
+
+
+def test_empty_grid():
+    report = run_grid_report([], jobs=4)
+    assert report.results == []
+    assert report.points == 0

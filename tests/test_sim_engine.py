@@ -145,3 +145,81 @@ def test_run_while_running_rejected(loop):
 
     loop.call_after(1, reenter)
     loop.run()
+
+
+# -- lazy deletion / heap compaction ----------------------------------------
+
+
+def test_pending_count_is_exact_under_cancellation(loop):
+    events = [loop.call_after(100 + i, lambda: None) for i in range(10)]
+    assert loop.pending_count() == 10
+    for e in events[:4]:
+        e.cancel()
+    assert loop.pending_count() == 6
+    # double-cancel must not double-count
+    events[0].cancel()
+    assert loop.pending_count() == 6
+
+
+def test_cancel_after_fire_is_noop(loop):
+    event = loop.call_after(10, lambda: None)
+    loop.run()
+    event.cancel()
+    assert loop.pending_count() == 0
+    assert not event.pending
+
+
+def test_heap_growth_bounded_under_timer_rearm_churn(loop):
+    """Re-arming a timer 20k times must not grow the heap by 20k entries.
+
+    This is the pacing/RTO pattern: each re-arm cancels the previous
+    far-future event and pushes a new one. Lazy deletion alone would
+    accumulate every cancelled entry until its expiry; compaction keeps
+    heap size proportional to the live event count.
+    """
+    from repro.sim.timer import Timer
+
+    timer = Timer(loop, lambda: None)
+    for i in range(20_000):
+        timer.start(1_000_000 + i)  # always re-armed into the far future
+    assert loop.pending_count() == 1
+    # Compaction bounds the heap at ~2x the compaction floor, not 20k.
+    assert len(loop._heap) < 2_000
+    assert loop.compactions > 0
+
+
+def test_compaction_preserves_firing_order(loop):
+    seen = []
+    keep = []
+    for i in range(600):
+        loop.call_at(1_000 + i, lambda i=i: seen.append(i))
+        keep.append(i)
+    # Cancel every other event to push past the compaction threshold.
+    cancelled = []
+    for i in range(2_000):
+        e = loop.call_at(5_000 + i, lambda: seen.append("dead"))
+        e.cancel()
+        cancelled.append(i)
+    loop.run()
+    assert seen == list(range(600))
+
+
+def test_explicit_compact_drops_cancelled_entries(loop):
+    live = loop.call_after(100, lambda: None)
+    dead = [loop.call_after(200 + i, lambda: None) for i in range(50)]
+    for e in dead:
+        e.cancel()
+    assert len(loop._heap) == 51
+    loop.compact()
+    assert len(loop._heap) == 1
+    assert loop.pending_count() == 1
+    assert live.pending
+
+
+def test_peek_next_time_updates_cancel_accounting(loop):
+    first = loop.call_after(10, lambda: None)
+    loop.call_after(20, lambda: None)
+    first.cancel()
+    assert loop.peek_next_time() == 20
+    assert loop.pending_count() == 1
+    assert len(loop._heap) == 1
