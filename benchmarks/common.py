@@ -17,13 +17,15 @@ from __future__ import annotations
 
 import os
 from dataclasses import replace
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Union
 
 from repro import (
     ExperimentSpec,
     ReplicatedResult,
+    load_scenario,
     run_replicated_grid,
     run_replicated_parallel,
+    spec_from_dict,
 )
 
 #: simulated seconds per run (measurement starts after WARMUP_S)
@@ -37,6 +39,15 @@ RUNS = 1
 CONNECTION_GRID = (1, 5, 10, 20)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: canonical declarative grids (Figure 5, Figure 8, CI smoke)
+SCENARIO_DIR = os.path.join(os.path.dirname(__file__), "scenarios")
+
+#: grid helpers accept built specs or declarative spec dicts
+SpecLike = Union[ExperimentSpec, dict]
+
+
+def _coerce_spec(spec: SpecLike) -> ExperimentSpec:
+    return spec_from_dict(spec) if isinstance(spec, dict) else spec
 
 
 def base_spec(**overrides) -> ExperimentSpec:
@@ -46,20 +57,35 @@ def base_spec(**overrides) -> ExperimentSpec:
     return ExperimentSpec(**defaults)
 
 
-def measure(spec: ExperimentSpec, runs: int = RUNS) -> ReplicatedResult:
+def scenario_path(name: str) -> str:
+    """Path of a checked-in scenario file (``name`` without ``.json``)."""
+    return os.path.join(SCENARIO_DIR, f"{name}.json")
+
+
+def scenario_specs(name: str) -> List[ExperimentSpec]:
+    """Expand the checked-in scenario *name* into its spec list."""
+    return load_scenario(scenario_path(name))
+
+
+def measure(spec: SpecLike, runs: int = RUNS) -> ReplicatedResult:
     """Run a grid point with the suite's replication count.
 
+    Accepts a built :class:`ExperimentSpec` or a declarative spec dict.
     Replications fan out across worker processes (``REPRO_JOBS`` or all
     cores; see :mod:`repro.runner`); results are identical to serial.
     """
-    return run_replicated_parallel(spec, runs=runs)
+    return run_replicated_parallel(_coerce_spec(spec), runs=runs)
 
 
 def measure_grid(
-    specs: Sequence[ExperimentSpec], runs: int = RUNS
+    specs: Sequence[SpecLike], runs: int = RUNS
 ) -> List[ReplicatedResult]:
-    """Run a whole grid through the parallel runner, in grid order."""
-    return run_replicated_grid(specs, runs=runs)
+    """Run a whole grid through the parallel runner, in grid order.
+
+    Each element may be a built spec or a declarative spec dict (e.g.
+    from :func:`repro.expand_scenario_dicts`).
+    """
+    return run_replicated_grid([_coerce_spec(s) for s in specs], runs=runs)
 
 
 def goodput_series(

@@ -24,15 +24,30 @@ from .core import (
     PAPER_STRIDES,
     ReplicatedResult,
     StrideRow,
+    expand_scenario,
+    expand_scenario_dicts,
     expected_throughput_bps,
     idle_time_ns,
+    load_scenario,
+    load_scenario_doc,
     make_cc_factory,
     run_experiment,
     run_replicated,
+    spec_from_dict,
+    spec_to_dict,
     sweep_strides,
 )
-from .devices import PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
-from .netsim import ETHERNET_LAN, LTE_CELLULAR, WIFI_LAN, NetemConfig
+from .cc import CC_ALGORITHMS
+from .cpu import EXECUTORS
+from .devices import CPU_CONFIGS, DEVICES, PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
+from .netsim import ETHERNET_LAN, LTE_CELLULAR, MEDIA, WIFI_LAN, NetemConfig
+from .registry import (
+    DuplicateNameError,
+    Registry,
+    RegistryError,
+    UnknownNameError,
+    all_registries,
+)
 from .runner import (
     ExperimentGridError,
     GridPointError,
@@ -55,6 +70,22 @@ __all__ = [
     "run_experiment",
     "run_replicated",
     "make_cc_factory",
+    "spec_to_dict",
+    "spec_from_dict",
+    "expand_scenario",
+    "expand_scenario_dicts",
+    "load_scenario",
+    "load_scenario_doc",
+    "Registry",
+    "RegistryError",
+    "UnknownNameError",
+    "DuplicateNameError",
+    "all_registries",
+    "CC_ALGORITHMS",
+    "EXECUTORS",
+    "MEDIA",
+    "DEVICES",
+    "CPU_CONFIGS",
     "sweep_strides",
     "PAPER_STRIDES",
     "AdaptiveStrideController",

@@ -3,9 +3,13 @@ and the §5 master module for controlled experiments.
 
 Factories: every connection needs its **own instance** (modules hold
 per-connection state), so experiment code passes callables like
-``lambda: Bbr()``.
+``lambda: Bbr()``. The built-in algorithms are registered by name in
+:data:`CC_ALGORITHMS`; specs and scenario files reference them by that
+name, and new algorithms (e.g. a BBRv3 variant) become available
+everywhere by registering a factory here.
 """
 
+from ..registry import Registry
 from .base import CongestionOps
 from .bbr import Bbr
 from .bbr2 import Bbr2
@@ -22,4 +26,12 @@ __all__ = [
     "Reno",
     "MasterModule",
     "WindowedMaxFilter",
+    "CC_ALGORITHMS",
 ]
+
+#: name -> zero-argument factory producing a fresh per-connection module
+CC_ALGORITHMS: Registry = Registry("congestion control")
+CC_ALGORITHMS.register("cubic", Cubic)
+CC_ALGORITHMS.register("bbr", Bbr)
+CC_ALGORITHMS.register("bbr2", Bbr2)
+CC_ALGORITHMS.register("reno", Reno)

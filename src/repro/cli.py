@@ -6,12 +6,19 @@ Examples::
     python -m repro run --cc cubic --connections 20 --config low-end --runs 3
     python -m repro run --cc bbr --connections 20 --config default \
         --stride 5 --medium wifi --json
+    python -m repro grid --scenario benchmarks/scenarios/smoke_2point.json
+    python -m repro grid --scenario benchmarks/scenarios/fig8_stride_sweep.json
     python -m repro compare --connections 20 --config low-end
     python -m repro sweep-strides --config default --connections 20
+    python -m repro list
 
-``run`` executes one experiment (optionally replicated), ``compare``
-races BBR against Cubic on identical settings, and ``sweep-strides``
-reproduces a Figure-8 row.
+``run`` executes one experiment (optionally replicated), ``grid``
+expands a declarative scenario file into its full experiment grid,
+``compare`` races BBR against Cubic on identical settings,
+``sweep-strides`` reproduces a Figure-8 row, and ``list`` shows every
+registered component. All ``choices=`` below come from the component
+registries (:mod:`repro.registry`), so a newly registered algorithm or
+medium is immediately addressable here.
 """
 
 from __future__ import annotations
@@ -24,15 +31,17 @@ from typing import List, Optional
 import time
 
 from . import (
+    CC_ALGORITHMS,
+    CPU_CONFIGS,
     CpuConfig,
-    ETHERNET_LAN,
+    DEVICES,
     ExperimentSpec,
-    LTE_CELLULAR,
+    MEDIA,
     NetemConfig,
-    PIXEL_4,
-    PIXEL_6,
     PacingMode,
-    WIFI_LAN,
+    all_registries,
+    expand_scenario,
+    load_scenario_doc,
     resolve_jobs,
     run_replicated_grid,
     sweep_strides,
@@ -40,9 +49,6 @@ from . import (
 from .metrics import render_table
 
 __all__ = ["main", "build_parser"]
-
-_MEDIA = {"ethernet": ETHERNET_LAN, "wifi": WIFI_LAN, "lte": LTE_CELLULAR}
-_DEVICES = {"pixel4": PIXEL_4, "pixel6": PIXEL_6}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,11 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--connections", "-P", type=int, default=1,
                        help="parallel uplink connections (iperf3 -P)")
-        p.add_argument("--config", choices=CpuConfig.ALL,
+        p.add_argument("--config", choices=CPU_CONFIGS.names(),
                        default=CpuConfig.LOW_END, help="Table 1 CPU config")
-        p.add_argument("--device", choices=sorted(_DEVICES),
+        p.add_argument("--device", choices=DEVICES.names(),
                        default="pixel4")
-        p.add_argument("--medium", choices=sorted(_MEDIA),
+        p.add_argument("--medium", choices=MEDIA.names(),
                        default="ethernet")
         p.add_argument("--duration", type=float, default=8.0,
                        help="simulated seconds per run")
@@ -81,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_common(run_p)
-    run_p.add_argument("--cc", choices=("cubic", "bbr", "bbr2", "reno"),
+    run_p.add_argument("--cc", choices=CC_ALGORITHMS.names(),
                        default="bbr")
     run_p.add_argument("--pacing", choices=PacingMode.ALL,
                        default=PacingMode.AUTO)
@@ -93,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="master module: pin the pacing rate")
     run_p.add_argument("--disable-model", action="store_true",
                        help="master module: skip the CC model's per-ACK work")
+    run_p.add_argument("--scenario", metavar="FILE", default=None,
+                       help="single-point scenario file; overrides the "
+                            "spec flags above (multi-point files need "
+                            "'repro grid')")
+
+    grid_p = sub.add_parser(
+        "grid", help="run every point of a declarative scenario file")
+    grid_p.add_argument("--scenario", metavar="FILE", required=True,
+                        help="JSON scenario (base + grid + overrides)")
+    grid_p.add_argument("--runs", type=int, default=1,
+                        help="seeded replications to average per point")
+    grid_p.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS, "
+                             "then CPU count)")
+    grid_p.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
 
     cmp_p = sub.add_parser("compare", help="BBR vs Cubic on one setting")
     add_common(cmp_p)
@@ -102,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sweep_p)
     sweep_p.add_argument("--strides", type=float, nargs="+",
                          default=[1, 2, 5, 10, 20, 50])
+
+    list_p = sub.add_parser(
+        "list", help="list registered components (CCs, media, devices, ...)")
+    list_p.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
     return parser
 
 
@@ -114,9 +141,9 @@ def _spec_from_args(args, **overrides) -> ExperimentSpec:
         )
     fields = dict(
         connections=args.connections,
-        device=_DEVICES[args.device],
+        device=DEVICES.get(args.device),
         cpu_config=args.config,
-        medium=_MEDIA[args.medium],
+        medium=MEDIA.get(args.medium),
         duration_s=args.duration,
         warmup_s=args.warmup,
         seed=args.seed,
@@ -171,19 +198,65 @@ def _run_specs(args, specs):
 
 
 def _cmd_run(args, out) -> int:
-    spec = _spec_from_args(
-        args,
-        cc=args.cc,
-        pacing_mode=args.pacing,
-        pacing_stride=args.stride,
-        fixed_cwnd_segments=args.fixed_cwnd,
-        fixed_pacing_rate_mbps=args.fixed_pacing_mbps,
-        disable_model=args.disable_model,
-    )
+    if args.scenario is not None:
+        specs = expand_scenario(load_scenario_doc(args.scenario))
+        if len(specs) != 1:
+            sys.stderr.write(
+                f"error: scenario {args.scenario!r} expands to "
+                f"{len(specs)} points; 'repro run' takes exactly one "
+                f"(use 'repro grid --scenario' for the full grid)\n"
+            )
+            return 2
+        spec = specs[0]
+    else:
+        spec = _spec_from_args(
+            args,
+            cc=args.cc,
+            pacing_mode=args.pacing,
+            pacing_stride=args.stride,
+            fixed_cwnd_segments=args.fixed_cwnd,
+            fixed_pacing_rate_mbps=args.fixed_pacing_mbps,
+            disable_model=args.disable_model,
+        )
     (agg,), timing = _run_specs(args, [spec])
     _emit([_result_dict(agg)], args.json, out)
     if not args.json:
         out.write(timing + "\n")
+    return 0
+
+
+def _cmd_grid(args, out) -> int:
+    specs = expand_scenario(load_scenario_doc(args.scenario))
+    if not specs:
+        sys.stderr.write(
+            f"error: scenario {args.scenario!r} expands to no points\n"
+        )
+        return 2
+    aggs, timing = _run_specs(args, specs)
+    _emit([_result_dict(agg) for agg in aggs], args.json, out)
+    if not args.json:
+        out.write(timing + "\n")
+    return 0
+
+
+def _cmd_list(args, out) -> int:
+    sections = {
+        "cc": "congestion controls",
+        "executor": "executors",
+        "medium": "media",
+        "device": "devices",
+        "cpu-config": "CPU configs",
+    }
+    registries = all_registries()
+    if args.json:
+        json.dump({key: list(reg.names()) for key, reg in registries.items()},
+                  out, indent=2)
+        out.write("\n")
+        return 0
+    width = max(len(title) for title in sections.values())
+    for key, reg in registries.items():
+        title = sections.get(key, key)
+        out.write(f"{title.rjust(width)}: {', '.join(reg.names())}\n")
     return 0
 
 
@@ -228,10 +301,14 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "grid":
+        return _cmd_grid(args, out)
     if args.command == "compare":
         return _cmd_compare(args, out)
     if args.command == "sweep-strides":
         return _cmd_sweep(args, out)
+    if args.command == "list":
+        return _cmd_list(args, out)
     raise AssertionError("unreachable")
 
 

@@ -10,6 +10,14 @@ from .experiment import (
     run_experiment,
     run_replicated,
 )
+from .scenario import (
+    expand_scenario,
+    expand_scenario_dicts,
+    load_scenario,
+    load_scenario_doc,
+    spec_from_dict,
+    spec_to_dict,
+)
 from .stride import PAPER_STRIDES, AdaptiveStrideController, sweep_strides
 
 __all__ = [
@@ -19,6 +27,12 @@ __all__ = [
     "run_experiment",
     "run_replicated",
     "make_cc_factory",
+    "spec_to_dict",
+    "spec_from_dict",
+    "expand_scenario",
+    "expand_scenario_dicts",
+    "load_scenario",
+    "load_scenario_doc",
     "PAPER_STRIDES",
     "sweep_strides",
     "AdaptiveStrideController",

@@ -11,12 +11,12 @@ way the paper averages over 10 iperf runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Dict, List, Optional
 
 from ..apps.iperf import IperfClientApp, IperfServerApp
-from ..cc import Bbr, Bbr2, CongestionOps, Cubic, MasterModule, Reno
-from ..cpu import CostModel, FreeExecutor, NetStackExecutor, RpsExecutor
+from ..cc import CC_ALGORITHMS, CongestionOps, MasterModule
+from ..cpu import CostModel, EXECUTORS
 from ..devices import CpuConfig, DeviceProfile, PIXEL_4, build_device
 from ..metrics.collector import StatAccumulator
 from ..metrics.summary import RunSet
@@ -35,13 +35,6 @@ __all__ = [
     "run_replicated",
     "make_cc_factory",
 ]
-
-_CC_REGISTRY: Dict[str, Callable[[], CongestionOps]] = {
-    "cubic": Cubic,
-    "bbr": Bbr,
-    "bbr2": Bbr2,
-    "reno": Reno,
-}
 
 
 @dataclass(frozen=True)
@@ -87,6 +80,17 @@ class ExperimentSpec:
             parts.append(f"stride={self.pacing_stride:g}x")
         return "/".join(parts)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a plain JSON-compatible dict (exact round trip).
+
+        The inverse is :func:`repro.core.scenario.spec_from_dict`; this
+        is the wire format specs travel in (worker processes, scenario
+        files, archives).
+        """
+        from .scenario import spec_to_dict  # deferred: scenario imports us
+
+        return spec_to_dict(self)
+
 
 @dataclass
 class ExperimentResult:
@@ -116,20 +120,18 @@ class ExperimentResult:
     events_processed: int
 
     def scalar_metrics(self) -> Dict[str, float]:
-        """Flat metric dict for :class:`~repro.metrics.summary.RunSet`."""
-        return {
-            "goodput_mbps": self.goodput_mbps,
-            "rtt_mean_ms": self.rtt_mean_ms,
-            "rtt_p50_ms": self.rtt_p50_ms,
-            "rtt_p95_ms": self.rtt_p95_ms,
-            "retransmitted_segments": float(self.retransmitted_segments),
-            "cpu_busy_fraction": self.cpu_busy_fraction,
-            "mean_skb_bytes": self.mean_skb_bytes,
-            "mean_idle_ms": self.mean_idle_ms,
-            "peak_memory_bytes": float(self.peak_memory_bytes),
-            "mean_memory_bytes": self.mean_memory_bytes,
-            "mean_cwnd_segments": self.mean_cwnd_segments,
-        }
+        """Flat metric dict for :class:`~repro.metrics.summary.RunSet`.
+
+        Derived from the dataclass itself: every numeric field is a
+        metric (so new fields aggregate automatically); the spec and
+        per-flow list are skipped.
+        """
+        out: Dict[str, float] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f.name] = float(value)
+        return out
 
 
 @dataclass
@@ -167,12 +169,7 @@ class ReplicatedResult:
 
 def make_cc_factory(spec: ExperimentSpec) -> Callable[[], CongestionOps]:
     """Resolve the spec's CC name + master-module knobs to a factory."""
-    try:
-        base_factory = _CC_REGISTRY[spec.cc]
-    except KeyError:
-        raise ValueError(
-            f"unknown congestion control {spec.cc!r}; choose from {sorted(_CC_REGISTRY)}"
-        ) from None
+    base_factory = CC_ALGORITHMS.get(spec.cc)
     needs_master = (
         spec.disable_model
         or spec.fixed_cwnd_segments is not None
@@ -197,16 +194,6 @@ def make_cc_factory(spec: ExperimentSpec) -> Callable[[], CongestionOps]:
     return factory
 
 
-def _make_executor(spec: ExperimentSpec, device) -> object:
-    if spec.executor == "serial":
-        return NetStackExecutor(device.cpu)
-    if spec.executor == "rps":
-        return RpsExecutor(device.cpu)
-    if spec.executor == "free":
-        return FreeExecutor()
-    raise ValueError(f"unknown executor {spec.executor!r}")
-
-
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Run one simulated iperf experiment and return its measurements."""
     if spec.warmup_s >= spec.duration_s:
@@ -223,7 +210,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         rng=rng,
         phone_qdisc_segments=spec.phone_qdisc_segments,
     )
-    executor = _make_executor(spec, device)
+    executor = EXECUTORS.get(spec.executor)(device.cpu)
     stack = MobileTcpStack(loop, executor, costs, testbed)
     server = IperfServerApp(loop, testbed)
     socket_config = SocketConfig(
@@ -306,14 +293,25 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         testbed.stop_processes()
 
 
-def run_replicated(spec: ExperimentSpec, runs: int = 3) -> ReplicatedResult:
+def run_replicated(
+    spec: ExperimentSpec, runs: int = 3, jobs: Optional[int] = 1
+) -> ReplicatedResult:
     """Run *runs* seeded replications of *spec* and aggregate.
 
     Seeds are derived deterministically from ``spec.seed``, so the same
-    spec always yields the same aggregate.
+    spec always yields the same aggregate. With *jobs* > 1 (or ``None``
+    to resolve via ``REPRO_JOBS`` / the CPU count) the replications fan
+    out through :mod:`repro.runner`; ordering and aggregates are
+    identical to the serial path.
     """
     if runs < 1:
         raise ValueError("need at least one run")
+    if jobs is None or jobs != 1:
+        # Deferred import: repro.runner imports this module.
+        from ..runner import resolve_jobs, run_replicated_parallel
+
+        if resolve_jobs(jobs) > 1:
+            return run_replicated_parallel(spec, runs=runs, jobs=jobs)
     results: List[ExperimentResult] = []
     stats = RunSet()
     for i in range(runs):

@@ -1,0 +1,239 @@
+"""Declarative scenarios: experiment specs as serializable data.
+
+An :class:`~repro.core.experiment.ExperimentSpec` is a frozen dataclass,
+which is perfect inside one Python process but opaque as soon as a spec
+has to travel — to a worker process, a results archive, or a colleague's
+shell. This module makes the spec a *wire format*:
+
+* :func:`spec_to_dict` / :func:`spec_from_dict` convert specs to and
+  from plain JSON-compatible dicts with an **exact round trip**
+  (``spec_from_dict(spec.to_dict()) == spec`` always). Devices and media
+  are referenced by their registry name (``"pixel4"``, ``"wifi"``);
+  unregistered profiles, ``netem`` and ``costs`` serialize as inline
+  field dicts. Unknown keys are rejected with a message naming the
+  valid ones.
+
+* **Scenario files** describe whole experiment grids declaratively, the
+  way ns-3 / Pantheon-style harnesses do. A scenario is a JSON document::
+
+      {
+        "name": "fig8_stride_sweep",
+        "base":  {"cc": "bbr", "connections": 20},
+        "grid":  {"cpu_config": ["low-end", "default"],
+                  "pacing_stride": [1, 5, 10]},
+        "overrides": [
+          {"match": {"cpu_config": "default"}, "set": {"seed": 7}}
+        ]
+      }
+
+  :func:`expand_scenario` takes the cartesian product of the ``grid``
+  axes over ``base`` (first axis outermost, last axis fastest-varying),
+  applies each ``overrides`` entry to every matching point, and returns
+  a deterministic ``List[ExperimentSpec]``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import fields
+from typing import Any, Dict, List, Sequence, Union
+
+from ..cpu.costs import CostModel
+from ..devices import DEVICES, DeviceProfile
+from ..netsim import MEDIA, MediumProfile, NetemConfig
+from ..registry import Registry
+from .experiment import ExperimentSpec
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "expand_scenario",
+    "expand_scenario_dicts",
+    "load_scenario",
+    "load_scenario_doc",
+]
+
+#: scenario-document keys that are not spec fields
+_SCENARIO_KEYS = ("name", "description", "base", "grid", "overrides")
+_OVERRIDE_KEYS = ("match", "set")
+
+
+def _field_names(cls) -> List[str]:
+    return [f.name for f in fields(cls)]
+
+
+def _reject_unknown(data: Dict[str, Any], valid: Sequence[str], what: str) -> None:
+    unknown = [k for k in data if k not in valid]
+    if unknown:
+        raise ValueError(
+            f"unknown {what} key(s) {sorted(unknown)}; "
+            f"valid keys are {sorted(valid)}"
+        )
+
+
+def _dataclass_to_dict(value) -> Dict[str, Any]:
+    """One-level dataclass -> dict; tuples become lists (JSON-friendly)."""
+    out: Dict[str, Any] = {}
+    for f in fields(value):
+        v = getattr(value, f.name)
+        out[f.name] = list(v) if isinstance(v, tuple) else v
+    return out
+
+
+def _dataclass_from_dict(cls, data: Dict[str, Any], what: str):
+    """One-level dict -> dataclass; lists become tuples; keys checked."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{what} must be a mapping, got {type(data).__name__}")
+    _reject_unknown(data, _field_names(cls), what)
+    kwargs = {
+        k: tuple(v) if isinstance(v, list) else v for k, v in data.items()
+    }
+    return cls(**kwargs)
+
+
+def _profile_to_ref(registry: Registry, value) -> Union[str, Dict[str, Any]]:
+    """A registered profile serializes as its name, others inline."""
+    name = getattr(value, "name", None)
+    if name in registry and registry.get(name) == value:
+        return name
+    return _dataclass_to_dict(value)
+
+
+def _profile_from_ref(registry: Registry, cls, ref, what: str):
+    if isinstance(ref, str):
+        return registry.get(ref)
+    if isinstance(ref, dict):
+        return _dataclass_from_dict(cls, ref, what)
+    raise ValueError(
+        f"{what} must be a registered name (one of {sorted(registry.names())}) "
+        f"or an inline field mapping, got {type(ref).__name__}"
+    )
+
+
+def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Serialize *spec* to a plain JSON-compatible dict (all fields).
+
+    The inverse of :func:`spec_from_dict`; the round trip is exact.
+    """
+    out: Dict[str, Any] = {}
+    for f in fields(ExperimentSpec):
+        value = getattr(spec, f.name)
+        if f.name == "device":
+            out[f.name] = _profile_to_ref(DEVICES, value)
+        elif f.name == "medium":
+            out[f.name] = _profile_to_ref(MEDIA, value)
+        elif f.name in ("netem", "costs"):
+            out[f.name] = None if value is None else _dataclass_to_dict(value)
+        else:
+            out[f.name] = value
+    return out
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` from a (possibly partial) dict.
+
+    Missing keys take the spec's defaults; unknown keys raise
+    ``ValueError`` naming the valid ones, and device/medium names are
+    resolved through the component registries (unknown names raise with
+    the list of registered choices).
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"spec must be a mapping, got {type(data).__name__}"
+        )
+    _reject_unknown(data, _field_names(ExperimentSpec), "ExperimentSpec")
+    kwargs = dict(data)
+    if "device" in kwargs:
+        kwargs["device"] = _profile_from_ref(
+            DEVICES, DeviceProfile, kwargs["device"], "device"
+        )
+    if "medium" in kwargs:
+        kwargs["medium"] = _profile_from_ref(
+            MEDIA, MediumProfile, kwargs["medium"], "medium"
+        )
+    if kwargs.get("netem") is not None:
+        kwargs["netem"] = _dataclass_from_dict(
+            NetemConfig, kwargs["netem"], "netem"
+        )
+    if kwargs.get("costs") is not None:
+        kwargs["costs"] = _dataclass_from_dict(
+            CostModel, kwargs["costs"], "costs"
+        )
+    return ExperimentSpec(**kwargs)
+
+
+def expand_scenario_dicts(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Expand a scenario document into per-point spec dicts.
+
+    Expansion is deterministic: the cartesian product iterates ``grid``
+    axes in document order with the last axis varying fastest, and
+    ``overrides`` entries apply in list order to every point whose
+    fields match the entry's ``match`` mapping (an empty/omitted
+    ``match`` applies everywhere).
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(
+            f"scenario must be a mapping, got {type(doc).__name__}"
+        )
+    _reject_unknown(doc, _SCENARIO_KEYS, "scenario")
+    spec_keys = _field_names(ExperimentSpec)
+
+    base = doc.get("base", {})
+    if not isinstance(base, dict):
+        raise ValueError("scenario 'base' must be a mapping")
+    _reject_unknown(base, spec_keys, "scenario base")
+
+    grid = doc.get("grid", {})
+    if not isinstance(grid, dict):
+        raise ValueError("scenario 'grid' must be a mapping")
+    _reject_unknown(grid, spec_keys, "scenario grid")
+    for key, values in grid.items():
+        if not isinstance(values, list) or not values:
+            raise ValueError(
+                f"scenario grid axis {key!r} must be a non-empty list"
+            )
+
+    overrides = doc.get("overrides", [])
+    if not isinstance(overrides, list):
+        raise ValueError("scenario 'overrides' must be a list")
+    for i, entry in enumerate(overrides):
+        if not isinstance(entry, dict):
+            raise ValueError(f"scenario override #{i} must be a mapping")
+        _reject_unknown(entry, _OVERRIDE_KEYS, f"scenario override #{i}")
+        _reject_unknown(entry.get("match", {}), spec_keys,
+                        f"scenario override #{i} match")
+        _reject_unknown(entry.get("set", {}), spec_keys,
+                        f"scenario override #{i} set")
+
+    axes = list(grid)
+    points: List[Dict[str, Any]] = []
+    for combo in itertools.product(*(grid[axis] for axis in axes)):
+        point = dict(base)
+        point.update(zip(axes, combo))
+        for entry in overrides:
+            match = entry.get("match", {})
+            if all(point.get(k) == v for k, v in match.items()):
+                point.update(entry.get("set", {}))
+        points.append(point)
+    return points
+
+
+def expand_scenario(doc: Dict[str, Any]) -> List[ExperimentSpec]:
+    """Expand a scenario document into its :class:`ExperimentSpec` list."""
+    return [spec_from_dict(point) for point in expand_scenario_dicts(doc)]
+
+
+def load_scenario_doc(path: str) -> Dict[str, Any]:
+    """Read a scenario JSON document from *path* (no expansion)."""
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"scenario file {path!r} is not valid JSON: {exc}")
+    return doc
+
+
+def load_scenario(path: str) -> List[ExperimentSpec]:
+    """Read and expand the scenario file at *path*."""
+    return expand_scenario(load_scenario_doc(path))

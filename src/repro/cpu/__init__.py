@@ -18,9 +18,16 @@ from .governor import (
     ThermalModel,
     UserspaceGovernor,
 )
-from .softirq import FreeExecutor, NetStackExecutor, RpsExecutor, StackExecutor
+from .softirq import (
+    EXECUTORS,
+    FreeExecutor,
+    NetStackExecutor,
+    RpsExecutor,
+    StackExecutor,
+)
 
 __all__ = [
+    "EXECUTORS",
     "BigLittleCpu",
     "CpuCluster",
     "CpuCore",

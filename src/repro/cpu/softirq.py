@@ -22,10 +22,17 @@ from __future__ import annotations
 
 from typing import Callable, List
 
+from ..registry import Registry
 from .cluster import BigLittleCpu
 from .core import CpuCore, WorkItem
 
-__all__ = ["StackExecutor", "NetStackExecutor", "RpsExecutor", "FreeExecutor"]
+__all__ = [
+    "StackExecutor",
+    "NetStackExecutor",
+    "RpsExecutor",
+    "FreeExecutor",
+    "EXECUTORS",
+]
 
 
 class StackExecutor:
@@ -148,3 +155,11 @@ class FreeExecutor(StackExecutor):
 
     def busy_ns(self) -> int:
         return 0
+
+
+#: name -> factory ``(BigLittleCpu) -> StackExecutor`` (spec ``executor=``
+#: values); FreeExecutor ignores the topology by design.
+EXECUTORS: Registry = Registry("executor")
+EXECUTORS.register("serial", lambda cpu: NetStackExecutor(cpu))
+EXECUTORS.register("rps", lambda cpu: RpsExecutor(cpu))
+EXECUTORS.register("free", lambda cpu: FreeExecutor())

@@ -1,13 +1,15 @@
 """Device profiles (Pixel 4 / Pixel 6) and Table 1 CPU configurations."""
 
-from .configs import CpuConfig, DeviceSetup, build_device
-from .profiles import PIXEL_4, PIXEL_6, DeviceProfile
+from .configs import CPU_CONFIGS, CpuConfig, DeviceSetup, build_device
+from .profiles import DEVICES, PIXEL_4, PIXEL_6, DeviceProfile
 
 __all__ = [
     "DeviceProfile",
     "PIXEL_4",
     "PIXEL_6",
+    "DEVICES",
     "CpuConfig",
+    "CPU_CONFIGS",
     "DeviceSetup",
     "build_device",
 ]

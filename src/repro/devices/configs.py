@@ -21,10 +21,11 @@ from ..cpu import (
     ThermalModel,
     UserspaceGovernor,
 )
+from ..registry import Registry
 from ..sim import EventLoop, Tracer, NULL_TRACER
 from .profiles import DeviceProfile
 
-__all__ = ["CpuConfig", "DeviceSetup", "build_device"]
+__all__ = ["CpuConfig", "CPU_CONFIGS", "DeviceSetup", "build_device"]
 
 
 class CpuConfig:
@@ -35,7 +36,9 @@ class CpuConfig:
     HIGH_END = "high-end"
     DEFAULT = "default"
 
-    ALL = (LOW_END, MID_END, HIGH_END, DEFAULT)
+    # ALL is assigned from the CPU_CONFIGS registry below, so the tuple
+    # and the registry can never drift apart.
+    ALL: tuple
 
 
 @dataclass
@@ -71,6 +74,44 @@ class DeviceSetup:
         return busy / elapsed_ns
 
 
+def _pin_low_end(loop: EventLoop, setup: DeviceSetup, tracer: Tracer) -> None:
+    setup.cpu.disable_big()
+    setup.governors.append(
+        UserspaceGovernor(setup.cpu.little, setup.profile.low_end_hz)
+    )
+
+
+def _pin_mid_end(loop: EventLoop, setup: DeviceSetup, tracer: Tracer) -> None:
+    setup.cpu.disable_big()
+    setup.governors.append(
+        UserspaceGovernor(setup.cpu.little, setup.profile.mid_end_hz)
+    )
+
+
+def _pin_high_end(loop: EventLoop, setup: DeviceSetup, tracer: Tracer) -> None:
+    setup.cpu.disable_little()
+    setup.governors.append(
+        UserspaceGovernor(setup.cpu.big, setup.profile.high_end_hz)
+    )
+
+
+def _dynamic_default(loop: EventLoop, setup: DeviceSetup, tracer: Tracer) -> None:
+    # DEFAULT: dynamic scaling + migration + thermal envelope
+    thermal = ThermalModel(sustained_hz=setup.profile.sustained_big_hz)
+    setup.policy = DynamicCpuPolicy(loop, setup.cpu, thermal=thermal, tracer=tracer)
+
+
+#: name -> configurator ``(loop, DeviceSetup, tracer) -> None`` applying a
+#: Table 1 configuration to a freshly built topology
+CPU_CONFIGS: Registry = Registry("CPU config")
+CPU_CONFIGS.register(CpuConfig.LOW_END, _pin_low_end)
+CPU_CONFIGS.register(CpuConfig.MID_END, _pin_mid_end)
+CPU_CONFIGS.register(CpuConfig.HIGH_END, _pin_high_end)
+CPU_CONFIGS.register(CpuConfig.DEFAULT, _dynamic_default)
+
+CpuConfig.ALL = CPU_CONFIGS.names()
+
+
 def build_device(
     loop: EventLoop,
     profile: DeviceProfile,
@@ -79,8 +120,7 @@ def build_device(
     tracer: Tracer = NULL_TRACER,
 ) -> DeviceSetup:
     """Build the device *profile* in Table 1 configuration *config*."""
-    if config not in CpuConfig.ALL:
-        raise ValueError(f"unknown CPU config {config!r}")
+    configure = CPU_CONFIGS.get(config)
 
     little = CpuCluster(
         loop, "little", profile.little_opps_hz, profile.little_cores, tracer=tracer
@@ -91,17 +131,5 @@ def build_device(
     cpu = BigLittleCpu(little, big)
     costs = base_costs.scaled(profile.cycles_scale)
     setup = DeviceSetup(profile=profile, config=config, cpu=cpu, cost_model=costs)
-
-    if config == CpuConfig.LOW_END:
-        cpu.disable_big()
-        setup.governors.append(UserspaceGovernor(little, profile.low_end_hz))
-    elif config == CpuConfig.MID_END:
-        cpu.disable_big()
-        setup.governors.append(UserspaceGovernor(little, profile.mid_end_hz))
-    elif config == CpuConfig.HIGH_END:
-        cpu.disable_little()
-        setup.governors.append(UserspaceGovernor(big, profile.high_end_hz))
-    else:  # DEFAULT: dynamic scaling + migration + thermal envelope
-        thermal = ThermalModel(sustained_hz=profile.sustained_big_hz)
-        setup.policy = DynamicCpuPolicy(loop, cpu, thermal=thermal, tracer=tracer)
+    configure(loop, setup, tracer)
     return setup

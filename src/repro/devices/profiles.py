@@ -22,9 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..registry import Registry
 from ..units import ghz, mhz
 
-__all__ = ["DeviceProfile", "PIXEL_4", "PIXEL_6"]
+__all__ = ["DeviceProfile", "PIXEL_4", "PIXEL_6", "DEVICES"]
 
 
 @dataclass(frozen=True)
@@ -93,3 +94,8 @@ PIXEL_6 = DeviceProfile(
     sustained_big_hz=mhz(1582),
     cycles_scale=0.52,
 )
+
+#: name -> :class:`DeviceProfile` (spec ``device=`` scenario references)
+DEVICES: Registry = Registry("device")
+DEVICES.register(PIXEL_4.name, PIXEL_4)
+DEVICES.register(PIXEL_6.name, PIXEL_6)

@@ -8,6 +8,7 @@ from .link import Link
 from .media import (
     ETHERNET_LAN,
     LTE_CELLULAR,
+    MEDIA,
     WIFI_LAN,
     MediumProfile,
     VariableRateLink,
@@ -28,6 +29,7 @@ __all__ = [
     "ETHERNET_LAN",
     "WIFI_LAN",
     "LTE_CELLULAR",
+    "MEDIA",
     "VariableRateLink",
     "make_access_link",
     "Packet",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..registry import Registry
 from ..sim import EventLoop, PeriodicTimer
 from ..units import MSEC, USEC, gbps, mbps, microseconds, milliseconds
 from .link import Link
@@ -22,6 +23,7 @@ __all__ = [
     "ETHERNET_LAN",
     "WIFI_LAN",
     "LTE_CELLULAR",
+    "MEDIA",
     "VariableRateLink",
     "make_access_link",
 ]
@@ -73,6 +75,12 @@ LTE_CELLULAR = MediumProfile(
     rate_sigma=0.08,
     rate_phi=0.95,
 )
+
+#: name -> :class:`MediumProfile` (spec ``medium=`` scenario references)
+MEDIA: Registry = Registry("medium")
+MEDIA.register(ETHERNET_LAN.name, ETHERNET_LAN)
+MEDIA.register(WIFI_LAN.name, WIFI_LAN)
+MEDIA.register(LTE_CELLULAR.name, LTE_CELLULAR)
 
 
 class VariableRateLink(Link):

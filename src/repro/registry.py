@@ -1,0 +1,134 @@
+"""Named registries for the library's pluggable components.
+
+Every measurement point in the paper is "a device + CPU config + medium
++ CC + knobs" (Table 1, §3.2); each of those axes is a *named* component
+that experiment specs reference as data. A :class:`Registry` is the one
+lookup mechanism behind all of them: congestion-control factories
+(``repro.cc.CC_ALGORITHMS``), stack executors (``repro.cpu.EXECUTORS``),
+access media (``repro.netsim.MEDIA``), device profiles
+(``repro.devices.DEVICES``), and Table 1 CPU configurations
+(``repro.devices.CPU_CONFIGS``).
+
+Components register themselves in the module that defines them, so a
+registry is fully populated as soon as it is importable. Third-party
+extensions (e.g. a BBRv3 variant) call ``register`` at import time and
+become addressable from specs, scenario files, and the CLI with no core
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterable, List, Tuple, TypeVar
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "UnknownNameError",
+    "DuplicateNameError",
+    "all_registries",
+]
+
+T = TypeVar("T")
+
+
+class RegistryError(ValueError):
+    """Base class for registry lookup/registration failures."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A name was looked up that no component registered.
+
+    The message enumerates the valid names so CLI users and scenario
+    authors can self-correct.
+    """
+
+    def __init__(self, kind: str, name: str, choices: Iterable[str]):
+        self.kind = kind
+        self.name = name
+        self.choices = sorted(choices)
+        ValueError.__init__(
+            self,
+            f"unknown {kind} {name!r}; choose from {self.choices}",
+        )
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class DuplicateNameError(RegistryError):
+    """A name was registered twice without ``replace=True``."""
+
+    def __init__(self, kind: str, name: str):
+        self.kind = kind
+        self.name = name
+        super().__init__(
+            f"{kind} {name!r} is already registered; "
+            f"pass replace=True to override it"
+        )
+
+
+class Registry(Generic[T]):
+    """A small name -> component mapping with helpful errors.
+
+    *kind* is the human-readable component category ("congestion
+    control", "medium", ...) used in error messages. Registration order
+    is preserved and is the order :meth:`names` reports, so CLI
+    ``choices=`` and scenario docs stay stable across runs.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._items: Dict[str, T] = {}
+
+    def register(self, name: str, item: T, replace: bool = False) -> T:
+        """Register *item* under *name*; returns *item* for chaining."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} name must be a non-empty string")
+        if name in self._items and not replace:
+            raise DuplicateNameError(self.kind, name)
+        self._items[name] = item
+        return item
+
+    def get(self, name: str) -> T:
+        """Look up *name*; raises :class:`UnknownNameError` otherwise."""
+        try:
+            return self._items[name]
+        except KeyError:
+            raise UnknownNameError(self.kind, name, self._items) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._items)
+
+    def items(self) -> List[Tuple[str, T]]:
+        """(name, component) pairs, in registration order."""
+        return list(self._items.items())
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self._items)})"
+
+
+def all_registries() -> Dict[str, "Registry"]:
+    """Every component registry, keyed by a stable section label.
+
+    Imports lazily so this module stays dependency-free (component
+    modules import it at their own import time).
+    """
+    from .cc import CC_ALGORITHMS
+    from .cpu import EXECUTORS
+    from .devices import CPU_CONFIGS, DEVICES
+    from .netsim import MEDIA
+
+    return {
+        "cc": CC_ALGORITHMS,
+        "executor": EXECUTORS,
+        "medium": MEDIA,
+        "device": DEVICES,
+        "cpu-config": CPU_CONFIGS,
+    }

@@ -8,8 +8,10 @@ keeping the three properties the benchmarks rely on:
 
 1. **Determinism** — results come back keyed by grid index, never by
    completion order, so ``run_grid(specs, jobs=N)`` is element-wise
-   identical to ``jobs=1`` (simulations are seeded; pickling transports
-   ints and floats exactly).
+   identical to ``jobs=1`` (simulations are seeded; specs cross the
+   process boundary in the exact-round-trip wire format of
+   :mod:`repro.core.scenario`, which transports ints and floats
+   exactly).
 2. **Error isolation** — one failing point becomes a
    :class:`GridPointError` carrying its spec and traceback instead of
    killing the sweep; by default the errors are raised together once
@@ -36,6 +38,7 @@ from .core.experiment import (
     ReplicatedResult,
     run_experiment,
 )
+from .core.scenario import spec_from_dict, spec_to_dict
 from .metrics.summary import RunSet
 
 __all__ = [
@@ -146,6 +149,22 @@ def _run_point(
         )
 
 
+def _run_wire_point(
+    indexed: Tuple[int, dict],
+) -> Tuple[int, Optional[ExperimentResult], Optional[GridPointError]]:
+    """Worker body for pool workers: specs arrive as wire dicts.
+
+    Specs cross the process boundary in the declarative wire format
+    (:mod:`repro.core.scenario`) rather than as pickled dataclasses, so
+    a worker — potentially a different interpreter build, or in the
+    ROADMAP's production setting a remote backend — only has to agree on
+    names and numbers. The round trip is exact, so results are
+    bit-identical to the serial path.
+    """
+    index, payload = indexed
+    return _run_point((index, spec_from_dict(payload)))
+
+
 def run_grid_report(
     specs: Sequence[ExperimentSpec],
     jobs: Optional[int] = None,
@@ -171,9 +190,11 @@ def run_grid_report(
         outcomes = [_run_point(item) for item in enumerate(specs)]
     else:
         try:
+            # Workers receive serialized spec dicts, not pickled specs.
+            wire = [(i, spec_to_dict(spec)) for i, spec in enumerate(specs)]
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 # map() yields in submission order == grid order.
-                outcomes = list(pool.map(_run_point, enumerate(specs)))
+                outcomes = list(pool.map(_run_wire_point, wire))
         except (OSError, NotImplementedError, PermissionError):
             # Platforms without working process pools (restricted
             # sandboxes, missing /dev/shm) fall back to the serial path.

@@ -87,3 +87,77 @@ def test_sweep_strides_rows():
 def test_invalid_choice_rejected():
     with pytest.raises(SystemExit):
         run_cli(["run", "--cc", "warp"])
+
+
+def _write_scenario(tmp_path, doc, name="scenario.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_run_scenario_single_point(tmp_path):
+    path = _write_scenario(tmp_path, {
+        "base": {"cc": "cubic", "connections": 2,
+                 "duration_s": 1.5, "warmup_s": 0.5},
+    })
+    code, text = run_cli(["run", "--scenario", path, "--json"])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["goodput_mbps"] > 0
+    assert "cubic" in payload["label"]
+
+
+def test_run_scenario_rejects_multi_point(tmp_path, capsys):
+    path = _write_scenario(tmp_path, {
+        "grid": {"cc": ["bbr", "cubic"]},
+    })
+    code, _ = run_cli(["run", "--scenario", path])
+    assert code == 2
+    assert "repro grid" in capsys.readouterr().err
+
+
+def test_grid_scenario_runs_all_points(tmp_path):
+    path = _write_scenario(tmp_path, {
+        "base": {"connections": 2, "duration_s": 1.0, "warmup_s": 0.2},
+        "grid": {"cc": ["bbr", "cubic"]},
+    })
+    code, text = run_cli(["grid", "--scenario", path, "--json", "--jobs", "1"])
+    assert code == 0
+    rows = json.loads(text)
+    assert len(rows) == 2
+    assert "bbr" in rows[0]["label"] and "cubic" in rows[1]["label"]
+
+
+def test_grid_scenario_matches_python_specs(tmp_path):
+    """CLI grid output equals the same points built and run in Python."""
+    from repro import ExperimentSpec, run_replicated_grid
+
+    path = _write_scenario(tmp_path, {
+        "base": {"connections": 2, "duration_s": 1.0, "warmup_s": 0.2},
+        "grid": {"cc": ["bbr", "cubic"]},
+    })
+    code, text = run_cli(["grid", "--scenario", path, "--json", "--jobs", "1"])
+    assert code == 0
+    rows = json.loads(text)
+    specs = [
+        ExperimentSpec(cc=cc, connections=2, duration_s=1.0, warmup_s=0.2)
+        for cc in ("bbr", "cubic")
+    ]
+    aggs = run_replicated_grid(specs, runs=1, jobs=1)
+    assert [r["goodput_mbps"] for r in rows] == \
+           [round(a.goodput_mbps, 2) for a in aggs]
+
+
+def test_list_prints_registered_components():
+    code, text = run_cli(["list"])
+    assert code == 0
+    for name in ("cubic", "bbr2", "serial", "wifi", "pixel6", "low-end"):
+        assert name in text
+
+
+def test_list_json():
+    code, text = run_cli(["list", "--json"])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["cc"] == ["cubic", "bbr", "bbr2", "reno"]
+    assert payload["device"] == ["pixel4", "pixel6"]

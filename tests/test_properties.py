@@ -1,9 +1,24 @@
 """Property-based tests (hypothesis) on core data structures and
 end-to-end invariants."""
 
+import json
+from dataclasses import replace
+
 from hypothesis import given, settings, strategies as st
 
+from repro import (
+    CC_ALGORITHMS,
+    CPU_CONFIGS,
+    DEVICES,
+    EXECUTORS,
+    ExperimentSpec,
+    MEDIA,
+    NetemConfig,
+    PIXEL_4,
+    spec_from_dict,
+)
 from repro.cc import WindowedMaxFilter
+from repro.cpu import DEFAULT_COSTS
 from repro.metrics import StatAccumulator
 from repro.netsim import DEFAULT_MSS, Packet
 from repro.sim import EventLoop, RngStreams
@@ -214,6 +229,61 @@ def test_stat_accumulator_matches_reference(values):
     assert acc.max_value == max(values)
     assert acc.percentile(0) == min(values)
     assert acc.percentile(100) == max(values)
+
+
+# ---------------------------------------------------------------------------
+# Spec wire-format round trip
+# ---------------------------------------------------------------------------
+
+#: an unregistered device profile — serializes inline instead of by name
+_CUSTOM_DEVICE = replace(PIXEL_4, cycles_scale=0.7)
+
+_netems = st.builds(
+    NetemConfig,
+    rate_bps=st.one_of(st.none(), st.floats(min_value=1e6, max_value=1e9)),
+    extra_delay_ns=st.integers(min_value=0, max_value=10**7),
+    loss_probability=st.floats(min_value=0.0, max_value=0.5),
+    buffer_segments=st.one_of(st.none(), st.integers(min_value=1, max_value=1000)),
+)
+
+_specs = st.builds(
+    ExperimentSpec,
+    cc=st.sampled_from(CC_ALGORITHMS.names()),
+    connections=st.integers(min_value=1, max_value=30),
+    device=st.sampled_from(
+        [DEVICES.get(name) for name in DEVICES.names()] + [_CUSTOM_DEVICE]
+    ),
+    cpu_config=st.sampled_from(CPU_CONFIGS.names()),
+    medium=st.sampled_from([MEDIA.get(name) for name in MEDIA.names()]),
+    netem=st.one_of(st.none(), _netems),
+    pacing_mode=st.sampled_from(["auto", "on", "off"]),
+    pacing_stride=st.floats(min_value=0.5, max_value=50.0),
+    duration_s=st.floats(min_value=0.5, max_value=30.0),
+    warmup_s=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=2**31),
+    costs=st.sampled_from(
+        [None, DEFAULT_COSTS.scaled(0.5), DEFAULT_COSTS.without_pacing_overhead()]
+    ),
+    disable_model=st.booleans(),
+    fixed_cwnd_segments=st.one_of(st.none(), st.integers(min_value=1, max_value=500)),
+    fixed_pacing_rate_mbps=st.one_of(
+        st.none(), st.floats(min_value=1.0, max_value=1000.0)
+    ),
+    executor=st.sampled_from(EXECUTORS.names()),
+    phone_qdisc_segments=st.integers(min_value=10, max_value=5000),
+)
+
+
+@given(_specs)
+def test_spec_dict_round_trip_exact(spec):
+    assert spec_from_dict(spec.to_dict()) == spec
+
+
+@given(_specs)
+def test_spec_survives_json_serialization(spec):
+    """The wire format must survive an actual JSON encode/decode."""
+    wire = json.loads(json.dumps(spec.to_dict()))
+    assert spec_from_dict(wire) == spec
 
 
 # ---------------------------------------------------------------------------
