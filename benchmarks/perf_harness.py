@@ -125,6 +125,10 @@ def main(argv=None) -> int:
                         help="short simulations (CI smoke; noisier numbers)")
     parser.add_argument("--write", action="store_true", default=None,
                         help="write BENCH_runner.json (default unless --quick)")
+    parser.add_argument("--check-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 if any point's events/sec falls more "
+                             "than PCT%% below the committed baseline")
     args = parser.parse_args(argv)
 
     duration_s, warmup_s = (0.8, 0.2) if args.quick else (2.0, 0.5)
@@ -158,11 +162,20 @@ def main(argv=None) -> int:
             f.write("\n")
         print(f"wrote {BENCH_PATH}")
 
+    regressed = []
     for name, cur in current.items():
         base = baseline.get(name)
         if base:
             gain = cur["events_per_sec"] / base["events_per_sec"] - 1
             print(f"  {name}: events/sec {gain:+.1%} vs baseline")
+            if args.check_regression is not None and \
+                    gain < -args.check_regression / 100.0:
+                regressed.append((name, gain))
+    if regressed:
+        for name, gain in regressed:
+            print(f"REGRESSION: {name} events/sec {gain:+.1%} exceeds "
+                  f"the -{args.check_regression:g}% budget")
+        return 1
     return 0
 
 

@@ -41,6 +41,18 @@ from .cc import CC_ALGORITHMS
 from .cpu import EXECUTORS
 from .devices import CPU_CONFIGS, DEVICES, PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
 from .netsim import ETHERNET_LAN, LTE_CELLULAR, MEDIA, WIFI_LAN, NetemConfig
+from .obs import (
+    PROBES,
+    ProbeSet,
+    SimProfiler,
+    TimeSeries,
+    export_chrome_trace,
+    export_jsonl,
+    load_jsonl,
+    validate_chrome_trace,
+    validate_jsonl,
+)
+from .sim import Tracer
 from .registry import (
     DuplicateNameError,
     Registry,
@@ -101,6 +113,16 @@ __all__ = [
     "LTE_CELLULAR",
     "NetemConfig",
     "PacingMode",
+    "PROBES",
+    "ProbeSet",
+    "SimProfiler",
+    "TimeSeries",
+    "Tracer",
+    "export_jsonl",
+    "load_jsonl",
+    "validate_jsonl",
+    "export_chrome_trace",
+    "validate_chrome_trace",
     "ExperimentGridError",
     "GridPointError",
     "GridReport",

@@ -104,5 +104,18 @@ class CongestionOps:
         """Lower bound on autosized super-packet segments."""
         return 2
 
+    # -- tracing ------------------------------------------------------------------
+
+    def trace_state(self, conn: "TcpSender", **fields) -> None:
+        """Emit a CC state-transition record on the stack's tracer.
+
+        One guarded attribute check when tracing is off; records appear
+        under source ``cc-<flow_id>`` with the module name attached.
+        """
+        tracer = getattr(conn.services, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.emit(conn.now, f"cc-{conn.flow_id}", "mode",
+                        algo=self.name, **fields)
+
     def release(self, conn: "TcpSender") -> None:
         """Connection teardown hook."""

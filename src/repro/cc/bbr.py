@@ -147,7 +147,7 @@ class Bbr(CongestionOps):
         self._update_round(conn, rs)
         self._lt_bw_sampling(conn, rs)
         self._update_bw(conn, rs)
-        self._check_full_bw_reached(rs)
+        self._check_full_bw_reached(conn, rs)
         self._check_drain(conn)
         self._update_cycle_phase(conn, rs)
         self._update_min_rtt_state(conn, rs)
@@ -179,7 +179,7 @@ class Bbr(CongestionOps):
         if not rs.is_app_limited or sample_bps >= self.bw_filter.value:
             self.bw_filter.update(self.rtt_cnt, sample_bps)
 
-    def _check_full_bw_reached(self, rs: "RateSample") -> None:
+    def _check_full_bw_reached(self, conn: "TcpSender", rs: "RateSample") -> None:
         if self.full_bw_reached or not self.round_start or rs.is_app_limited:
             return
         bw = self.bw_filter.value
@@ -194,6 +194,7 @@ class Bbr(CongestionOps):
                 self.mode = DRAIN
                 self.pacing_gain = DRAIN_GAIN
                 self.cwnd_gain = HIGH_GAIN
+                self.trace_state(conn, mode=DRAIN, gain=self.pacing_gain)
 
     def _check_drain(self, conn: "TcpSender") -> None:
         if self.mode != DRAIN:
@@ -214,6 +215,7 @@ class Bbr(CongestionOps):
         self.cycle_idx = idx
         self.cycle_stamp_ns = conn.now
         self.pacing_gain = PACING_GAIN_CYCLE[self.cycle_idx]
+        self.trace_state(conn, mode=PROBE_BW, gain=self.pacing_gain)
 
     def _update_cycle_phase(self, conn: "TcpSender", rs: "RateSample") -> None:
         if self.mode != PROBE_BW:
@@ -257,6 +259,7 @@ class Bbr(CongestionOps):
             self.cwnd_gain = 1.0
             self.prior_cwnd = max(self.prior_cwnd, conn.cwnd)
             self.probe_rtt_done_stamp = None
+            self.trace_state(conn, mode=PROBE_RTT, gain=self.pacing_gain)
 
         if self.mode == PROBE_RTT:
             conn.cwnd = min(conn.cwnd, MIN_TARGET_CWND)
@@ -283,6 +286,7 @@ class Bbr(CongestionOps):
             self.mode = STARTUP
             self.pacing_gain = HIGH_GAIN
             self.cwnd_gain = HIGH_GAIN
+            self.trace_state(conn, mode=STARTUP, gain=self.pacing_gain)
 
     # -- rate and cwnd outputs ---------------------------------------------------------------------
 

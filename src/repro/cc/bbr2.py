@@ -252,6 +252,7 @@ class Bbr2(CongestionOps):
             self.mode = DRAIN
             self.pacing_gain = DRAIN_GAIN
             self.cwnd_gain = CWND_GAIN
+            self.trace_state(conn, mode=DRAIN, gain=self.pacing_gain)
 
     def _enter_probe_down(self, conn: "TcpSender") -> None:
         self.mode = PROBE_DOWN
@@ -263,11 +264,13 @@ class Bbr2(CongestionOps):
         # random 2-3 s wait).
         spread = (conn.flow_id * 137) % 1000
         self.probe_wait_until_ns = conn.now + PROBE_WAIT_BASE_NS + spread * MSEC
+        self.trace_state(conn, mode=PROBE_DOWN, gain=self.pacing_gain)
 
     def _enter_probe_cruise(self, conn: "TcpSender") -> None:
         self.mode = PROBE_CRUISE
         self.pacing_gain = 1.0
         self.cwnd_gain = CWND_GAIN
+        self.trace_state(conn, mode=PROBE_CRUISE, gain=self.pacing_gain)
 
     def _enter_probe_refill(self, conn: "TcpSender") -> None:
         self.mode = PROBE_REFILL
@@ -275,12 +278,14 @@ class Bbr2(CongestionOps):
         self.cwnd_gain = CWND_GAIN
         self._release_lower_bounds()
         self.next_rtt_delivered = conn.delivered_bytes
+        self.trace_state(conn, mode=PROBE_REFILL, gain=self.pacing_gain)
 
     def _enter_probe_up(self, conn: "TcpSender") -> None:
         self.mode = PROBE_UP
         self.pacing_gain = 1.25
         self.cwnd_gain = CWND_GAIN
         self.cycle_stamp_ns = conn.now
+        self.trace_state(conn, mode=PROBE_UP, gain=self.pacing_gain)
 
     # -- PROBE_RTT -------------------------------------------------------------------------------
 
@@ -292,6 +297,7 @@ class Bbr2(CongestionOps):
             self.cwnd_gain = 1.0
             self.prior_cwnd = max(self.prior_cwnd, conn.cwnd)
             self.probe_rtt_done_stamp = None
+            self.trace_state(conn, mode=PROBE_RTT, gain=self.pacing_gain)
         if self.mode != PROBE_RTT:
             return
         # v2 dwells at half the estimated BDP rather than 4 packets.

@@ -26,7 +26,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from dataclasses import replace
+from typing import Dict, List, Optional
 
 import time
 
@@ -38,15 +39,23 @@ from . import (
     ExperimentSpec,
     MEDIA,
     NetemConfig,
+    PROBES,
     PacingMode,
+    ReplicatedResult,
+    SimProfiler,
+    TimeSeries,
+    Tracer,
     all_registries,
     expand_scenario,
+    export_chrome_trace,
+    export_jsonl,
     load_scenario_doc,
     resolve_jobs,
+    run_experiment,
     run_replicated_grid,
     sweep_strides,
 )
-from .metrics import render_table
+from .metrics import RunSet, render_series, render_table
 
 __all__ = ["main", "build_parser"]
 
@@ -103,6 +112,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="single-point scenario file; overrides the "
                             "spec flags above (multi-point files need "
                             "'repro grid')")
+    run_p.add_argument("--probe", action="append", default=None,
+                       metavar="NAME",
+                       help="record a time-series probe (repeatable; "
+                            "'all' selects every registered probe; see "
+                            "'repro list')")
+    run_p.add_argument("--series-out", metavar="FILE", default=None,
+                       help="write probe time series as JSON "
+                            "(render with 'repro report FILE')")
+    run_p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the component trace as JSONL "
+                            "(forces a single in-process run)")
+    run_p.add_argument("--chrome-trace", metavar="FILE", default=None,
+                       help="write a Chrome trace-event JSON loadable "
+                            "in Perfetto (forces a single in-process run)")
+    run_p.add_argument("--trace-category", action="append", default=None,
+                       metavar="GLOB",
+                       help="only trace sources matching this glob "
+                            "(repeatable; e.g. 'cc-*', 'little*')")
+    run_p.add_argument("--profile", action="store_true",
+                       help="profile the event loop per callback type "
+                            "(forces a single in-process run)")
 
     grid_p = sub.add_parser(
         "grid", help="run every point of a declarative scenario file")
@@ -124,6 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sweep_p)
     sweep_p.add_argument("--strides", type=float, nargs="+",
                          default=[1, 2, 5, 10, 20, 50])
+
+    report_p = sub.add_parser(
+        "report", help="render probe time series saved by 'run --series-out'")
+    report_p.add_argument("series_file", metavar="FILE",
+                          help="JSON file written by 'repro run --series-out'")
+    report_p.add_argument("--probe", action="append", default=None,
+                          metavar="NAME",
+                          help="only render series whose name starts with "
+                               "NAME (repeatable; default: all)")
+    report_p.add_argument("--points", type=int, default=12,
+                          help="downsample each series to this many points")
 
     list_p = sub.add_parser(
         "list", help="list registered components (CCs, media, devices, ...)")
@@ -197,6 +238,65 @@ def _run_specs(args, specs):
     return aggs, _timing_line(aggs, jobs, wall)
 
 
+def _resolve_probes(names: Optional[List[str]]) -> tuple:
+    """Expand ``--probe`` values; 'all' selects every registered probe."""
+    if not names:
+        return ()
+    if "all" in names:
+        return PROBES.names()
+    for name in names:
+        PROBES.get(name)  # raises UnknownNameError with choices
+    return tuple(dict.fromkeys(names))
+
+
+def _write_series(timeseries: Dict[str, TimeSeries], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({name: ts.to_dict() for name, ts in timeseries.items()},
+                  fh, indent=2)
+        fh.write("\n")
+
+
+def _instrumented_run(args, spec, out):
+    """Single in-process run with tracing and/or profiling attached.
+
+    The parallel runner ships specs to worker processes, so a Tracer or
+    SimProfiler living in this process could never observe them; when
+    ``--trace-out``/``--chrome-trace``/``--profile`` is given we run the
+    one experiment here instead.
+    """
+    if args.runs > 1:
+        sys.stderr.write(
+            "note: --trace-out/--chrome-trace/--profile run in-process; "
+            f"forcing --runs 1 (requested {args.runs})\n"
+        )
+    tracer = None
+    if args.trace_out or args.chrome_trace:
+        tracer = Tracer(keep=True, categories=tuple(args.trace_category or ()))
+    profiler = SimProfiler() if args.profile else None
+    start = time.perf_counter()
+    result = run_experiment(spec, tracer=tracer, profiler=profiler)
+    wall = time.perf_counter() - start
+    stats = RunSet()
+    stats.add_run(result.scalar_metrics())
+    agg = ReplicatedResult(spec=spec, runs=[result], stats=stats)
+    if tracer is not None:
+        if tracer.dropped_records:
+            sys.stderr.write(
+                f"note: trace ring buffer dropped {tracer.dropped_records} "
+                "oldest records (raise Tracer(max_records=...) to keep more)\n"
+            )
+        if args.trace_out:
+            count = export_jsonl(tracer.records, args.trace_out)
+            sys.stderr.write(f"wrote {count} trace records to "
+                             f"{args.trace_out}\n")
+        if args.chrome_trace:
+            count = export_chrome_trace(tracer.records, args.chrome_trace)
+            sys.stderr.write(f"wrote {count} Chrome trace events to "
+                             f"{args.chrome_trace} (open in Perfetto)\n")
+    timing = _timing_line([agg], jobs=1, wall_s=wall)
+    return agg, timing, profiler
+
+
 def _cmd_run(args, out) -> int:
     if args.scenario is not None:
         specs = expand_scenario(load_scenario_doc(args.scenario))
@@ -218,10 +318,60 @@ def _cmd_run(args, out) -> int:
             fixed_pacing_rate_mbps=args.fixed_pacing_mbps,
             disable_model=args.disable_model,
         )
-    (agg,), timing = _run_specs(args, [spec])
+    probes = _resolve_probes(args.probe)
+    if probes:
+        spec = replace(spec, probes=probes)
+    profiler = None
+    if args.trace_out or args.chrome_trace or args.profile:
+        agg, timing, profiler = _instrumented_run(args, spec, out)
+    else:
+        (agg,), timing = _run_specs(args, [spec])
     _emit([_result_dict(agg)], args.json, out)
     if not args.json:
         out.write(timing + "\n")
+    if probes and args.series_out:
+        _write_series(agg.runs[0].timeseries, args.series_out)
+        sys.stderr.write(f"wrote {len(agg.runs[0].timeseries)} time series "
+                         f"to {args.series_out}\n")
+    if profiler is not None:
+        out.write("\n" + profiler.render() + "\n")
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    with open(args.series_file, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        sys.stderr.write(f"error: {args.series_file!r} is not a series "
+                         "JSON object (expected 'run --series-out' output)\n")
+        return 2
+    wanted = args.probe
+    series = {}
+    for name, payload in doc.items():
+        if wanted and not any(name.startswith(w) for w in wanted):
+            continue
+        series[name] = TimeSeries.from_dict(payload)
+    if not series:
+        sys.stderr.write("error: no matching time series "
+                         f"in {args.series_file!r}\n")
+        return 2
+    points = max(2, args.points)
+    # Series sampled on the same clock grid share one chart; labelled or
+    # odd-grid series get their own.
+    groups: Dict[tuple, List[TimeSeries]] = {}
+    for ts in series.values():
+        small = ts.downsample(points)
+        groups.setdefault(tuple(small.t_ns), []).append(small)
+    first = True
+    for t_grid, members in groups.items():
+        if not first:
+            out.write("\n")
+        first = False
+        t_ms = [t / 1e6 for t in t_grid]
+        chart = [(f"{ts.name} [{ts.unit}]" if ts.unit else ts.name, ts.values)
+                 for ts in members]
+        title = ", ".join(ts.name for ts in members)
+        out.write(render_series("t_ms", t_ms, chart, title=title) + "\n")
     return 0
 
 
@@ -246,6 +396,7 @@ def _cmd_list(args, out) -> int:
         "medium": "media",
         "device": "devices",
         "cpu-config": "CPU configs",
+        "probe": "probes",
     }
     registries = all_registries()
     if args.json:
@@ -307,6 +458,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_compare(args, out)
     if args.command == "sweep-strides":
         return _cmd_sweep(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
     if args.command == "list":
         return _cmd_list(args, out)
     raise AssertionError("unreachable")

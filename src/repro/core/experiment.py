@@ -12,7 +12,7 @@ way the paper averages over 10 iperf runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..apps.iperf import IperfClientApp, IperfServerApp
 from ..cc import CC_ALGORITHMS, CongestionOps, MasterModule
@@ -21,7 +21,9 @@ from ..devices import CpuConfig, DeviceProfile, PIXEL_4, build_device
 from ..metrics.collector import StatAccumulator
 from ..metrics.summary import RunSet
 from ..netsim import ETHERNET_LAN, MediumProfile, NetemConfig, Testbed
-from ..sim import EventLoop, PeriodicTimer, RngStreams
+from ..obs.probes import ProbeContext, ProbeSet
+from ..obs.series import TimeSeries
+from ..sim import EventLoop, NULL_TRACER, PeriodicTimer, RngStreams, Tracer
 from ..tcp.connection import SocketConfig
 from ..tcp.pacing import PacingMode
 from ..tcp.stack import MobileTcpStack
@@ -70,6 +72,10 @@ class ExperimentSpec:
     #: "rps" (multi-core ablation), "free" (no CPU model)
     executor: str = "serial"
     phone_qdisc_segments: int = 1000
+    #: telemetry probes to sample during the run (names registered in
+    #: :data:`repro.obs.probes.PROBES`); results land in
+    #: :attr:`ExperimentResult.timeseries`
+    probes: Tuple[str, ...] = ()
 
     def label(self) -> str:
         """Compact human-readable identifier for reports."""
@@ -118,6 +124,9 @@ class ExperimentResult:
     mean_memory_bytes: float
     mean_cwnd_segments: float
     events_processed: int
+    #: probe output: series name -> :class:`~repro.obs.series.TimeSeries`
+    #: (empty unless the spec selected probes)
+    timeseries: Dict[str, TimeSeries] = field(default_factory=dict)
 
     def scalar_metrics(self) -> Dict[str, float]:
         """Flat metric dict for :class:`~repro.metrics.summary.RunSet`.
@@ -194,14 +203,30 @@ def make_cc_factory(spec: ExperimentSpec) -> Callable[[], CongestionOps]:
     return factory
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Run one simulated iperf experiment and return its measurements."""
+def run_experiment(
+    spec: ExperimentSpec,
+    tracer: Optional[Tracer] = None,
+    profiler=None,
+) -> ExperimentResult:
+    """Run one simulated iperf experiment and return its measurements.
+
+    *tracer* (a :class:`~repro.sim.trace.Tracer`) is threaded through
+    every traced component — CPU cores and governors, the TCP stack,
+    links and queues, and CC state machines; export its records with
+    :mod:`repro.obs.trace_export`. *profiler* (a
+    :class:`~repro.obs.profiler.SimProfiler`) installs per-callback
+    event-loop accounting. Both default to off and cost nothing then.
+    """
     if spec.warmup_s >= spec.duration_s:
         raise ValueError("warmup must be shorter than the duration")
     loop = EventLoop()
     rng = RngStreams(spec.seed)
+    if tracer is None:
+        tracer = NULL_TRACER
+    if profiler is not None:
+        loop.set_profiler(profiler)
 
-    device = build_device(loop, spec.device, spec.cpu_config)
+    device = build_device(loop, spec.device, spec.cpu_config, tracer=tracer)
     costs = spec.costs if spec.costs is not None else device.cost_model
     testbed = Testbed(
         loop,
@@ -209,9 +234,10 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         netem=spec.netem,
         rng=rng,
         phone_qdisc_segments=spec.phone_qdisc_segments,
+        tracer=tracer,
     )
     executor = EXECUTORS.get(spec.executor)(device.cpu)
-    stack = MobileTcpStack(loop, executor, costs, testbed)
+    stack = MobileTcpStack(loop, executor, costs, testbed, tracer=tracer)
     server = IperfServerApp(loop, testbed)
     socket_config = SocketConfig(
         pacing_mode=spec.pacing_mode,
@@ -244,6 +270,13 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
 
     memory_sampler = PeriodicTimer(loop, 50 * MSEC, sample_memory, name="memsample")
 
+    probe_set: Optional[ProbeSet] = None
+    if spec.probes:
+        probe_set = ProbeSet(
+            spec.probes,
+            ProbeContext(loop, spec, client, server, testbed, device, stack),
+        )
+
     # Teardown runs in the finally block so that an exception anywhere in
     # the run or in metrics extraction cannot leak live periodic timers.
     # This matters once worker processes reuse interpreters across grid
@@ -251,6 +284,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     # testbed reachable for the worker's lifetime.
     try:
         memory_sampler.start()
+        if probe_set is not None:
+            probe_set.start()
         device.start()
         client.start()
         loop.run(until=duration_ns)
@@ -284,10 +319,13 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
             mean_memory_bytes=memory_stats.mean,
             mean_cwnd_segments=client.mean_cwnd_segments,
             events_processed=loop.events_processed,
+            timeseries=probe_set.timeseries if probe_set is not None else {},
         )
     finally:
         # Teardown so the loop holds no live periodic sources.
         memory_sampler.stop()
+        if probe_set is not None:
+            probe_set.stop()
         client.stop()
         device.stop()
         testbed.stop_processes()

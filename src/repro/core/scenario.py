@@ -125,6 +125,8 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
             out[f.name] = _profile_to_ref(MEDIA, value)
         elif f.name in ("netem", "costs"):
             out[f.name] = None if value is None else _dataclass_to_dict(value)
+        elif f.name == "probes":
+            out[f.name] = list(value)
         else:
             out[f.name] = value
     return out
@@ -160,6 +162,13 @@ def spec_from_dict(data: Dict[str, Any]) -> ExperimentSpec:
         kwargs["costs"] = _dataclass_from_dict(
             CostModel, kwargs["costs"], "costs"
         )
+    if "probes" in kwargs:
+        probes = kwargs["probes"]
+        if not isinstance(probes, (list, tuple)) or not all(
+            isinstance(p, str) for p in probes
+        ):
+            raise ValueError("probes must be a list of probe names")
+        kwargs["probes"] = tuple(probes)
     return ExperimentSpec(**kwargs)
 
 

@@ -100,7 +100,7 @@ class CpuCore:
         """Change the clock; affects items started after this call."""
         if freq_hz <= 0:
             raise ValueError("core frequency must be positive")
-        if freq_hz != self._freq_hz:
+        if freq_hz != self._freq_hz and self._tracer.enabled:
             self._tracer.emit(self._loop.now, self.name, "freq_change",
                               old_hz=self._freq_hz, new_hz=freq_hz)
         self._freq_hz = float(freq_hz)
@@ -185,6 +185,12 @@ class CpuCore:
         self._completion_event = None
         self.items_executed += 1
         self.cycles_executed += item.cycles
+        if self._tracer.enabled:
+            # start_ns makes this a duration slice in the Chrome trace
+            # (see repro.obs.trace_export.chrome_trace_events).
+            self._tracer.emit(self._loop.now, self.name, "exec",
+                              item=item.name, start_ns=item.started_at,
+                              cycles=item.cycles)
         # Run the callback *before* starting the next item so that any
         # work it submits lands behind already-queued items (FIFO), the
         # same way a softirq handler re-raises itself.

@@ -246,4 +246,6 @@ class DynamicCpuPolicy:
         self.cpu.bind_to(new_core)
         self.migrations += 1
         self._last_busy = new_core.busy_ns_up_to_now()
-        self._tracer.emit(self._loop.now, "cpu-policy", "migrate", to=new_core.name)
+        if self._tracer.enabled:
+            self._tracer.emit(self._loop.now, "cpu-policy", "migrate",
+                              to=new_core.name)

@@ -74,6 +74,9 @@ class StatAccumulator:
         self.min_value: Optional[float] = None
         self.max_value: Optional[float] = None
         self._samples: Optional[List[float]] = [] if keep else None
+        #: sorted view of _samples, rebuilt lazily (percentile queries
+        #: from grid reports come in batches between adds)
+        self._sorted_samples: Optional[List[float]] = None
 
     def add(self, value: float) -> None:
         """Fold one sample in."""
@@ -87,6 +90,7 @@ class StatAccumulator:
             self.max_value = value
         if self._samples is not None:
             self._samples.append(value)
+            self._sorted_samples = None
 
     @property
     def mean(self) -> float:
@@ -109,7 +113,9 @@ class StatAccumulator:
             raise RuntimeError("percentiles need keep=True")
         if not self._samples:
             return 0.0
-        data = sorted(self._samples)
+        data = self._sorted_samples
+        if data is None:
+            data = self._sorted_samples = sorted(self._samples)
         if len(data) == 1:
             return data[0]
         rank = (len(data) - 1) * p / 100.0

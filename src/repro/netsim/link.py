@@ -93,6 +93,10 @@ class Link:
         self._transmitting = False
         self.packets_sent += 1
         self.bytes_sent += packet.wire_bytes
+        if self._tracer.enabled:
+            self._tracer.emit(self._loop.now, self.name, "tx",
+                              flow=packet.flow_id, bytes=packet.wire_bytes,
+                              segs=packet.segments)
         self._deliver(packet)
         self._start_next()
 

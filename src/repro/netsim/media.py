@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass
 
 from ..registry import Registry
-from ..sim import EventLoop, PeriodicTimer
+from ..sim import EventLoop, NULL_TRACER, PeriodicTimer, Tracer
 from ..units import MSEC, USEC, gbps, mbps, microseconds, milliseconds
 from .link import Link
 
@@ -101,8 +101,9 @@ class VariableRateLink(Link):
         prop_delay_ns: int,
         rng: random.Random,
         name: str = "varlink",
+        tracer: Tracer = NULL_TRACER,
     ):
-        super().__init__(loop, mean_rate_bps, prop_delay_ns, name=name)
+        super().__init__(loop, mean_rate_bps, prop_delay_ns, name=name, tracer=tracer)
         self.mean_rate_bps = float(mean_rate_bps)
         self.sigma = float(sigma)
         self.phi = float(phi)
@@ -134,6 +135,7 @@ def make_access_link(
     profile: MediumProfile,
     direction: str,
     rng: random.Random,
+    tracer: Tracer = NULL_TRACER,
 ) -> Link:
     """Build the uplink or downlink access link for *profile*.
 
@@ -153,5 +155,6 @@ def make_access_link(
             profile.one_way_delay_ns,
             rng,
             name=name,
+            tracer=tracer,
         )
-    return Link(loop, rate, profile.one_way_delay_ns, name=name)
+    return Link(loop, rate, profile.one_way_delay_ns, name=name, tracer=tracer)

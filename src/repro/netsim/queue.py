@@ -84,8 +84,9 @@ class DropTailQueue:
         # remainder of `packet` (possibly all of it) is dropped
         self.dropped_packets += 1
         self.dropped_segments += packet.segments
-        self._tracer.emit(self._loop.now, self.name, "drop",
-                          flow=packet.flow_id, segs=packet.segments)
+        if self._tracer.enabled:
+            self._tracer.emit(self._loop.now, self.name, "drop",
+                              flow=packet.flow_id, segs=packet.segments)
         if self.on_drop is not None:
             self.on_drop(packet, packet.segments)
 

@@ -64,14 +64,17 @@ class Testbed:
         self.on_phone_receive: Optional[PacketSink] = None
 
         # ---- uplink data path: phone qdisc -> access up -> router -> server
-        self.uplink = make_access_link(loop, medium, "up", rngs.stream("uplink"))
+        self.uplink = make_access_link(
+            loop, medium, "up", rngs.stream("uplink"), tracer=tracer
+        )
         self.phone_qdisc = DropTailQueue(
             loop, self.uplink, capacity_segments=phone_qdisc_segments,
             name="phone-qdisc", tracer=tracer,
         )
         router_rate = self.netem.rate_bps or gbps(1.0)
         self.router_server_link = Link(
-            loop, router_rate, microseconds(50), name="router-server"
+            loop, router_rate, microseconds(50), name="router-server",
+            tracer=tracer,
         )
         buffer_segments = self.netem.buffer_segments or DEFAULT_ROUTER_BUFFER_SEGMENTS
         self.router_queue = DropTailQueue(
@@ -86,9 +89,12 @@ class Testbed:
 
         # ---- return path: server -> router -> access down -> phone
         self.server_router_link = Link(
-            loop, gbps(1.0), microseconds(50), name="server-router"
+            loop, gbps(1.0), microseconds(50), name="server-router",
+            tracer=tracer,
         )
-        self.downlink = make_access_link(loop, medium, "down", rngs.stream("downlink"))
+        self.downlink = make_access_link(
+            loop, medium, "down", rngs.stream("downlink"), tracer=tracer
+        )
         self.server_router_link.connect(self.downlink.send)
         self.downlink.connect(self._deliver_to_phone)
 

@@ -1,0 +1,39 @@
+"""Observability: time-series probes, trace export, and the profiler.
+
+The paper's core figures are *time series* — goodput, pacing rate, CPU
+utilization, BBR state over the life of a transfer. This package turns
+any experiment into those figures:
+
+* :mod:`repro.obs.probes` — named periodic samplers selected per spec
+  (``ExperimentSpec(probes=("pacing_rate", "cpu_util"))``), recorded
+  into ``ExperimentResult.timeseries``,
+* :mod:`repro.obs.trace_export` — JSONL and Chrome trace-event exports
+  of :class:`~repro.sim.trace.Tracer` ring buffers,
+* :mod:`repro.obs.profiler` — per-callback-type event-loop profiling.
+"""
+
+from .probes import DEFAULT_PROBE_PERIOD_NS, PROBES, ProbeContext, ProbeSet, probe
+from .profiler import SimProfiler
+from .series import TimeSeries
+from .trace_export import (
+    export_chrome_trace,
+    export_jsonl,
+    load_jsonl,
+    validate_chrome_trace,
+    validate_jsonl,
+)
+
+__all__ = [
+    "PROBES",
+    "ProbeContext",
+    "ProbeSet",
+    "probe",
+    "DEFAULT_PROBE_PERIOD_NS",
+    "SimProfiler",
+    "TimeSeries",
+    "export_jsonl",
+    "load_jsonl",
+    "validate_jsonl",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+]

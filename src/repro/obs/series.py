@@ -1,0 +1,110 @@
+"""Time-series containers for telemetry probes.
+
+A :class:`TimeSeries` is the unit of probe output: a named, unit-tagged
+sequence of ``(time_ns, value)`` samples, optionally with a categorical
+label per sample (BBR's mode string rides alongside its pacing gain).
+Series serialize to plain JSON dicts so they travel in experiment
+results (including across the parallel runner's process boundary), in
+``repro run --series-out`` files, and into ``repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TimeSeries"]
+
+
+@dataclass
+class TimeSeries:
+    """One probe's samples over simulated time."""
+
+    name: str
+    unit: str = ""
+    t_ns: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    #: optional categorical label per sample (e.g. BBR mode names);
+    #: ``None`` for purely numeric series
+    labels: Optional[List[str]] = None
+
+    def append(self, t_ns: int, value: float, label: Optional[str] = None) -> None:
+        """Record one sample at simulated time *t_ns*."""
+        self.t_ns.append(int(t_ns))
+        self.values.append(float(value))
+        if self.labels is not None:
+            self.labels.append("" if label is None else str(label))
+        elif label is not None:
+            raise ValueError(
+                f"series {self.name!r} was created without labels; "
+                f"initialise labels=[] to record them"
+            )
+
+    def __len__(self) -> int:
+        return len(self.t_ns)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a plain JSON-compatible dict (exact round trip)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "unit": self.unit,
+            "t_ns": list(self.t_ns),
+            "values": list(self.values),
+        }
+        if self.labels is not None:
+            out["labels"] = list(self.labels)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimeSeries":
+        """Rebuild a series from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValueError(f"series must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"name", "unit", "t_ns", "values", "labels"}
+        if unknown:
+            raise ValueError(f"unknown series key(s) {sorted(unknown)}")
+        series = cls(
+            name=str(data.get("name", "")),
+            unit=str(data.get("unit", "")),
+            t_ns=[int(t) for t in data.get("t_ns", [])],
+            values=[float(v) for v in data.get("values", [])],
+            labels=(
+                [str(l) for l in data["labels"]]
+                if data.get("labels") is not None
+                else None
+            ),
+        )
+        if len(series.t_ns) != len(series.values):
+            raise ValueError(
+                f"series {series.name!r} has {len(series.t_ns)} times "
+                f"but {len(series.values)} values"
+            )
+        if series.labels is not None and len(series.labels) != len(series.t_ns):
+            raise ValueError(f"series {series.name!r} label count mismatch")
+        return series
+
+    def downsample(self, max_points: int) -> "TimeSeries":
+        """An evenly strided copy with at most *max_points* samples.
+
+        Sample times are kept exact (no interpolation): the copy picks
+        ``max_points`` indices spread evenly across the series, always
+        including the first and last sample.
+        """
+        if max_points < 2:
+            raise ValueError("need at least two points")
+        n = len(self.t_ns)
+        if n <= max_points:
+            indices = range(n)
+        else:
+            indices = sorted(
+                {round(i * (n - 1) / (max_points - 1)) for i in range(max_points)}
+            )
+        return TimeSeries(
+            name=self.name,
+            unit=self.unit,
+            t_ns=[self.t_ns[i] for i in indices],
+            values=[self.values[i] for i in indices],
+            labels=(
+                [self.labels[i] for i in indices] if self.labels is not None else None
+            ),
+        )

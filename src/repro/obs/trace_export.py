@@ -1,0 +1,221 @@
+"""Trace export: JSONL and Chrome trace-event (Perfetto) formats.
+
+Two export paths for the records a :class:`~repro.sim.trace.Tracer`
+collects:
+
+* **JSONL** — one JSON object per line with the fixed schema
+  ``{"time_ns": int, "source": str, "event": str, "fields": {...}}``.
+  Greppable, streamable, and loss-free (:func:`load_jsonl` rebuilds the
+  exact records).
+
+* **Chrome trace-event JSON** — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``. Each trace source
+  becomes a named thread; ``exec`` records carrying a ``start_ns`` field
+  (CPU work items, including pacing-timer callbacks — emitted by
+  :class:`~repro.cpu.core.CpuCore`) render as duration slices on their
+  core's track, everything else as instant events.
+
+Both formats have validators used by tests and CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from ..sim.trace import TraceRecord
+
+__all__ = [
+    "export_jsonl",
+    "load_jsonl",
+    "validate_jsonl",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+]
+
+_JSONL_KEYS = ("time_ns", "source", "event", "fields")
+
+
+# --------------------------------------------------------------------------
+# JSONL
+# --------------------------------------------------------------------------
+
+
+def record_to_dict(record: TraceRecord) -> Dict[str, Any]:
+    """One record as its JSONL wire object."""
+    return {
+        "time_ns": record.time_ns,
+        "source": record.source,
+        "event": record.event,
+        "fields": record.fields,
+    }
+
+
+def export_jsonl(records: Iterable[TraceRecord], path: str) -> int:
+    """Write *records* to *path*, one JSON object per line; returns count."""
+    count = 0
+    with open(path, "w") as f:
+        for record in records:
+            f.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str) -> List[TraceRecord]:
+    """Rebuild :class:`TraceRecord` objects from a JSONL trace file."""
+    records: List[TraceRecord] = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = _check_jsonl_object(line, path, line_no)
+            records.append(
+                TraceRecord(obj["time_ns"], obj["source"], obj["event"], obj["fields"])
+            )
+    return records
+
+
+def validate_jsonl(path: str) -> int:
+    """Check every line of *path* against the JSONL trace schema.
+
+    Returns the record count; raises ``ValueError`` naming the first
+    offending line otherwise.
+    """
+    count = 0
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            _check_jsonl_object(line, path, line_no)
+            count += 1
+    return count
+
+
+def _check_jsonl_object(line: str, path: str, line_no: int) -> Dict[str, Any]:
+    where = f"{path}:{line_no}"
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{where}: not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: expected an object, got {type(obj).__name__}")
+    missing = [k for k in _JSONL_KEYS if k not in obj]
+    if missing:
+        raise ValueError(f"{where}: missing key(s) {missing}")
+    unknown = [k for k in obj if k not in _JSONL_KEYS]
+    if unknown:
+        raise ValueError(f"{where}: unknown key(s) {sorted(unknown)}")
+    if not isinstance(obj["time_ns"], int) or isinstance(obj["time_ns"], bool):
+        raise ValueError(f"{where}: time_ns must be an integer")
+    if not isinstance(obj["source"], str) or not isinstance(obj["event"], str):
+        raise ValueError(f"{where}: source and event must be strings")
+    if not isinstance(obj["fields"], dict):
+        raise ValueError(f"{where}: fields must be an object")
+    return obj
+
+
+# --------------------------------------------------------------------------
+# Chrome trace-event format
+# --------------------------------------------------------------------------
+
+_PID = 1
+_PROCESS_NAME = "repro-sim"
+
+
+def chrome_trace_events(records: Iterable[TraceRecord]) -> List[Dict[str, Any]]:
+    """Build the ``traceEvents`` list for *records*.
+
+    Timestamps are microseconds (the format's unit). Sources map to
+    threads in order of first appearance; ``M`` metadata events name
+    them so Perfetto shows ``phone-qdisc``, ``little0``, ... as tracks.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M", "pid": _PID, "tid": 0,
+            "name": "process_name", "args": {"name": _PROCESS_NAME},
+        }
+    ]
+    tids: Dict[str, int] = {}
+    for record in records:
+        tid = tids.get(record.source)
+        if tid is None:
+            tid = tids[record.source] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M", "pid": _PID, "tid": tid,
+                    "name": "thread_name", "args": {"name": record.source},
+                }
+            )
+        fields = record.fields
+        start_ns = fields.get("start_ns")
+        if record.event == "exec" and isinstance(start_ns, int):
+            # A completed CPU work item: render the span it occupied the
+            # core as a duration slice (pacing-timer callbacks included).
+            events.append(
+                {
+                    "ph": "X", "pid": _PID, "tid": tid,
+                    "name": str(fields.get("item", "work")),
+                    "cat": "cpu",
+                    "ts": start_ns / 1e3,
+                    "dur": (record.time_ns - start_ns) / 1e3,
+                    "args": {k: v for k, v in fields.items() if k != "start_ns"},
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "i", "pid": _PID, "tid": tid,
+                    "name": record.event,
+                    "cat": record.event,
+                    "ts": record.time_ns / 1e3,
+                    "s": "t",
+                    "args": dict(fields),
+                }
+            )
+    return events
+
+
+def export_chrome_trace(records: Iterable[TraceRecord], path: str) -> int:
+    """Write a Perfetto-loadable trace for *records*; returns event count."""
+    events = chrome_trace_events(records)
+    with open(path, "w") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f)
+    return len(events)
+
+
+def validate_chrome_trace(path: str) -> int:
+    """Check *path* against the trace-event JSON schema.
+
+    Returns the number of non-metadata events; raises ``ValueError``
+    on the first violation.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: expected an object with a 'traceEvents' list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: 'traceEvents' must be a list")
+    payload = 0
+    for i, event in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                raise ValueError(f"{where}: missing {key!r}")
+        ph = event["ph"]
+        if ph == "M":
+            continue
+        payload += 1
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: 'X' event needs a non-negative 'dur'")
+        elif ph != "i":
+            raise ValueError(f"{where}: unexpected phase {ph!r}")
+    return payload

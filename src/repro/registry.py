@@ -124,6 +124,7 @@ def all_registries() -> Dict[str, "Registry"]:
     from .cpu import EXECUTORS
     from .devices import CPU_CONFIGS, DEVICES
     from .netsim import MEDIA
+    from .obs.probes import PROBES
 
     return {
         "cc": CC_ALGORITHMS,
@@ -131,4 +132,5 @@ def all_registries() -> Dict[str, "Registry"]:
         "medium": MEDIA,
         "device": DEVICES,
         "cpu-config": CPU_CONFIGS,
+        "probe": PROBES,
     }

@@ -19,6 +19,7 @@ heap proportional to the number of *live* events.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["Event", "EventLoop", "SimulationError"]
@@ -115,6 +116,8 @@ class EventLoop:
         self.compactions = 0
         #: arbitrary per-simulation scratch space (used by tracing helpers)
         self.context: Dict[str, Any] = {}
+        #: opt-in profiler (see :meth:`set_profiler`); None = free dispatch
+        self._profiler = None
 
     # -- clock ------------------------------------------------------------
 
@@ -170,6 +173,17 @@ class EventLoop:
         """Request the running loop to stop after the current callback."""
         self._stopped = True
 
+    def set_profiler(self, profiler) -> None:
+        """Install (or with ``None`` remove) a per-callback profiler.
+
+        *profiler* exposes a ``records`` dict mapping callback qualname
+        to a mutable ``[count, sim_ns, wall_ns]`` triple (see
+        :class:`repro.obs.profiler.SimProfiler`). Profiling uses a
+        separate dispatch loop inside :meth:`run`, so the unprofiled
+        path stays untouched.
+        """
+        self._profiler = profiler
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run the simulation.
 
@@ -197,27 +211,69 @@ class EventLoop:
         horizon = float("inf") if until is None else until
         limit = float("inf") if max_events is None else max_events
         processed = 0
+        profiler = self._profiler
         try:
-            while heap and not self._stopped:
-                entry = heap[0]
-                when = entry[0]
-                if when > horizon:
-                    break
-                heappop(heap)
-                event = entry[2]
-                if event.cancelled:
-                    self._cancelled_in_heap -= 1
-                    continue
-                self._now = when
-                event._fired = True
-                event.callback(*event.args)
-                processed += 1
-                if processed >= limit:
-                    self._events_processed += processed
-                    processed = 0
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} (runaway simulation?)"
-                    )
+            if profiler is None:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    when = entry[0]
+                    if when > horizon:
+                        break
+                    heappop(heap)
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self._now = when
+                    event._fired = True
+                    event.callback(*event.args)
+                    processed += 1
+                    if processed >= limit:
+                        self._events_processed += processed
+                        processed = 0
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} (runaway simulation?)"
+                        )
+            else:
+                # Profiled dispatch: same semantics, plus per-callback
+                # accounting. Kept as a separate loop so the unprofiled
+                # hot path above pays nothing for the feature.
+                records = profiler.records
+                perf_ns = time.perf_counter_ns
+                prev_when = self._now
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    when = entry[0]
+                    if when > horizon:
+                        break
+                    heappop(heap)
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self._now = when
+                    event._fired = True
+                    callback = event.callback
+                    t0 = perf_ns()
+                    callback(*event.args)
+                    wall = perf_ns() - t0
+                    key = (getattr(callback, "__qualname__", None)
+                           or type(callback).__qualname__)
+                    rec = records.get(key)
+                    if rec is None:
+                        records[key] = [1, when - prev_when, wall]
+                    else:
+                        rec[0] += 1
+                        rec[1] += when - prev_when
+                        rec[2] += wall
+                    prev_when = when
+                    processed += 1
+                    if processed >= limit:
+                        self._events_processed += processed
+                        processed = 0
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} (runaway simulation?)"
+                        )
             if until is not None and self._now < until:
                 # Advance the clock to the horizon so back-to-back run()
                 # calls observe contiguous time.

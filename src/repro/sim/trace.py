@@ -1,16 +1,31 @@
 """Lightweight structured tracing for simulations.
 
 Components emit ``(time, source, event, fields)`` records through a
-:class:`Tracer`; tests and debugging sessions subscribe or dump them. The
-default tracer is disabled and costs one attribute check per emit.
+:class:`Tracer`; tests, debugging sessions, and the exporters in
+:mod:`repro.obs.trace_export` consume them. The default tracer is
+disabled and costs one attribute check per call site (emitters use the
+``if tracer.enabled: tracer.emit(...)`` idiom so kwargs are never even
+built when tracing is off).
+
+Kept records live in a bounded ring buffer (``max_records``): long runs
+keep the most recent window instead of growing without bound, and
+:attr:`Tracer.dropped_records` counts what the ring evicted. Category
+filters (``categories=("cc-*", "little*")``, glob patterns matched
+against the record's *source*) restrict collection to the components of
+interest; match results are cached per source name.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 __all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+#: default ring-buffer capacity; ~100 bytes/record keeps this ~tens of MB
+DEFAULT_MAX_RECORDS = 200_000
 
 
 @dataclass
@@ -30,19 +45,51 @@ class TraceRecord:
 class Tracer:
     """Collects :class:`TraceRecord` objects and fans them out to sinks."""
 
-    def __init__(self, enabled: bool = True, keep: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        keep: bool = True,
+        max_records: Optional[int] = DEFAULT_MAX_RECORDS,
+        categories: Sequence[str] = (),
+    ):
         self.enabled = enabled
         self.keep = keep
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        #: glob patterns matched against record sources; empty = keep all
+        self.categories = tuple(categories)
+        #: records evicted from the full ring (oldest-first)
+        self.dropped_records = 0
+        self._ring: Deque[TraceRecord] = deque(maxlen=max_records)
         self._sinks: List[Callable[[TraceRecord], None]] = []
+        self._category_hits: Dict[str, bool] = {}
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Kept records, oldest first (a copy of the ring)."""
+        return list(self._ring)
+
+    def accepts(self, source: str) -> bool:
+        """True if *source* passes the category filter (cached per name)."""
+        if not self.categories:
+            return True
+        hit = self._category_hits.get(source)
+        if hit is None:
+            hit = any(fnmatchcase(source, pattern) for pattern in self.categories)
+            self._category_hits[source] = hit
+        return hit
 
     def emit(self, time_ns: int, source: str, event: str, **fields: Any) -> None:
-        """Record an event if tracing is enabled."""
+        """Record an event if tracing is enabled and the source matches."""
         if not self.enabled:
+            return
+        if self.categories and not self.accepts(source):
             return
         record = TraceRecord(time_ns, source, event, fields)
         if self.keep:
-            self.records.append(record)
+            ring = self._ring
+            if ring.maxlen is not None and len(ring) == ring.maxlen:
+                self.dropped_records += 1
+            ring.append(record)
         for sink in self._sinks:
             sink(record)
 
@@ -52,17 +99,43 @@ class Tracer:
 
     def filter(self, source: Optional[str] = None, event: Optional[str] = None) -> List[TraceRecord]:
         """Return kept records matching the given source/event names."""
-        out = self.records
+        out: List[TraceRecord] = list(self._ring)
         if source is not None:
             out = [r for r in out if r.source == source]
         if event is not None:
             out = [r for r in out if r.event == event]
-        return list(out)
+        return out
 
     def clear(self) -> None:
-        """Drop all kept records."""
-        self.records.clear()
+        """Drop all kept records (the eviction counter is kept)."""
+        self._ring.clear()
+
+
+class _NullTracer(Tracer):
+    """The process-wide disabled tracer.
+
+    One instance is shared by every component constructed without an
+    explicit tracer, so enabling it would silently start tracing every
+    simulation in the process. The setter refuses; build a private
+    ``Tracer()`` and pass it to the components instead.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, keep=False, max_records=None)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        if value:
+            raise RuntimeError(
+                "NULL_TRACER is shared by every traced component in the "
+                "process; enabling it would trace everything. Construct a "
+                "Tracer() and pass it to the components you care about."
+            )
 
 
 #: A shared disabled tracer for components constructed without one.
-NULL_TRACER = Tracer(enabled=False, keep=False)
+NULL_TRACER: Tracer = _NullTracer()

@@ -92,6 +92,9 @@ class MobileTcpStack:
     def send_packet(self, packet: Packet) -> None:
         """Hand a fully built packet to the phone's qdisc."""
         self.packets_sent += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.loop.now, f"flow-{packet.flow_id}", "send",
+                             segs=packet.segments, bytes=packet.wire_bytes)
         self.testbed.phone_send(packet)
 
     # -- receive path -----------------------------------------------------------------
@@ -103,6 +106,9 @@ class MobileTcpStack:
         if sender is None:
             return
         self.acks_received += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.loop.now, f"flow-{packet.flow_id}", "ack",
+                             sacks=len(packet.sack_blocks))
         cycles = self.costs.ack_cycles(
             sack_blocks=len(packet.sack_blocks),
             cc_cycles=sender.cc.ack_cost_cycles,

@@ -68,6 +68,21 @@ def test_stat_accumulator_percentiles():
     assert acc.percentile(100) == 100.0
 
 
+def test_percentile_cache_invalidated_on_add():
+    """The lazily sorted view must not go stale when samples arrive
+    between percentile queries (out of order, so a stale cache would
+    return the old max)."""
+    acc = StatAccumulator(keep=True)
+    acc.add(10.0)
+    acc.add(30.0)
+    assert acc.percentile(100) == 30.0  # builds the sorted cache
+    acc.add(20.0)
+    assert acc.percentile(100) == 30.0
+    assert acc.percentile(50) == 20.0
+    acc.add(40.0)
+    assert acc.percentile(100) == 40.0
+
+
 def test_percentile_requires_keep():
     acc = StatAccumulator()
     acc.add(1.0)

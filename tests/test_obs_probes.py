@@ -1,0 +1,156 @@
+"""Tests for the probe framework: registry, sampling, wire format,
+and serial/parallel determinism."""
+
+import json
+
+import pytest
+
+from repro import (
+    ExperimentSpec,
+    PROBES,
+    UnknownNameError,
+    run_experiment,
+    run_replicated_parallel,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.obs.probes import DEFAULT_PROBE_PERIOD_NS, ProbeContext, ProbeSet
+from repro.obs.series import TimeSeries
+
+SMOKE = dict(cc="bbr", connections=2, duration_s=0.8, warmup_s=0.2)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+def test_probe_registry_names():
+    names = PROBES.names()
+    for expected in ("cwnd", "inflight", "pacing_rate", "srtt",
+                     "delivery_rate", "goodput", "bbr_state", "cpu_util",
+                     "cpu_freq", "softirq", "qdisc"):
+        assert expected in names
+
+
+def test_unknown_probe_raises_with_choices():
+    spec = ExperimentSpec(probes=("no_such_probe",), **SMOKE)
+    with pytest.raises(UnknownNameError, match="no_such_probe"):
+        run_experiment(spec)
+
+
+# ---------------------------------------------------------------------------
+# Sampling
+
+
+def test_all_probes_record_nonempty_series():
+    spec = ExperimentSpec(probes=PROBES.names(), **SMOKE)
+    result = run_experiment(spec)
+    assert result.timeseries
+    for name in ("cwnd", "pacing_rate", "cpu_util", "bbr_state"):
+        assert name in result.timeseries
+    expected_samples = int(0.8e9) // DEFAULT_PROBE_PERIOD_NS + 1
+    for name, ts in result.timeseries.items():
+        assert isinstance(ts, TimeSeries)
+        assert len(ts.t_ns) == expected_samples, name
+        assert len(ts.values) == expected_samples, name
+        assert ts.t_ns[0] == 0
+        assert ts.t_ns == sorted(ts.t_ns)
+
+
+def test_bbr_state_series_is_labelled():
+    spec = ExperimentSpec(probes=("bbr_state",), **SMOKE)
+    ts = run_experiment(spec).timeseries["bbr_state"]
+    assert ts.labels is not None
+    assert len(ts.labels) == len(ts.values)
+    assert ts.labels[0] == "startup"
+
+
+def test_cpu_util_probe_emits_per_core_series():
+    spec = ExperimentSpec(probes=("cpu_util",), **SMOKE)
+    series = run_experiment(spec).timeseries
+    assert "cpu_util" in series
+    per_core = [n for n in series if n.startswith("cpu_util.")]
+    assert per_core, "expected per-core cpu_util.<name> series"
+    assert all(0.0 <= v <= 1.0 for n in per_core for v in series[n].values)
+
+
+def test_probes_do_not_change_measured_metrics():
+    """Probes are read-only: every scalar except the event count must be
+    bit-identical with and without them."""
+    plain = run_experiment(ExperimentSpec(**SMOKE))
+    probed = run_experiment(ExperimentSpec(probes=PROBES.names(), **SMOKE))
+    a, b = plain.scalar_metrics(), probed.scalar_metrics()
+    a.pop("events_processed")
+    b.pop("events_processed")
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+
+
+def test_probes_round_trip_through_wire_format():
+    spec = ExperimentSpec(probes=("cwnd", "pacing_rate"), **SMOKE)
+    wire = spec_to_dict(spec)
+    assert wire["probes"] == ["cwnd", "pacing_rate"]  # JSON-safe list
+    assert spec_from_dict(json.loads(json.dumps(wire))) == spec
+
+
+def test_probes_wire_validation():
+    wire = spec_to_dict(ExperimentSpec(**SMOKE))
+    wire["probes"] = "cwnd"
+    with pytest.raises(ValueError, match="probes"):
+        spec_from_dict(wire)
+
+
+# ---------------------------------------------------------------------------
+# Parallel runner
+
+
+def test_timeseries_identical_serial_vs_parallel():
+    spec = ExperimentSpec(probes=("cwnd", "goodput", "cpu_util"), **SMOKE)
+    serial = run_replicated_parallel(spec, runs=2, jobs=1)
+    parallel = run_replicated_parallel(spec, runs=2, jobs=2)
+    assert len(serial.runs) == len(parallel.runs) == 2
+    for run_s, run_p in zip(serial.runs, parallel.runs):
+        assert set(run_s.timeseries) == set(run_p.timeseries)
+        for name, ts in run_s.timeseries.items():
+            assert ts == run_p.timeseries[name], name
+
+
+# ---------------------------------------------------------------------------
+# TimeSeries container
+
+
+def test_timeseries_dict_round_trip():
+    ts = TimeSeries(name="x", unit="ms", t_ns=[0, 10, 20],
+                    values=[1.0, 2.0, 3.0], labels=["a", "b", "c"])
+    assert TimeSeries.from_dict(ts.to_dict()) == ts
+    plain = TimeSeries(name="y", unit="", t_ns=[0], values=[0.5])
+    assert TimeSeries.from_dict(plain.to_dict()) == plain
+
+
+def test_timeseries_downsample_keeps_endpoints():
+    ts = TimeSeries(name="x", unit="", t_ns=list(range(0, 1000, 10)),
+                    values=[float(i) for i in range(100)])
+    small = ts.downsample(7)
+    assert len(small.t_ns) <= 7
+    assert small.t_ns[0] == ts.t_ns[0]
+    assert small.t_ns[-1] == ts.t_ns[-1]
+    with pytest.raises(ValueError):
+        ts.downsample(1)
+
+
+def test_probe_context_rejects_duplicate_series():
+    ctx = ProbeContext(loop=None, spec=None, client=None, server=None,
+                       testbed=None, device=None, stack=None)
+    ctx.series("dup", "ms")
+    with pytest.raises(ValueError, match="dup"):
+        ctx.series("dup", "ms")
+
+
+def test_probeset_rejects_unknown_name_eagerly():
+    ctx = ProbeContext(loop=None, spec=None, client=None, server=None,
+                       testbed=None, device=None, stack=None)
+    with pytest.raises(UnknownNameError):
+        ProbeSet(("nope",), ctx)

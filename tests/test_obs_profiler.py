@@ -1,0 +1,53 @@
+"""Tests for the opt-in event-loop profiler."""
+
+from repro import ExperimentSpec, SimProfiler, run_experiment
+from repro.sim import EventLoop
+
+SMOKE = dict(cc="bbr", connections=2, duration_s=0.6, warmup_s=0.1)
+
+
+def test_profiler_counts_every_event():
+    profiler = SimProfiler()
+    result = run_experiment(ExperimentSpec(**SMOKE), profiler=profiler)
+    assert profiler.total_events == result.events_processed
+    assert profiler.total_wall_ns > 0
+    # the CPU-core completion callback dominates any real run
+    assert "CpuCore._complete" in profiler.records
+
+
+def test_profiler_does_not_change_metrics():
+    plain = run_experiment(ExperimentSpec(**SMOKE))
+    profiled = run_experiment(ExperimentSpec(**SMOKE), profiler=SimProfiler())
+    assert plain.scalar_metrics() == profiled.scalar_metrics()
+
+
+def test_profiler_records_sim_and_wall_time():
+    loop = EventLoop()
+    profiler = SimProfiler()
+    loop.set_profiler(profiler)
+
+    def tick():
+        pass
+
+    loop.call_at(10, tick)
+    loop.call_at(30, tick)
+    loop.run()
+    rec = profiler.records[tick.__qualname__]
+    count, sim_ns, wall_ns = rec
+    assert count == 2
+    assert sim_ns == 30  # 0->10 plus 10->30
+    assert wall_ns >= 0
+
+
+def test_profiler_render_and_rows():
+    profiler = SimProfiler()
+    assert "no events" in profiler.render()
+    run_experiment(ExperimentSpec(**SMOKE), profiler=profiler)
+    rows = profiler.rows()
+    assert rows
+    walls = [r["wall_ms"] for r in rows]
+    assert walls == sorted(walls, reverse=True)
+    text = profiler.render()
+    assert "simulation profile" in text
+    d = profiler.as_dict()
+    assert sum(v["count"] for v in d.values()) == profiler.total_events

@@ -1,0 +1,140 @@
+"""Tests for the ring-buffer tracer and the JSONL / Chrome trace
+exporters."""
+
+import json
+
+import pytest
+
+from repro import (
+    ExperimentSpec,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+    load_jsonl,
+    run_experiment,
+    validate_chrome_trace,
+    validate_jsonl,
+)
+from repro.sim import NULL_TRACER, TraceRecord
+
+
+# ---------------------------------------------------------------------------
+# Ring buffer
+
+
+def test_ring_buffer_evicts_oldest_and_counts_drops():
+    tracer = Tracer(keep=True, max_records=10)
+    for i in range(25):
+        tracer.emit(i, "src", "ev", i=i)
+    records = tracer.records
+    assert len(records) == 10
+    assert [r.fields["i"] for r in records] == list(range(15, 25))
+    assert tracer.dropped_records == 15
+
+
+def test_ring_buffer_unbounded_when_none():
+    tracer = Tracer(keep=True, max_records=None)
+    for i in range(1000):
+        tracer.emit(i, "src", "ev")
+    assert len(tracer.records) == 1000
+    assert tracer.dropped_records == 0
+
+
+def test_category_globs_filter_sources():
+    tracer = Tracer(keep=True, categories=("cc-*", "little0"))
+    tracer.emit(0, "cc-1", "mode")
+    tracer.emit(1, "cc-2", "mode")
+    tracer.emit(2, "little0", "exec")
+    tracer.emit(3, "big0", "exec")
+    tracer.emit(4, "ethernet", "tx")
+    assert [r.source for r in tracer.records] == ["cc-1", "cc-2", "little0"]
+
+
+def test_null_tracer_cannot_be_enabled():
+    assert NULL_TRACER.enabled is False
+    with pytest.raises(RuntimeError):
+        NULL_TRACER.enabled = True
+    NULL_TRACER.enabled = False  # setting False stays a no-op
+    assert NULL_TRACER.enabled is False
+
+
+# ---------------------------------------------------------------------------
+# JSONL export
+
+
+def test_jsonl_round_trip(tmp_path):
+    records = [
+        TraceRecord(0, "little0", "exec", {"item": "ack", "start_ns": 0}),
+        TraceRecord(5, "cc-1", "mode", {"algo": "bbr", "mode": "DRAIN"}),
+    ]
+    path = tmp_path / "trace.jsonl"
+    assert export_jsonl(records, str(path)) == 2
+    assert load_jsonl(str(path)) == records
+    assert validate_jsonl(str(path)) == 2
+
+
+def test_validate_jsonl_rejects_bad_schema(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"time_ns": 1, "source": "x"}\n')
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        validate_jsonl(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export
+
+
+def test_chrome_trace_exec_records_become_duration_slices(tmp_path):
+    records = [
+        TraceRecord(2_000, "little0", "exec",
+                    {"item": "ack", "start_ns": 1_000, "cycles": 42}),
+        TraceRecord(3_000, "cc-1", "mode", {"algo": "bbr"}),
+    ]
+    path = tmp_path / "chrome.json"
+    export_chrome_trace(records, str(path))
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(slices) == 1
+    assert slices[0]["name"] == "ack"
+    assert slices[0]["ts"] == pytest.approx(1.0)  # start_ns in us
+    assert slices[0]["dur"] == pytest.approx(1.0)
+    assert "start_ns" not in slices[0]["args"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == 1
+    # per-source threads carry name metadata
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert {"repro-sim", "little0", "cc-1"} <= names
+    assert validate_chrome_trace(str(path)) == 2
+
+
+# ---------------------------------------------------------------------------
+# Integration: a traced experiment exports valid files
+
+
+def test_traced_experiment_round_trips(tmp_path):
+    tracer = Tracer(keep=True)
+    spec = ExperimentSpec(cc="bbr", connections=2, duration_s=0.6, warmup_s=0.1)
+    run_experiment(spec, tracer=tracer)
+    assert tracer.records, "a traced run should emit records"
+    sources = {r.source for r in tracer.records}
+    assert any(s.startswith("flow-") for s in sources)
+    assert any(s.startswith("cc-") for s in sources)
+
+    jsonl = tmp_path / "trace.jsonl"
+    chrome = tmp_path / "trace.json"
+    count = export_jsonl(tracer.records, str(jsonl))
+    assert count == len(tracer.records)
+    assert validate_jsonl(str(jsonl)) == count
+    export_chrome_trace(tracer.records, str(chrome))
+    assert validate_chrome_trace(str(chrome)) == count
+    # CPU work renders as per-core duration slices
+    doc = json.loads(chrome.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_untraced_experiment_matches_traced_metrics():
+    spec = ExperimentSpec(cc="bbr", connections=2, duration_s=0.6, warmup_s=0.1)
+    plain = run_experiment(spec)
+    traced = run_experiment(spec, tracer=Tracer(keep=True))
+    assert plain.scalar_metrics() == traced.scalar_metrics()

@@ -78,7 +78,9 @@ def test_builtin_registries_populated():
     assert set(MEDIA.names()) == {"ethernet", "wifi", "lte"}
     assert set(DEVICES.names()) == {"pixel4", "pixel6"}
     assert CPU_CONFIGS.names() == CpuConfig.ALL
-    assert len(all_registries()) == 5
+    registries = all_registries()
+    assert len(registries) == 6
+    assert "probe" in registries and len(registries["probe"]) > 0
 
 
 def test_registered_cc_extension_reaches_experiment():
