@@ -8,7 +8,13 @@ measure
   20-connection Cubic run on Default), best-of-``REPEATS`` to suppress
   scheduler noise;
 * **parallel scaling** — the Figure 2 Low-End grid (BBR + Cubic over
-  {1, 5, 10, 20} connections) at ``jobs=1`` versus ``jobs=N``.
+  {1, 5, 10, 20} connections) at ``jobs=1`` versus ``jobs=N``;
+* **timer-churn microbenchmark** — hundreds of concurrent re-arming
+  timers, measured with the timer wheel on and off (the wheel's O(1)
+  cancel is exactly what this workload stresses);
+* **allocation microbenchmark** — ``tracemalloc`` peak plus packet-pool
+  reuse statistics for one canonical run (the zero-allocation hot path's
+  scoreboard).
 
 Results are written to ``benchmarks/results/BENCH_runner.json``. The
 ``baseline`` block is *preserved* across reruns — it records the seed
@@ -28,9 +34,12 @@ import os
 import platform
 import sys
 import time
+import tracemalloc
 from typing import Dict, List
 
 from repro import ExperimentSpec, run_experiment, run_grid_report
+from repro.netsim.packet import PACKET_POOL
+from repro.sim import EventLoop, Timer
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_runner.json")
@@ -119,6 +128,87 @@ def measure_parallel_scaling(duration_s: float, warmup_s: float) -> Dict[str, ob
     }
 
 
+def _timer_churn_rate(wheel: bool, n_timers: int, rounds: int) -> Dict[str, float]:
+    """Re-arm *n_timers* RTO-style timers *rounds* times each.
+
+    Models the dominant hrtimer pattern in the stack: every ACK re-arms
+    the connection's RTO ~200 ms out, so the previously armed expiry is
+    cancelled long before it fires. The driver events ride the heap
+    (sub-cutoff delays) in both configurations; only the RTO arms are
+    routed differently, isolating the cancel cost under test. On the
+    heap, each cancelled expiry lingers as lazy-deletion debt until
+    compaction; the wheel deletes it from its bucket immediately.
+    """
+    loop = EventLoop(wheel=wheel)
+    timers = [Timer(loop, lambda: None) for _ in range(n_timers)]
+    rearms = 0
+
+    def drive(idx: int, remaining: int) -> None:
+        nonlocal rearms
+        timers[idx].start(200_000_000 + idx)  # RTO-scale: wheel-routed
+        rearms += 1
+        if remaining > 1:
+            loop.call_after(300_000 + (idx % 11) * 1_000, drive, idx, remaining - 1)
+
+    for i in range(n_timers):
+        loop.call_after(i, drive, i, rounds)
+    t0 = time.perf_counter()
+    loop.run()
+    wall = time.perf_counter() - t0
+    return {
+        "fires": sum(t.fire_count for t in timers),
+        "compactions": loop.compactions,
+        "rearms_per_sec": round(rearms / wall, 1) if wall > 0 else 0.0,
+        "wall_s": round(wall, 4),
+    }
+
+
+def measure_timer_churn(quick: bool) -> Dict[str, object]:
+    """Wheel-on vs wheel-off rates for the timer re-arm workload."""
+    n_timers, rounds = (200, 100) if quick else (500, 600)
+    wheel = _timer_churn_rate(True, n_timers, rounds)
+    heap = _timer_churn_rate(False, n_timers, rounds)
+    ratio = (wheel["rearms_per_sec"] / heap["rearms_per_sec"]
+             if heap["rearms_per_sec"] else 0.0)
+    print(f"  wheel: {wheel['rearms_per_sec']:,.0f} re-arms/s   "
+          f"heap: {heap['rearms_per_sec']:,.0f} re-arms/s   "
+          f"(x{ratio:.2f})")
+    return {
+        "timers": n_timers,
+        "rounds": rounds,
+        "wheel": wheel,
+        "heap": heap,
+        "wheel_vs_heap": round(ratio, 3),
+    }
+
+
+def measure_allocations(duration_s: float, warmup_s: float) -> Dict[str, object]:
+    """tracemalloc peak + packet-pool reuse for one canonical run.
+
+    The run is repeated under tracemalloc, so its wall time is *not*
+    comparable to the single-run numbers; only the allocation profile is
+    recorded. Pool counters are process-global — deltas isolate this run.
+    """
+    spec = canonical_points(duration_s, warmup_s)["bbr_20c_low-end"]
+    acquired0, reused0 = PACKET_POOL.acquired, PACKET_POOL.reused
+    tracemalloc.start()
+    run_experiment(spec)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    acquired = PACKET_POOL.acquired - acquired0
+    reused = PACKET_POOL.reused - reused0
+    reuse_fraction = round(reused / acquired, 4) if acquired else 0.0
+    print(f"  bbr_20c_low-end: peak {peak / 1024:,.0f} KiB, "
+          f"{acquired:,} packets, {reuse_fraction:.1%} pooled")
+    return {
+        "point": "bbr_20c_low-end",
+        "tracemalloc_peak_kib": round(peak / 1024, 1),
+        "packets_acquired": acquired,
+        "packets_reused": reused,
+        "pool_reuse_fraction": reuse_fraction,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -129,6 +219,10 @@ def main(argv=None) -> int:
                         metavar="PCT",
                         help="exit 1 if any point's events/sec falls more "
                              "than PCT%% below the committed baseline")
+    parser.add_argument("--output", default=BENCH_PATH, metavar="PATH",
+                        help="where to write the results JSON (CI points "
+                             "this elsewhere to keep the committed "
+                             "BENCH_runner.json pristine)")
     args = parser.parse_args(argv)
 
     duration_s, warmup_s = (0.8, 0.2) if args.quick else (2.0, 0.5)
@@ -138,6 +232,10 @@ def main(argv=None) -> int:
     current = measure_single_runs(duration_s, warmup_s)
     print("parallel scaling:")
     scaling = measure_parallel_scaling(duration_s, warmup_s)
+    print("timer churn (microbenchmark):")
+    churn = measure_timer_churn(args.quick)
+    print("allocations (microbenchmark):")
+    allocations = measure_allocations(duration_s, warmup_s)
 
     existing: Dict[str, object] = {}
     if os.path.exists(BENCH_PATH):
@@ -149,6 +247,10 @@ def main(argv=None) -> int:
         "baseline": baseline,
         "current": current,
         "parallel": scaling,
+        "microbench": {
+            "timer_churn": churn,
+            "allocation": allocations,
+        },
         "meta": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
@@ -156,11 +258,11 @@ def main(argv=None) -> int:
         },
     }
     if write:
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        with open(BENCH_PATH, "w") as f:
+        os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
+        with open(args.output, "w") as f:
             json.dump(payload, f, indent=2)
             f.write("\n")
-        print(f"wrote {BENCH_PATH}")
+        print(f"wrote {args.output}")
 
     regressed = []
     for name, cur in current.items():

@@ -309,7 +309,8 @@ class Bbr(CongestionOps):
             return conn.config.initial_cwnd
         bw = self.bw_bps()
         bdp_bytes = bw / 8.0 * (min_rtt / SEC)
-        return max(int(gain * bdp_bytes / conn.mss), MIN_TARGET_CWND)
+        segs = int(gain * bdp_bytes / conn.mss)
+        return segs if segs > MIN_TARGET_CWND else MIN_TARGET_CWND
 
     def _target_cwnd(self, conn: "TcpSender", gain: float) -> int:
         cwnd = self._bdp_segments(conn, gain)
@@ -317,7 +318,9 @@ class Bbr(CongestionOps):
         # ACKs (kernel bbr_quantization_budget). This term is what keeps
         # the per-period burst from being strangled by cwnd at moderate
         # pacing strides — see DESIGN.md and the Table 2 bench.
-        tso_segs = max(1, conn.send_quantum_bytes // conn.mss)
+        tso_segs = conn.send_quantum_bytes // conn.mss
+        if tso_segs < 1:
+            tso_segs = 1
         cwnd += 3 * tso_segs
         if self.mode == PROBE_BW and self.cycle_idx == 0:
             cwnd += 2
@@ -330,12 +333,16 @@ class Bbr(CongestionOps):
         target = self._target_cwnd(conn, self.cwnd_gain)
         cwnd = conn.cwnd
         if self.packet_conservation:
-            cwnd = max(cwnd, conn.inflight_segments + acked)
+            floor = conn.inflight_segments + acked
+            if floor > cwnd:
+                cwnd = floor
         elif self.full_bw_reached:
-            cwnd = min(cwnd + acked, target)
+            cwnd += acked
+            if cwnd > target:
+                cwnd = target
         elif cwnd < target or conn.delivered_bytes < conn.config.initial_cwnd * conn.mss:
             cwnd = cwnd + acked
-        conn.cwnd = max(cwnd, MIN_TARGET_CWND)
+        conn.cwnd = cwnd if cwnd > MIN_TARGET_CWND else MIN_TARGET_CWND
 
     # -- long-term bandwidth sampling (policer detection) ---------------------------------------------
 

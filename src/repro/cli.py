@@ -334,7 +334,7 @@ def _cmd_run(args, out) -> int:
         sys.stderr.write(f"wrote {len(agg.runs[0].timeseries)} time series "
                          f"to {args.series_out}\n")
     if profiler is not None:
-        out.write("\n" + profiler.render() + "\n")
+        out.write("\n" + profiler.render(top=10) + "\n")
     return 0
 
 

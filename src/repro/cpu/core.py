@@ -65,6 +65,22 @@ class CpuCore:
     lengths (~10-100 µs).
     """
 
+    __slots__ = (
+        "_loop",
+        "_freq_hz",
+        "name",
+        "_tracer",
+        "_queue",
+        "_high_queue",
+        "_current",
+        "_completion_event",
+        "busy_ns_total",
+        "items_executed",
+        "cycles_executed",
+        "_busy_since",
+        "max_queue_depth",
+    )
+
     def __init__(
         self,
         loop: EventLoop,

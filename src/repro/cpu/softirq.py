@@ -84,6 +84,21 @@ class NetStackExecutor(StackExecutor):
             WorkItem(cycles, callback, name, priority), continuation
         )
 
+    def submit_for(
+        self,
+        flow_id: int,
+        cycles: int,
+        callback: Callable[[], None],
+        name: str = "work",
+        priority: int = WorkItem.NORMAL,
+        continuation: bool = False,
+    ) -> None:
+        # Serialized executor ignores the flow hint; go straight to the
+        # active core rather than through the base-class indirection.
+        self.cpu.active_core.submit(
+            WorkItem(cycles, callback, name, priority), continuation
+        )
+
     def busy_ns(self) -> int:
         return sum(core.busy_ns_up_to_now() for core in self.cpu.all_cores())
 

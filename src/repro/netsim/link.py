@@ -12,7 +12,7 @@ from collections import deque
 from typing import Callable, Deque, Optional
 
 from ..sim import EventLoop, Tracer, NULL_TRACER
-from ..units import transmit_time
+from ..units import SEC, transmit_time
 from .packet import Packet
 
 __all__ = ["Link"]
@@ -58,11 +58,18 @@ class Link:
 
     # -- sending ------------------------------------------------------------
 
-    def send(self, packet: Packet) -> None:
-        """Begin (or queue for) serialization of *packet*."""
+    def send(self, packet: Packet) -> Optional[int]:
+        """Begin (or queue for) serialization of *packet*.
+
+        Returns the serialization time (ns) when transmission starts
+        immediately, else ``None`` — letting a caller that hands the link
+        one packet at a time (the droptail queue) schedule its own refill
+        without recomputing the transmit time.
+        """
         self._fifo.append(packet)
         if not self._transmitting:
-            self._start_next()
+            return self._start_next()
+        return None
 
     @property
     def backlogged(self) -> bool:
@@ -80,14 +87,17 @@ class Link:
 
     # -- internals ----------------------------------------------------------
 
-    def _start_next(self) -> None:
+    def _start_next(self) -> Optional[int]:
         if not self._fifo:
-            return
+            return None
         packet = self._fifo.popleft()
         self._transmitting = True
-        tx_ns = self.serialization_ns(packet)
+        # Inlined transmit_time (same expression, so timings stay
+        # bit-identical); the rate > 0 invariant is enforced at set time.
+        tx_ns = int(round(packet.wire_bytes * 8 * SEC / self.rate_bps))
         self.busy_ns += tx_ns
         self._loop.call_after(tx_ns, self._tx_done, packet)
+        return tx_ns
 
     def _tx_done(self, packet: Packet) -> None:
         self._transmitting = False
@@ -97,13 +107,13 @@ class Link:
             self._tracer.emit(self._loop.now, self.name, "tx",
                               flow=packet.flow_id, bytes=packet.wire_bytes,
                               segs=packet.segments)
-        self._deliver(packet)
-        self._start_next()
-
-    def _deliver(self, packet: Packet) -> None:
-        if self.sink is None:
+        # Delivery, inlined (one call per packet on the hottest path).
+        sink = self.sink
+        if sink is None:
             raise RuntimeError(f"link {self.name} has no sink connected")
         if self.prop_delay_ns > 0:
-            self._loop.call_after(self.prop_delay_ns, self.sink, packet)
+            self._loop.call_after(self.prop_delay_ns, sink, packet)
         else:
-            self._loop.call_soon(self.sink, packet)
+            self._loop.call_after(0, sink, packet)
+        if self._fifo:
+            self._start_next()

@@ -7,15 +7,30 @@ NIC). Queues account for them in MSS-sized segments, and the droptail
 router may split a super-packet, accepting the head segments and dropping
 the tail — which preserves per-segment loss behaviour at super-packet
 event cost.
+
+Packets are the hottest per-event allocation in a run (one data packet
+and one ACK per super-packet round trip), so :class:`Packet` is a plain
+``__slots__`` class with ``segments``/``wire_bytes`` precomputed at the
+two sites that can change them (construction and :meth:`Packet.split_head`)
+rather than recomputed as properties on every queue/link touch, and
+:class:`PacketPool` recycles delivered packets through a bounded free
+list — an ACK reuses the previous ACK's ``sack_blocks`` list in place
+instead of allocating a fresh one.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-__all__ = ["Packet", "SackBlock", "DEFAULT_MSS", "HEADER_BYTES"]
+__all__ = [
+    "Packet",
+    "PacketPool",
+    "PACKET_POOL",
+    "SackBlock",
+    "DEFAULT_MSS",
+    "HEADER_BYTES",
+]
 
 #: Default TCP maximum segment size (1500 MTU - 40 IP/TCP - 12 timestamps).
 DEFAULT_MSS = 1448
@@ -28,7 +43,6 @@ _packet_ids = itertools.count(1)
 SackBlock = Tuple[int, int]
 
 
-@dataclass
 class Packet:
     """A data super-packet or an ACK.
 
@@ -37,38 +51,66 @@ class Packet:
     optional list of SACK blocks. ``echo_ts`` carries the send timestamp of
     the data that elicited the ACK (TCP timestamp option), which the sender
     uses for RTT measurement.
+
+    ``segments`` and ``wire_bytes`` are plain attributes kept current by
+    ``__init__`` and :meth:`split_head` (the only places ``seq``/``length``
+    legitimately change); everything downstream reads them for free.
     """
 
-    flow_id: int
-    seq: int = 0
-    length: int = 0
-    mss: int = DEFAULT_MSS
-    is_ack: bool = False
-    ack: int = 0
-    #: receiver's advertised window in bytes (on ACKs)
-    rwnd: int = 1 << 30
-    sack_blocks: List[SackBlock] = field(default_factory=list)
-    echo_ts: Optional[int] = None
-    sent_ts: Optional[int] = None
-    is_retransmission: bool = False
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "length",
+        "mss",
+        "is_ack",
+        "ack",
+        "rwnd",
+        "sack_blocks",
+        "echo_ts",
+        "sent_ts",
+        "is_retransmission",
+        "packet_id",
+        "segments",
+        "wire_bytes",
+        "_pooled",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int = 0,
+        length: int = 0,
+        mss: int = DEFAULT_MSS,
+        is_ack: bool = False,
+        ack: int = 0,
+        rwnd: int = 1 << 30,
+        sack_blocks: Optional[List[SackBlock]] = None,
+        echo_ts: Optional[int] = None,
+        sent_ts: Optional[int] = None,
+        is_retransmission: bool = False,
+    ):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.length = length
+        self.mss = mss
+        self.is_ack = is_ack
+        self.ack = ack
+        #: receiver's advertised window in bytes (on ACKs)
+        self.rwnd = rwnd
+        self.sack_blocks = sack_blocks if sack_blocks is not None else []
+        self.echo_ts = echo_ts
+        self.sent_ts = sent_ts
+        self.is_retransmission = is_retransmission
+        self.packet_id = next(_packet_ids)
+        segments = 1 if length <= 0 else -(-length // mss)  # pure ACK = 1 slot
+        self.segments = segments
+        self.wire_bytes = length + segments * HEADER_BYTES
+        self._pooled = False
 
     @property
     def end_seq(self) -> int:
         """One past the last byte carried."""
         return self.seq + self.length
-
-    @property
-    def segments(self) -> int:
-        """Number of MSS-sized wire segments this packet represents."""
-        if self.length <= 0:
-            return 1  # pure ACK occupies one slot
-        return -(-self.length // self.mss)  # ceil division
-
-    @property
-    def wire_bytes(self) -> int:
-        """Bytes on the wire including per-segment header overhead."""
-        return self.length + self.segments * HEADER_BYTES
 
     def split_head(self, max_segments: int) -> Optional["Packet"]:
         """Split off the first *max_segments* segments as a new packet.
@@ -89,10 +131,129 @@ class Packet:
             is_retransmission=self.is_retransmission,
         )
         self.seq += head_len
-        self.length -= head_len
+        length = self.length - head_len
+        self.length = length
+        segments = 1 if length <= 0 else -(-length // self.mss)
+        self.segments = segments
+        self.wire_bytes = length + segments * HEADER_BYTES
         return head
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.is_ack:
             return f"<ACK flow={self.flow_id} ack={self.ack} sacks={len(self.sack_blocks)}>"
         return f"<DATA flow={self.flow_id} [{self.seq},{self.end_seq}) segs={self.segments}>"
+
+
+class PacketPool:
+    """Bounded free list recycling :class:`Packet` objects at delivery.
+
+    Packets live exactly one network traversal: built at the sender (or
+    receiver, for ACKs), handed through queues and links, consumed at the
+    far host. Nothing retains them afterwards — the sender's bookkeeping
+    lives in ``TxRecord``s, the receiver's in its reassembly intervals —
+    so the consuming host releases them back here and the next transmit
+    reuses the object instead of allocating. Dropped packets are simply
+    garbage-collected (drops are rare; skipping the release keeps every
+    failure path trivially safe).
+
+    ``release`` is guarded by the packet's ``_pooled`` flag, so a stray
+    double release cannot put the same object in the list twice.
+    """
+
+    __slots__ = ("_free", "max_free", "acquired", "reused")
+
+    def __init__(self, max_free: int = 4096):
+        self._free: List[Packet] = []
+        self.max_free = int(max_free)
+        # stats (exposed for the allocation microbenchmark)
+        self.acquired = 0
+        self.reused = 0
+
+    def acquire_data(
+        self,
+        flow_id: int,
+        seq: int,
+        length: int,
+        mss: int,
+        sent_ts: int,
+        is_retransmission: bool = False,
+    ) -> Packet:
+        """A data packet carrying ``[seq, seq + length)``."""
+        self.acquired += 1
+        free = self._free
+        if not free:
+            return Packet(
+                flow_id=flow_id,
+                seq=seq,
+                length=length,
+                mss=mss,
+                sent_ts=sent_ts,
+                is_retransmission=is_retransmission,
+            )
+        self.reused += 1
+        packet = free.pop()
+        packet._pooled = False
+        packet.flow_id = flow_id
+        packet.seq = seq
+        packet.length = length
+        packet.mss = mss
+        packet.is_ack = False
+        packet.ack = 0
+        packet.rwnd = 1 << 30
+        packet.sack_blocks.clear()
+        packet.echo_ts = None
+        packet.sent_ts = sent_ts
+        packet.is_retransmission = is_retransmission
+        packet.packet_id = next(_packet_ids)
+        segments = 1 if length <= 0 else -(-length // mss)
+        packet.segments = segments
+        packet.wire_bytes = length + segments * HEADER_BYTES
+        return packet
+
+    def acquire_ack(
+        self,
+        flow_id: int,
+        ack: int,
+        rwnd: int,
+        echo_ts: Optional[int],
+    ) -> Packet:
+        """An ACK packet; ``sack_blocks`` comes back empty for in-place fill."""
+        self.acquired += 1
+        free = self._free
+        if not free:
+            return Packet(
+                flow_id=flow_id, is_ack=True, ack=ack, rwnd=rwnd, echo_ts=echo_ts
+            )
+        self.reused += 1
+        packet = free.pop()
+        packet._pooled = False
+        packet.flow_id = flow_id
+        packet.seq = 0
+        packet.length = 0
+        packet.is_ack = True
+        packet.ack = ack
+        packet.rwnd = rwnd
+        packet.sack_blocks.clear()
+        packet.echo_ts = echo_ts
+        packet.sent_ts = None
+        packet.is_retransmission = False
+        packet.packet_id = next(_packet_ids)
+        packet.segments = 1
+        packet.wire_bytes = HEADER_BYTES
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        """Return *packet* to the free list (no-op if already there)."""
+        if packet._pooled:
+            return
+        free = self._free
+        if len(free) < self.max_free:
+            packet._pooled = True
+            free.append(packet)
+
+
+#: Process-wide pool shared by senders and receivers. Safe to share across
+#: experiments in one process: a pooled packet is inert storage, and every
+#: acquire fully reinitializes it (packet_id was already a process-global
+#: counter before pooling existed).
+PACKET_POOL = PacketPool()

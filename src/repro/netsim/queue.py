@@ -71,7 +71,9 @@ class DropTailQueue:
         """Admit as much of *packet* as fits; drop the rest (tail drop)."""
         free = self.capacity_segments - self._backlog_segments
         if self.input_link is not None and not packet.is_ack:
-            ratio = min(1.0, self.link.rate_bps / self.input_link.rate_bps)
+            ratio = self.link.rate_bps / self.input_link.rate_bps
+            if ratio > 1.0:
+                ratio = 1.0
             free += int(packet.segments * ratio)
         segs = packet.segments
         if segs <= free:
@@ -106,10 +108,13 @@ class DropTailQueue:
         packet = self._fifo.popleft()
         self._backlog_segments -= packet.segments
         self._link_busy = True
-        self.link.send(packet)
         # The link serializes exactly one packet at a time here because we
-        # only hand it one; schedule the refill at serialization end.
-        self._loop.call_after(self.link.serialization_ns(packet), self._tx_done)
+        # only hand it one; it reports the serialization time it just
+        # computed, so the refill is scheduled without recomputing it.
+        tx_ns = self.link.send(packet)
+        if tx_ns is None:
+            tx_ns = self.link.serialization_ns(packet)
+        self._loop.call_after(tx_ns, self._tx_done)
 
     def _tx_done(self) -> None:
         self._link_busy = False

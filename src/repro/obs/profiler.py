@@ -36,12 +36,18 @@ class SimProfiler:
         """Wall-clock nanoseconds spent inside profiled callbacks."""
         return sum(rec[2] for rec in self.records.values())
 
-    def rows(self) -> List[Dict[str, Any]]:
-        """One dict per callback type, sorted by wall time, descending."""
-        out = []
-        for name, (count, sim_ns, wall_ns) in sorted(
+    def rows(self, top: int = 0) -> List[Dict[str, Any]]:
+        """One dict per callback type, sorted by wall time, descending.
+
+        *top* > 0 keeps only the heaviest *top* callback types.
+        """
+        ranked = sorted(
             self.records.items(), key=lambda kv: kv[1][2], reverse=True
-        ):
+        )
+        if top > 0:
+            ranked = ranked[:top]
+        out = []
+        for name, (count, sim_ns, wall_ns) in ranked:
             out.append(
                 {
                     "callback": name,
@@ -60,11 +66,20 @@ class SimProfiler:
             for name, rec in self.records.items()
         }
 
-    def render(self) -> str:
-        """ASCII table of the profile, heaviest callbacks first."""
-        rows = self.rows()
+    def render(self, top: int = 0) -> str:
+        """ASCII table of the profile, heaviest callbacks first.
+
+        *top* > 0 limits the table to the heaviest *top* callback types
+        (the title still reports totals across all of them).
+        """
+        rows = self.rows(top)
         if not rows:
             return "(no events profiled)"
+        total = len(self.records)
+        title = (f"simulation profile: {self.total_events} events, "
+                 f"{self.total_wall_ns / 1e6:.1f} ms wall")
+        if 0 < top < total:
+            title += f" (top {len(rows)} of {total} callback types)"
         headers = ["callback", "count", "sim_ms", "wall_ms", "wall_us/event"]
         table = render_table(
             headers,
@@ -73,7 +88,6 @@ class SimProfiler:
                  r["wall_us_per_event"]]
                 for r in rows
             ],
-            title=f"simulation profile: {self.total_events} events, "
-                  f"{self.total_wall_ns / 1e6:.1f} ms wall",
+            title=title,
         )
         return table

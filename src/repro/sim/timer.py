@@ -25,6 +25,8 @@ class Timer:
     next multiple of the slack, emulating coarse timer wheels.
     """
 
+    __slots__ = ("_loop", "_callback", "_slack", "_event", "name", "fire_count")
+
     def __init__(
         self,
         loop: EventLoop,
@@ -52,12 +54,16 @@ class Timer:
 
     def start(self, delay_ns: int) -> None:
         """(Re-)arm the timer *delay_ns* from now (>= 0)."""
-        self.start_at(self._loop.now + max(0, int(delay_ns)))
+        delay = int(delay_ns)
+        if delay < 0:
+            delay = 0
+        self.start_at(self._loop.now + delay)
 
     def start_at(self, when_ns: int) -> None:
         """(Re-)arm the timer for absolute time *when_ns*."""
         self.cancel()
-        when = max(when_ns, self._loop.now)
+        now = self._loop.now
+        when = when_ns if when_ns > now else now
         if self._slack:
             remainder = when % self._slack
             if remainder:
@@ -82,6 +88,8 @@ class PeriodicTimer:
     Used by the schedutil governor (utilization sampling), interval metric
     collectors, and the WiFi rate process.
     """
+
+    __slots__ = ("_loop", "period_ns", "_callback", "_timer", "_running", "name")
 
     def __init__(
         self,

@@ -1,0 +1,349 @@
+"""Hierarchical timer wheel: O(1) scheduling for near-future events.
+
+The workloads this simulator reproduces arm and cancel *millions* of
+short-lived timers per run — pacing hrtimers every send period, the RTO
+timer re-armed on every ACK, periodic governor/metrics ticks. A binary
+heap handles that with lazy deletion: cancelled entries stay buried until
+popped (or until compaction rebuilds the heap), so heavy re-arm churn
+keeps paying ``O(log n)`` pushes plus amortized sweep work. Linux solves
+the same problem by pairing hrtimers with wheel-style bucketing; this
+module is the simulator's equivalent.
+
+:class:`TimerWheel` is layered *in front of* the engine's heap by
+:class:`~repro.sim.engine.EventLoop`:
+
+* events within the wheel horizon go into fixed-width nanosecond buckets
+  — **O(1) insert** (a dict store) and **true O(1) cancel** (a dict
+  delete; no lazy-deletion debt, no compaction);
+* far-future events (beyond :data:`LEVEL1_SPAN_NS`) and events landing
+  behind the wheel's drain cursor overflow to the heap, which the engine
+  still owns.
+
+Two levels mirror the kernel's coarse/fine split:
+
+===== ================== ========== ==================
+level bucket width       buckets    span ("horizon")
+===== ================== ========== ==================
+0     2^16 ns ≈ 65.5 µs  256        2^24 ns ≈ 16.8 ms
+1     2^24 ns ≈ 16.8 ms  256        2^32 ns ≈ 4.29 s
+===== ================== ========== ==================
+
+Level 0 catches pacing periods and softirq/transmit completions; level 1
+catches RTOs, delayed ACK / PROBE_RTT deadlines and governor ticks. A
+level-1 bucket *cascades* into level-0 buckets when the drain cursor
+reaches its time range — each event cascades at most once, and a timer
+cancelled before its coarse bucket is reached never pays the cascade.
+
+**Ordering is preserved bit-for-bit.** The engine's contract is that
+events fire in ``(when, seq)`` order, where ``seq`` is the global
+insertion sequence number. Buckets keep that exact key: draining a bucket
+sorts its entries by ``(when, seq)`` into a ready list, and the engine's
+dispatch loop merges ready entries with the heap head by the same key, so
+the fired event stream is identical to a heap-only loop (asserted by
+``tests/test_sim_wheel.py``). Occupancy bitmaps (one int per level) make
+"find the next non-empty bucket" a couple of word-sized bit operations
+instead of a slot scan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "TimerWheel",
+    "LEVEL0_SHIFT",
+    "LEVEL1_SHIFT",
+    "SLOTS",
+    "LEVEL0_SPAN_NS",
+    "LEVEL1_SPAN_NS",
+]
+
+#: log2 of the level-0 bucket width in ns (2^16 ns = 65.536 µs).
+LEVEL0_SHIFT = 16
+#: log2 of the level-1 bucket width in ns (2^24 ns = 16.777 ms).
+LEVEL1_SHIFT = 24
+#: buckets per level (must be a power of two for the slot mask).
+SLOTS = 256
+_MASK = SLOTS - 1
+_FULL = (1 << SLOTS) - 1
+
+#: time covered by level 0 from the drain cursor (one level-1 bucket).
+LEVEL0_SPAN_NS = SLOTS << LEVEL0_SHIFT
+#: wheel horizon: events further out overflow to the engine's heap.
+LEVEL1_SPAN_NS = SLOTS << LEVEL1_SHIFT
+
+# Level-1 acceptance limit. The drain cursor is level-0 aligned but not
+# level-1 aligned, so accepting the full span would let live bucket
+# indices span 257 consecutive values — and two indices 256 apart map to
+# the same slot. Capping the reach at span − one bucket keeps every live
+# index within a 256-wide window (distinct slots, and the bitmap scan can
+# reconstruct absolute indices unambiguously).
+_L1_LIMIT_NS = LEVEL1_SPAN_NS - LEVEL0_SPAN_NS
+
+# Sentinel stored in Event._wslot while the event sits in the drained
+# ready list (no longer deletable in O(1); dispatch skips it instead).
+READY = object()
+
+# int/float comparisons are exact in Python, so an infinite "no bucketed
+# entries" bound composes safely with the integer-ns clock.
+_INF = float("inf")
+
+
+class TimerWheel:
+    """Two-level bucketed schedule for an :class:`EventLoop`.
+
+    The wheel does not own dispatch: the event loop asks for the earliest
+    wheel entry (:meth:`peek_entry` / the ``_ready`` list) and merges it
+    against its heap head. All state mutations stay deterministic — the
+    only iteration over a (insertion-ordered) dict happens in
+    :meth:`_refill`/cascade, and the subsequent ``(when, seq)`` sort makes
+    the result independent of insertion order.
+    """
+
+    __slots__ = (
+        "_l0",
+        "_l1",
+        "_map0",
+        "_map1",
+        "_floor",
+        "_count",
+        "_next_when",
+        "_next_fire",
+        "_ready",
+        "_ready_pos",
+        "_ready_cancelled",
+        "inserts",
+        "cascaded_events",
+        "drains",
+    )
+
+    def __init__(self) -> None:
+        self._l0: List[dict] = [{} for _ in range(SLOTS)]
+        self._l1: List[dict] = [{} for _ in range(SLOTS)]
+        #: occupancy bitmaps (bit i = slot i may be non-empty; bits are
+        #: cleared lazily when a cancelled-out bucket is found empty)
+        self._map0 = 0
+        self._map1 = 0
+        #: drain cursor: every bucketed entry has ``when >= _floor``;
+        #: always a multiple of the level-0 bucket width
+        self._floor = 0
+        #: live entries currently in buckets (excludes the ready list)
+        self._count = 0
+        #: lower bound on the earliest bucketed entry's time (stale-low
+        #: after cancels, which is safe: the dispatch loop uses it only
+        #: to decide whether the heap head can fire without a drain)
+        self._next_when = _INF
+        #: lower bound on the earliest live wheel entry *anywhere* (ready
+        #: list or buckets). The dispatch fast path compares the heap
+        #: head against this single value; whenever the ready list is
+        #: exhausted it equals ``_next_when``. Stale-low is safe (one
+        #: trip through the slow path re-syncs it); stale-high would
+        #: reorder events, so every mutation keeps it a true lower bound.
+        self._next_fire = _INF
+        #: drained, (when, seq)-sorted entries awaiting dispatch
+        self._ready: List[Tuple[int, int, object]] = []
+        self._ready_pos = 0
+        #: cancelled entries still in the ready list (pending_count math)
+        self._ready_cancelled = 0
+        # stats (for tests and the perf harness)
+        self.inserts = 0
+        self.cascaded_events = 0
+        self.drains = 0
+
+    # -- capacity / accounting ----------------------------------------------
+
+    def live_count(self) -> int:
+        """Scheduled, non-cancelled events held by the wheel (O(1))."""
+        return self._count + (
+            len(self._ready) - self._ready_pos - self._ready_cancelled
+        )
+
+    # -- insert / cancel ------------------------------------------------------
+
+    def insert(self, when: int, seq: int, event, now: int) -> bool:
+        """Try to take ownership of *event*; False = caller uses the heap.
+
+        Rejects events behind the drain cursor (their bucket was already
+        swept — the heap merge still fires them in order) and events
+        beyond the level-1 reach. When the reach check fails only because
+        the cursor lags far behind *now* (timers that are always
+        cancelled never trigger a drain, so the cursor never moves on its
+        own), the cursor is advanced toward ``now`` first and the insert
+        retried — every live entry's time is >= now, so this never skips
+        an occupied bucket.
+        """
+        floor = self._floor
+        delta = when - floor
+        if delta < 0:
+            return False
+        if delta >= _L1_LIMIT_NS:
+            advanced = (now >> LEVEL0_SHIFT) << LEVEL0_SHIFT
+            earliest = self._next_bucket_start()
+            if earliest is not None and earliest < advanced:
+                advanced = earliest
+            if advanced <= floor:
+                return False
+            self._floor = floor = advanced
+            delta = when - floor
+            if delta >= _L1_LIMIT_NS:
+                return False
+        if delta < LEVEL0_SPAN_NS:
+            slot = (when >> LEVEL0_SHIFT) & _MASK
+            bucket = self._l0[slot]
+            if not bucket:
+                self._map0 |= 1 << slot
+        else:
+            slot = (when >> LEVEL1_SHIFT) & _MASK
+            bucket = self._l1[slot]
+            if not bucket:
+                self._map1 |= 1 << slot
+        bucket[seq] = event
+        event._wslot = bucket
+        self._count += 1
+        if when < self._next_when:
+            self._next_when = when
+        if when < self._next_fire:
+            self._next_fire = when
+        self.inserts += 1
+        return True
+
+    def cancel(self, event) -> None:
+        """Remove a bucketed or ready *event* (called by ``Event.cancel``)."""
+        slot = event._wslot
+        if slot is READY:
+            # Already drained: skipped (and accounted) at dispatch.
+            self._ready_cancelled += 1
+            return
+        del slot[event._seq]
+        event._wslot = None
+        self._count -= 1
+        # The bucket's bitmap bit is cleared lazily by _refill: clearing
+        # it here would need the slot index on every Event just for this.
+
+    # -- drain ----------------------------------------------------------------
+
+    def _scan(self, bitmap_attr: str, buckets: List[dict], shift: int) -> Optional[int]:
+        """Absolute index of the earliest occupied bucket in one level.
+
+        Clears stale bitmap bits (buckets emptied by cancels) as a side
+        effect. Returns ``None`` when the level is empty.
+        """
+        bitmap = getattr(self, bitmap_attr)
+        if not bitmap:
+            return None
+        cursor = self._floor >> shift
+        start = cursor & _MASK
+        rotated = ((bitmap >> start) | (bitmap << (SLOTS - start))) & _FULL
+        while rotated:
+            offset = (rotated & -rotated).bit_length() - 1
+            if buckets[(start + offset) & _MASK]:
+                return cursor + offset
+            # cancelled-out bucket: retire its bit and keep scanning
+            setattr(self, bitmap_attr, getattr(self, bitmap_attr) & ~(1 << ((start + offset) & _MASK)))
+            rotated &= rotated - 1
+        return None
+
+    def _next_bucket_start(self) -> Optional[int]:
+        """Start time of the earliest occupied bucket, or ``None``.
+
+        A safe upper bound for cursor advancement: no live entry sits
+        before it.
+        """
+        idx0 = self._scan("_map0", self._l0, LEVEL0_SHIFT)
+        idx1 = self._scan("_map1", self._l1, LEVEL1_SHIFT)
+        start = None if idx0 is None else idx0 << LEVEL0_SHIFT
+        if idx1 is not None:
+            start1 = idx1 << LEVEL1_SHIFT
+            if start is None or start1 < start:
+                start = start1
+        return start
+
+    def _refill(self) -> List[Tuple[int, int, object]]:
+        """Drain the earliest non-empty bucket into the ready list.
+
+        Cascades any level-1 bucket whose time range begins at or before
+        the earliest level-0 bucket first, so the drained bucket always
+        holds the wheel's globally earliest entries. Returns the new
+        ready list ([] only when the wheel is empty).
+        """
+        l0 = self._l0
+        while True:
+            idx0 = self._scan("_map0", l0, LEVEL0_SHIFT)
+            idx1 = self._scan("_map1", self._l1, LEVEL1_SHIFT)
+            # (idx1 << 8) <= idx0  ⟺  the level-1 bucket starts at or
+            # before the earliest level-0 bucket: cascade it down first.
+            if idx1 is not None and (idx0 is None or (idx1 << 8) <= idx0):
+                slot1 = idx1 & _MASK
+                bucket1 = self._l1[slot1]
+                self._map1 &= ~(1 << slot1)
+                # No wheel entry exists before this bucket's start (see
+                # the invariant argument in DESIGN.md), so the cursor may
+                # jump straight to it.
+                self._floor = idx1 << LEVEL1_SHIFT
+                map0 = self._map0
+                for seq, ev in bucket1.items():
+                    slot0 = (ev.when >> LEVEL0_SHIFT) & _MASK
+                    b0 = l0[slot0]
+                    if not b0:
+                        map0 |= 1 << slot0
+                    b0[seq] = ev
+                    ev._wslot = b0
+                self._map0 = map0
+                self.cascaded_events += len(bucket1)
+                bucket1.clear()
+                continue
+            if idx0 is None:
+                # Fully empty (count must be 0: bits were only stale).
+                self._next_when = _INF
+                self._next_fire = _INF
+                self._ready = []
+                self._ready_pos = 0
+                return self._ready
+            slot0 = idx0 & _MASK
+            bucket0 = l0[slot0]
+            self._map0 &= ~(1 << slot0)
+            ready = [(ev.when, seq, ev) for seq, ev in bucket0.items()]
+            bucket0.clear()
+            ready.sort()  # (when, seq) — seq is unique, events never compared
+            for entry in ready:
+                entry[2]._wslot = READY
+            self._count -= len(ready)
+            self._floor = (idx0 + 1) << LEVEL0_SHIFT
+            # Every entry still bucketed is at or past the new cursor.
+            self._next_when = self._floor if self._count else _INF
+            self._next_fire = ready[0][0]
+            self._ready = ready
+            self._ready_pos = 0
+            self.drains += 1
+            return ready
+
+    def peek_entry(self) -> Optional[Tuple[int, int, object]]:
+        """Earliest live wheel entry without consuming it.
+
+        Skips (and settles accounting for) cancelled ready entries;
+        refills from the buckets as needed.
+        """
+        while True:
+            ready = self._ready
+            pos = self._ready_pos
+            n = len(ready)
+            while pos < n:
+                entry = ready[pos]
+                if not entry[2].cancelled:
+                    self._ready_pos = pos
+                    self._next_fire = entry[0]
+                    return entry
+                pos += 1
+                self._ready_cancelled -= 1
+            self._ready_pos = pos
+            if not self._count:
+                self._next_fire = _INF
+                return None
+            self._refill()
+
+    def _consume_ready(self) -> None:
+        """Advance past the current ready head, refreshing the fire bound."""
+        pos = self._ready_pos + 1
+        self._ready_pos = pos
+        ready = self._ready
+        self._next_fire = ready[pos][0] if pos < len(ready) else self._next_when

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..cc.base import CongestionOps
-from ..netsim.packet import Packet
+from ..netsim.packet import PACKET_POOL, Packet
 from ..sim import Timer
 from ..units import MSEC, SEC
 from .pacing import PacingController, PacingMode
@@ -119,6 +119,7 @@ class TcpSender:
     ):
         self.flow_id = flow_id
         self.services = services
+        self._loop = services.loop  # bound once: `now` is read per event
         self.cc = cc
         self.config = config or SocketConfig()
         self.source = source if source is not None else InfiniteSource()
@@ -187,7 +188,7 @@ class TcpSender:
     @property
     def now(self) -> int:
         """Current simulated time (ns)."""
-        return self.services.loop.now
+        return self._loop._now  # direct clock read; `now` is hit per event
 
     @property
     def in_slow_start(self) -> bool:
@@ -222,11 +223,10 @@ class TcpSender:
     @property
     def pacing_active(self) -> bool:
         """Whether transmissions are paced (mode x CC resolution)."""
-        if self.config.pacing_mode == PacingMode.ON:
-            return True
-        if self.config.pacing_mode == PacingMode.OFF:
-            return False
-        return self.cc.wants_pacing
+        mode = self.config.pacing_mode
+        if mode == PacingMode.AUTO:
+            return self.cc.wants_pacing
+        return mode == PacingMode.ON
 
     @property
     def retransmitted_segments(self) -> int:
@@ -278,7 +278,11 @@ class TcpSender:
             return
         headroom = self.config.sndbuf_unsent_bytes - self._unsent_copied_bytes()
         available = self.source.available_bytes(self.copied_seq)
-        chunk = min(self.config.gso_max_bytes, headroom, available)
+        chunk = self.config.gso_max_bytes
+        if headroom < chunk:
+            chunk = headroom
+        if available < chunk:
+            chunk = available
         if chunk <= 0:
             return
         self._copy_pending = True
@@ -351,7 +355,8 @@ class TcpSender:
 
     def _receive_window_bytes(self) -> int:
         """Bytes the receiver's advertised window still permits."""
-        return max(0, self.scoreboard.snd_una + self.snd_wnd - self.snd_nxt)
+        allowed = self.scoreboard.snd_una + self.snd_wnd - self.snd_nxt
+        return allowed if allowed > 0 else 0
 
     def _next_skb_bytes(self) -> int:
         """Size of the next super-packet, honouring every bound.
@@ -367,12 +372,22 @@ class TcpSender:
             return 0
         allowed = window_segs * self.mss
         if self.pacing_active:
-            allowed = min(allowed, self.pacer.budget_remaining)
-            allowed = min(allowed, self.config.gso_max_bytes)
+            bound = self.pacer.budget_remaining
+            if bound < allowed:
+                allowed = bound
+            bound = self.config.gso_max_bytes
+            if bound < allowed:
+                allowed = bound
         else:
-            allowed = min(allowed, self.send_quantum_bytes)
-        allowed = min(allowed, self._unsent_copied_bytes())
-        allowed = min(allowed, self._receive_window_bytes())
+            bound = self.send_quantum_bytes
+            if bound < allowed:
+                allowed = bound
+        bound = self._unsent_copied_bytes()
+        if bound < allowed:
+            allowed = bound
+        bound = self._receive_window_bytes()
+        if bound < allowed:
+            allowed = bound
         if allowed < self.mss:
             return 0
         return (allowed // self.mss) * self.mss
@@ -383,7 +398,9 @@ class TcpSender:
         if self._closed:
             return
         now = self.now
-        skb_bytes = min(planned_bytes, self._revalidated_bytes())
+        skb_bytes = self._revalidated_bytes()
+        if planned_bytes < skb_bytes:
+            skb_bytes = planned_bytes
         skb_bytes = (skb_bytes // self.mss) * self.mss
         if skb_bytes <= 0:
             # Window shrank while the CPU was busy; cycles were spent for
@@ -406,12 +423,8 @@ class TcpSender:
             **snapshot,
         )
         self.scoreboard.on_transmit(record)
-        packet = Packet(
-            flow_id=self.flow_id,
-            seq=self.snd_nxt,
-            length=skb_bytes,
-            mss=self.mss,
-            sent_ts=now,
+        packet = PACKET_POOL.acquire_data(
+            self.flow_id, self.snd_nxt, skb_bytes, self.mss, now
         )
         self.snd_nxt += skb_bytes
         self.services.send_packet(packet)
@@ -433,9 +446,16 @@ class TcpSender:
             return 0
         allowed = window_segs * self.mss
         if self.pacing_active and self.pacer.in_period:
-            allowed = min(allowed, self.pacer.budget_remaining)
-        allowed = min(allowed, self._receive_window_bytes())
-        return min(allowed, self._unsent_copied_bytes())
+            bound = self.pacer.budget_remaining
+            if bound < allowed:
+                allowed = bound
+        bound = self._receive_window_bytes()
+        if bound < allowed:
+            allowed = bound
+        bound = self._unsent_copied_bytes()
+        if bound < allowed:
+            allowed = bound
+        return allowed
 
     def _handle_nothing_to_send(self) -> None:
         """Bookkeeping when the write path found nothing sendable.
@@ -491,12 +511,8 @@ class TcpSender:
                 return
             self.scoreboard.on_retransmit(record)
             record.last_sent_ns = self.now
-            packet = Packet(
-                flow_id=self.flow_id,
-                seq=record.seq,
-                length=record.length,
-                mss=self.mss,
-                sent_ts=self.now,
+            packet = PACKET_POOL.acquire_data(
+                self.flow_id, record.seq, record.length, self.mss, self.now,
                 is_retransmission=True,
             )
             self.services.send_packet(packet)
@@ -517,7 +533,9 @@ class TcpSender:
         prior_una = self.scoreboard.snd_una
         self.snd_wnd = packet.rwnd
 
-        outcome = self.scoreboard.on_ack(packet.ack, list(packet.sack_blocks))
+        # The scoreboard consumes the SACK list by value (it never stores
+        # it), so the pooled ACK's list is passed without a copy.
+        outcome = self.scoreboard.on_ack(packet.ack, packet.sack_blocks)
         delivered = outcome.delivered_bytes
         if delivered > 0:
             self.delivery.on_delivered(delivered, now)
@@ -526,15 +544,6 @@ class TcpSender:
             self.on_first_byte_acked()
 
         min_rtt_was_expired = self.min_rtt.expired(now)
-        rs = RateSample(
-            delivered_total=self.delivery.delivered_bytes,
-            prior_inflight_segments=prior_inflight,
-            newly_acked_segments=outcome.newly_acked_segments,
-            newly_sacked_segments=outcome.newly_sacked_segments,
-            newly_lost_segments=outcome.newly_lost_segments,
-            ack_time_ns=now,
-            min_rtt_expired=min_rtt_was_expired,
-        )
         record = outcome.newest_delivered_record
         if record is not None and delivered > 0:
             rs = self.delivery.make_sample(record, now)
@@ -549,10 +558,25 @@ class TcpSender:
                     self.cc.on_min_rtt_update(self, self.min_rtt.min_rtt_ns or rs.rtt_ns)
                 if self.on_rtt_sample is not None:
                     self.on_rtt_sample(rs.rtt_ns)
+        else:
+            rs = RateSample(
+                delivered_total=self.delivery.delivered_bytes,
+                prior_inflight_segments=prior_inflight,
+                newly_acked_segments=outcome.newly_acked_segments,
+                newly_sacked_segments=outcome.newly_sacked_segments,
+                newly_lost_segments=outcome.newly_lost_segments,
+                ack_time_ns=now,
+                min_rtt_expired=min_rtt_was_expired,
+            )
 
         self._update_recovery_state(packet.ack, outcome.newly_lost_segments)
         self.cc.cong_control(self, rs)
-        self.cwnd = max(2, min(self.cwnd, self.config.max_cwnd))
+        cwnd = self.cwnd
+        if cwnd > self.config.max_cwnd:
+            cwnd = self.config.max_cwnd
+        if cwnd < 2:
+            cwnd = 2
+        self.cwnd = cwnd
         self._update_rates()
         self._manage_rto_after_ack()
         self._try_send()
@@ -585,8 +609,11 @@ class TcpSender:
         """
         timeout = self.rtt.rto_ns * self._rto_backoff
         oldest = self.scoreboard.oldest_unacked_record()
-        base = oldest.last_sent_ns if oldest is not None else self.now
-        self._rto_timer.start_at(max(base + timeout, self.now + 1))
+        now = self.now
+        base = oldest.last_sent_ns if oldest is not None else now
+        deadline = base + timeout
+        floor = now + 1
+        self._rto_timer.start_at(deadline if deadline > floor else floor)
 
     def _manage_rto_after_ack(self) -> None:
         if self.scoreboard.has_inflight:

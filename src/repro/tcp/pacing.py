@@ -51,6 +51,23 @@ class PacingMode:
 class PacingController:
     """Per-connection pacing state: rate, stride, and period accounting."""
 
+    __slots__ = (
+        "mss",
+        "stride",
+        "min_tso_segs",
+        "gso_max_bytes",
+        "rate_bps",
+        "next_send_at_ns",
+        "_period_budget",
+        "_period_opened_ns",
+        "periods",
+        "idle_ns_total",
+        "bytes_per_period_total",
+        "_period_bytes",
+        "_goal_rate_bps",
+        "_goal_bytes",
+    )
+
     def __init__(
         self,
         mss: int,
@@ -76,6 +93,12 @@ class PacingController:
         self.idle_ns_total = 0
         self.bytes_per_period_total = 0
         self._period_bytes = 0
+        # memoized autosize goal: goal_bytes() is a pure function of the
+        # rate (mss/min_tso/gso are fixed per controller) but is read
+        # several times between rate updates — open, close, and every
+        # budget check of a period.
+        self._goal_rate_bps = -1.0
+        self._goal_bytes = 0
 
     # -- queries ---------------------------------------------------------------
 
@@ -85,9 +108,13 @@ class PacingController:
 
     def goal_bytes(self) -> int:
         """The 1x autosize goal at the current rate (one skb's worth)."""
-        return tso_autosize_bytes(
-            self.rate_bps, self.mss, self.min_tso_segs, self.gso_max_bytes
-        )
+        rate = self.rate_bps
+        if rate != self._goal_rate_bps:
+            self._goal_rate_bps = rate
+            self._goal_bytes = tso_autosize_bytes(
+                rate, self.mss, self.min_tso_segs, self.gso_max_bytes
+            )
+        return self._goal_bytes
 
     def period_budget_bytes(self) -> int:
         """Bytes allowed in one pacing period (= stride × goal)."""
@@ -123,7 +150,8 @@ class PacingController:
         """Charge *nbytes* sent against the open period."""
         if self._period_budget is None:
             raise RuntimeError("consume() outside a pacing period")
-        self._period_budget = max(0, self._period_budget - nbytes)
+        budget = self._period_budget - nbytes
+        self._period_budget = budget if budget > 0 else 0
         self._period_bytes += nbytes
 
     def close_period(self, now_ns: int) -> int:
@@ -154,7 +182,8 @@ class PacingController:
         self.periods += 1
         self.idle_ns_total += idle_ns
         self.bytes_per_period_total += self._period_bytes
-        return max(0, self.next_send_at_ns - now_ns)
+        idle = self.next_send_at_ns - now_ns
+        return idle if idle > 0 else 0
 
     def abandon_period(self) -> None:
         """Close the period without pacing (nothing was sent)."""

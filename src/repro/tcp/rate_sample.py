@@ -20,7 +20,7 @@ from typing import Optional
 __all__ = ["TxRecord", "RateSample", "DeliveryRateEstimator"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TxRecord:
     """Per-transmitted-packet bookkeeping (subset of ``tcp_skb_cb``)."""
 
@@ -53,7 +53,7 @@ class TxRecord:
         return self.end_seq - self.seq
 
 
-@dataclass
+@dataclass(slots=True)
 class RateSample:
     """One per-ACK rate sample handed to the congestion control."""
 
@@ -149,7 +149,7 @@ class DeliveryRateEstimator:
             return sample  # invalid: interval_ns stays 0
         send_interval = record.sent_ns - record.first_sent_at_send
         ack_interval = now_ns - record.delivered_time_at_send
-        sample.interval_ns = max(send_interval, ack_interval)
+        sample.interval_ns = ack_interval if ack_interval > send_interval else send_interval
         sample.delivered_bytes = self.delivered_bytes - record.delivered_at_send
         sample.rtt_ns = now_ns - record.sent_ns
         sample.is_app_limited = record.is_app_limited

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from ..netsim.packet import Packet
+from ..netsim.packet import PACKET_POOL, Packet
 
 __all__ = ["TcpReceiverEndpoint"]
 
@@ -111,6 +111,17 @@ class TcpReceiverEndpoint:
 
     def _sack_blocks(self) -> List[Tuple[int, int]]:
         blocks: List[Tuple[int, int]] = []
+        self._fill_sack_blocks(blocks)
+        return blocks
+
+    def _fill_sack_blocks(self, blocks: List[Tuple[int, int]]) -> None:
+        """Append up to MAX_SACK_BLOCKS into *blocks* (assumed empty).
+
+        Filling a caller-owned list lets the ACK path reuse the pooled
+        packet's ``sack_blocks`` list instead of allocating per ACK.
+        """
+        if not self._ooo:
+            return  # in-order steady state: no SACKs, nothing to scan
         if self._recent_block is not None and self._recent_block in self._ooo:
             blocks.append(self._recent_block)
         for block in self._ooo:
@@ -118,7 +129,6 @@ class TcpReceiverEndpoint:
                 blocks.append(block)
             if len(blocks) >= MAX_SACK_BLOCKS:
                 break
-        return blocks
 
     def advertised_window(self) -> int:
         """Receive window: the buffer minus out-of-order data held.
@@ -127,17 +137,18 @@ class TcpReceiverEndpoint:
         so only reassembly-queue bytes occupy the buffer. This is what
         stops a sender from streaming arbitrarily far past a stuck hole.
         """
+        if not self._ooo:
+            return self.rcv_buffer_bytes
         held = sum(e - s for s, e in self._ooo)
         return max(0, self.rcv_buffer_bytes - held)
 
     def _emit_ack(self, data_packet: Packet) -> None:
-        ack = Packet(
-            flow_id=self.flow_id,
-            is_ack=True,
-            ack=self.rcv_nxt,
-            rwnd=self.advertised_window(),
-            sack_blocks=self._sack_blocks(),
-            echo_ts=data_packet.sent_ts,
+        ack = PACKET_POOL.acquire_ack(
+            self.flow_id,
+            self.rcv_nxt,
+            self.advertised_window(),
+            data_packet.sent_ts,
         )
+        self._fill_sack_blocks(ack.sack_blocks)
         self.acks_sent += 1
         self._send_ack(ack)

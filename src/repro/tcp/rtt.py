@@ -49,8 +49,15 @@ class RttEstimator:
         """Current retransmission timeout."""
         if self.srtt_ns is None:
             return SEC  # RFC 6298 initial RTO of 1 s
-        rto = self.srtt_ns + max(self.K * self.rttvar_ns, MSEC)
-        return max(self.min_rto_ns, min(self.max_rto_ns, rto))
+        var = self.K * self.rttvar_ns
+        if var < MSEC:
+            var = MSEC
+        rto = self.srtt_ns + var
+        if rto > self.max_rto_ns:
+            rto = self.max_rto_ns
+        if rto < self.min_rto_ns:
+            rto = self.min_rto_ns
+        return rto
 
 
 class MinRttFilter:

@@ -64,6 +64,10 @@ class Scoreboard:
         # derived-counter cache: recomputed in one pass after mutations
         self._counters_dirty = True
         self._cached_counters = (0, 0, 0, 0)
+        # Fast path for next_lost_record(): False guarantees no record is
+        # (lost and not retransmitted and not sacked), letting the common
+        # no-loss case skip the O(records) scan.
+        self._have_lost = False
 
     # -- derived counters (kernel names, in segments) -------------------------
     #
@@ -110,7 +114,11 @@ class Scoreboard:
     @property
     def inflight_segments(self) -> int:
         """Segments considered in the network (tcp_packets_in_flight)."""
-        return max(0, self.packets_out - self.sacked_out - self.lost_out + self.retrans_out)
+        # Hot path (read per transmit attempt and per ACK): one counter
+        # fetch instead of four property round-trips.
+        packets, sacked, lost, retrans = self._counters()
+        inflight = packets - sacked - lost + retrans
+        return inflight if inflight > 0 else 0
 
     @property
     def has_inflight(self) -> bool:
@@ -167,18 +175,25 @@ class Scoreboard:
                 record.lost = True
                 newly_lost += record.segments - record.sacked_segments
             record.retransmitted = False
+            self._have_lost = True
         return newly_lost
 
     def next_lost_record(self) -> Optional[TxRecord]:
         """First record marked lost and not yet retransmitted."""
+        if not self._have_lost:
+            return None
         for record in self._records:
             if record.lost and not record.retransmitted and not record.sacked:
                 return record
+        # Fruitless scan: eligibility can only reappear via a new lost
+        # mark (_detect_losses / mark_all_lost), which re-sets the flag.
+        self._have_lost = False
         return None
 
     def clear_loss_marks(self) -> None:
         """Forget loss/retransmission marks (recovery episode ended)."""
         self._counters_dirty = True
+        self._have_lost = False
         for record in self._records:
             record.lost = False
             record.retransmitted = False
@@ -194,9 +209,9 @@ class Scoreboard:
                 self._records.popleft()
                 unsacked = record.segments - record.sacked_segments
                 outcome.newly_acked_segments += unsacked
-                outcome.newly_acked_bytes += max(
-                    0, record.length - record.sacked_segments * self.mss
-                )
+                acked = record.length - record.sacked_segments * self.mss
+                if acked > 0:
+                    outcome.newly_acked_bytes += acked
                 self._note_delivered(record, outcome)
             else:
                 # Partial ACK inside a super-packet (router split): shrink
@@ -213,7 +228,8 @@ class Scoreboard:
                 outcome.newly_acked_bytes += chopped
                 self._note_delivered(record, outcome)
                 break
-        self.snd_una = max(self.snd_una, ack_seq)
+        if ack_seq > self.snd_una:
+            self.snd_una = ack_seq
 
     def _apply_sacks(self, blocks: List[Tuple[int, int]], outcome: AckOutcome) -> None:
         for start, end in blocks:
@@ -251,6 +267,7 @@ class Scoreboard:
             if record.end_seq > threshold:
                 continue
             record.lost = True
+            self._have_lost = True
             outcome.newly_lost_segments += record.segments - record.sacked_segments
 
     @staticmethod

@@ -34,12 +34,20 @@ def tso_autosize_bytes(
     """
     if mss <= 0:
         raise ValueError("mss must be positive")
-    rate_bytes_per_sec = max(0.0, pacing_rate_bps) / 8.0
+    # Hot path (read on every pacing-period budget check): conditionals
+    # instead of max()/min() builtin calls, same clamping.
+    rate_bytes_per_sec = (pacing_rate_bps if pacing_rate_bps > 0.0 else 0.0) / 8.0
     goal = int(rate_bytes_per_sec) >> PACING_SHIFT
-    segs = max(goal // mss, max(1, min_tso_segs))
+    floor_segs = min_tso_segs if min_tso_segs > 1 else 1
+    segs = goal // mss
+    if segs < floor_segs:
+        segs = floor_segs
     nbytes = segs * mss
-    max_segs = max(1, gso_max_bytes // mss)
-    return min(nbytes, max_segs * mss)
+    max_segs = gso_max_bytes // mss
+    if max_segs < 1:
+        max_segs = 1
+    cap = max_segs * mss
+    return nbytes if nbytes < cap else cap
 
 
 def tso_autosize_segments(

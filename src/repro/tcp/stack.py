@@ -16,7 +16,7 @@ from typing import Callable, Dict, Optional
 from ..cc.base import CongestionOps
 from ..cpu.costs import CostModel
 from ..cpu.softirq import StackExecutor
-from ..netsim.packet import Packet
+from ..netsim.packet import PACKET_POOL, Packet
 from ..netsim.testbed import Testbed
 from ..sim import EventLoop, Tracer, NULL_TRACER
 from .connection import SocketConfig, TcpSender
@@ -118,9 +118,14 @@ class MobileTcpStack:
         # of the RTT the phone measures — Table 2's stride-1x RTT is
         # exactly this effect — and it is what keeps delivery-rate
         # samples honest on a saturated CPU.
+        def process_ack() -> None:
+            sender.on_ack_packet(packet)
+            # Nothing retains the ACK past processing (the scoreboard
+            # consumes the SACK list by value), so recycle it.
+            PACKET_POOL.release(packet)
+
         self.executor.submit_for(
-            packet.flow_id, cycles, lambda: sender.on_ack_packet(packet), "ack",
-            priority=1,
+            packet.flow_id, cycles, process_ack, "ack", priority=1,
         )
 
 
@@ -153,3 +158,6 @@ class ServerHost:
         if packet.is_ack:
             return
         self.endpoint_for(packet.flow_id).on_data(packet)
+        # Delivery is the end of a data packet's life: the receiver keeps
+        # reassembly intervals, not packets, so recycle the object.
+        PACKET_POOL.release(packet)

@@ -169,16 +169,17 @@ def test_cancel_after_fire_is_noop(loop):
     assert not event.pending
 
 
-def test_heap_growth_bounded_under_timer_rearm_churn(loop):
+def test_heap_growth_bounded_under_timer_rearm_churn():
     """Re-arming a timer 20k times must not grow the heap by 20k entries.
 
     This is the pacing/RTO pattern: each re-arm cancels the previous
-    far-future event and pushes a new one. Lazy deletion alone would
-    accumulate every cancelled entry until its expiry; compaction keeps
-    heap size proportional to the live event count.
+    far-future event and pushes a new one. On a heap-only loop, lazy
+    deletion alone would accumulate every cancelled entry until its
+    expiry; compaction keeps heap size proportional to the live count.
     """
     from repro.sim.timer import Timer
 
+    loop = EventLoop(wheel=False)
     timer = Timer(loop, lambda: None)
     for i in range(20_000):
         timer.start(1_000_000 + i)  # always re-armed into the far future
@@ -186,6 +187,24 @@ def test_heap_growth_bounded_under_timer_rearm_churn(loop):
     # Compaction bounds the heap at ~2x the compaction floor, not 20k.
     assert len(loop._heap) < 2_000
     assert loop.compactions > 0
+
+
+def test_wheel_absorbs_timer_rearm_churn_with_no_debt():
+    """With the wheel on (the default), the same churn leaves zero debt.
+
+    Each cancel is a true O(1) bucket delete, so neither the heap nor
+    the wheel accumulates cancelled entries and compaction never runs.
+    """
+    from repro.sim.timer import Timer
+
+    loop = EventLoop()
+    timer = Timer(loop, lambda: None)
+    for i in range(20_000):
+        timer.start(200_000_000 + i)  # RTO-scale horizon: wheel-routed
+    assert loop.pending_count() == 1
+    assert len(loop._heap) == 0
+    assert loop._wheel.live_count() == 1
+    assert loop.compactions == 0
 
 
 def test_compaction_preserves_firing_order(loop):
@@ -204,7 +223,10 @@ def test_compaction_preserves_firing_order(loop):
     assert seen == list(range(600))
 
 
-def test_explicit_compact_drops_cancelled_entries(loop):
+def test_explicit_compact_drops_cancelled_entries():
+    # Heap-only loop: compaction is a heap concern (wheel cancels are
+    # hard deletes and leave nothing to compact).
+    loop = EventLoop(wheel=False)
     live = loop.call_after(100, lambda: None)
     dead = [loop.call_after(200 + i, lambda: None) for i in range(50)]
     for e in dead:
@@ -216,7 +238,8 @@ def test_explicit_compact_drops_cancelled_entries(loop):
     assert live.pending
 
 
-def test_peek_next_time_updates_cancel_accounting(loop):
+def test_peek_next_time_updates_cancel_accounting():
+    loop = EventLoop(wheel=False)
     first = loop.call_after(10, lambda: None)
     loop.call_after(20, lambda: None)
     first.cancel()

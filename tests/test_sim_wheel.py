@@ -1,0 +1,194 @@
+"""Equivalence and accounting tests for the timer-wheel scheduler.
+
+The wheel is a pure routing optimization: any workload must fire the
+same callbacks at the same times in the same order as the heap-only
+loop. The property-style test below drives both loops through an
+identical randomized schedule/cancel/re-arm workload whose delays
+straddle the wheel's routing cutoff, so events land in the heap, in
+wheel level 0, and in wheel level 1 within the same run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.packet import HEADER_BYTES, Packet, PacketPool
+from repro.sim import EventLoop, SimulationError
+from repro.sim.engine import _WHEEL_MIN_DELAY_NS
+
+
+def _run_workload(loop: EventLoop, seed: int) -> list:
+    """Drive *loop* through a deterministic random timer workload.
+
+    Returns the fire log as (time, tag) tuples. All randomness comes
+    from a Random seeded identically for both loops; because the fire
+    order must match, both loops consume the RNG in the same order (a
+    divergence shows up as a log mismatch, which is what we assert).
+    """
+    rng = random.Random(seed)
+    log = []
+    pending = {}
+    counter = [0]
+
+    # Delay palette straddles the routing cutoff (_WHEEL_MIN_DELAY_NS):
+    # sub-cutoff delays stay on the heap, mid delays land in wheel level
+    # 0, and long delays (hundreds of ms) reach level 1.
+    def pick_delay() -> int:
+        bucket = rng.random()
+        if bucket < 0.4:
+            return rng.randrange(0, _WHEEL_MIN_DELAY_NS)
+        if bucket < 0.8:
+            return rng.randrange(_WHEEL_MIN_DELAY_NS, 40_000_000)
+        return rng.randrange(40_000_000, 600_000_000)
+
+    def schedule() -> None:
+        tag = counter[0]
+        counter[0] += 1
+        event = loop.call_after(pick_delay(), fire, tag)
+        pending[tag] = event
+
+    def fire(tag: int) -> None:
+        pending.pop(tag, None)
+        log.append((loop.now, tag))
+        roll = rng.random()
+        if roll < 0.55:
+            schedule()
+        if roll < 0.25 and pending:
+            # Cancel a random pending timer (true-O(1) wheel delete or
+            # lazy heap delete, depending on where it was routed).
+            victim = rng.choice(sorted(pending))
+            pending.pop(victim).cancel()
+        elif roll < 0.45 and pending:
+            # Re-arm: cancel then schedule anew, the hrtimer pattern.
+            victim = rng.choice(sorted(pending))
+            pending.pop(victim).cancel()
+            schedule()
+
+    for _ in range(60):
+        schedule()
+    loop.run(until=3_000_000_000)
+    return log
+
+
+@pytest.mark.parametrize("seed", [7, 23, 1009])
+def test_wheel_and_heap_fire_identically(seed):
+    """Property: the wheel never changes what fires, when, or in what order."""
+    wheel_log = _run_workload(EventLoop(wheel=True), seed)
+    heap_log = _run_workload(EventLoop(wheel=False), seed)
+    assert wheel_log, "workload should fire at least some events"
+    assert wheel_log == heap_log
+
+
+@pytest.mark.parametrize("seed", [7, 23, 1009])
+def test_wheel_and_heap_agree_on_events_processed(seed):
+    loop_w = EventLoop(wheel=True)
+    loop_h = EventLoop(wheel=False)
+    _run_workload(loop_w, seed)
+    _run_workload(loop_h, seed)
+    assert loop_w.events_processed == loop_h.events_processed
+
+
+# -- max_events accounting (regression) ----------------------------------------
+
+
+def test_max_events_overrun_still_counts_processed_events(loop):
+    """events_processed must reflect work done even when the guard trips.
+
+    Regression: the dispatch loop folds its local counter into
+    events_processed in a finally block, so the SimulationError raised
+    by the max_events valve must not lose the count.
+    """
+
+    def reschedule():
+        loop.call_after(1, reschedule)
+
+    loop.call_after(1, reschedule)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=100)
+    assert loop.events_processed == 100
+
+
+def test_max_events_accumulates_across_runs(loop):
+    for i in range(10):
+        loop.call_after(i + 1, lambda: None)
+    loop.run(max_events=50)
+    assert loop.events_processed == 10
+    for i in range(10):
+        loop.call_after(i + 1, lambda: None)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=5)
+    assert loop.events_processed == 15
+
+
+# -- packet pool (allocation diet) ----------------------------------------------
+
+
+def test_pool_reuses_released_packets():
+    pool = PacketPool()
+    p1 = pool.acquire_data(flow_id=1, seq=0, length=3000, mss=1500, sent_ts=10)
+    pool.release(p1)
+    p2 = pool.acquire_data(flow_id=2, seq=3000, length=1500, mss=1500, sent_ts=20)
+    assert p2 is p1  # recycled, not reallocated
+    assert pool.reused == 1
+    assert (p2.flow_id, p2.seq, p2.length, p2.sent_ts) == (2, 3000, 1500, 20)
+    assert p2.segments == 1
+    assert p2.wire_bytes == 1500 + HEADER_BYTES
+    assert not p2.is_retransmission
+
+
+def test_pool_acquire_assigns_fresh_packet_id():
+    pool = PacketPool()
+    p1 = pool.acquire_data(flow_id=1, seq=0, length=1500, mss=1500, sent_ts=0)
+    first_id = p1.packet_id
+    pool.release(p1)
+    p2 = pool.acquire_data(flow_id=1, seq=1500, length=1500, mss=1500, sent_ts=0)
+    assert p2.packet_id != first_id
+
+
+def test_pool_double_release_is_ignored():
+    pool = PacketPool()
+    p = pool.acquire_data(flow_id=1, seq=0, length=1500, mss=1500, sent_ts=0)
+    pool.release(p)
+    pool.release(p)  # double free must not corrupt the free list
+    a = pool.acquire_data(flow_id=1, seq=0, length=1500, mss=1500, sent_ts=0)
+    b = pool.acquire_data(flow_id=1, seq=1500, length=1500, mss=1500, sent_ts=0)
+    assert a is not b
+
+
+def test_pool_ack_reuse_clears_sack_blocks():
+    pool = PacketPool()
+    ack = pool.acquire_ack(flow_id=1, ack=1000, rwnd=64000, echo_ts=5)
+    ack.sack_blocks.append((2000, 3000))
+    pool.release(ack)
+    ack2 = pool.acquire_ack(flow_id=2, ack=5000, rwnd=32000, echo_ts=9)
+    assert ack2 is ack
+    assert ack2.sack_blocks == []
+    assert ack2.is_ack
+    assert ack2.wire_bytes == HEADER_BYTES
+    assert (ack2.flow_id, ack2.ack, ack2.rwnd, ack2.echo_ts) == (2, 5000, 32000, 9)
+
+
+def test_pool_bounds_free_list():
+    pool = PacketPool(max_free=2)
+    packets = [
+        pool.acquire_data(flow_id=1, seq=i * 1500, length=1500, mss=1500, sent_ts=0)
+        for i in range(4)
+    ]
+    for p in packets:
+        pool.release(p)
+    assert len(pool._free) == 2
+
+
+def test_pooled_packet_split_head_matches_fresh_packet():
+    pool = PacketPool()
+    p = pool.acquire_data(flow_id=1, seq=0, length=6000, mss=1500, sent_ts=0)
+    pool.release(p)
+    recycled = pool.acquire_data(flow_id=3, seq=9000, length=6000, mss=1500, sent_ts=7)
+    fresh = Packet(flow_id=3, seq=9000, length=6000, mss=1500, sent_ts=7)
+    head_r = recycled.split_head(2)
+    head_f = fresh.split_head(2)
+    for a, b in ((head_r, head_f), (recycled, fresh)):
+        assert (a.seq, a.length, a.segments, a.wire_bytes) == (
+            b.seq, b.length, b.segments, b.wire_bytes)
