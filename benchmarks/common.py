@@ -11,13 +11,20 @@ Defaults below trade statistical polish for wall-clock time: the paper
 averages 10 x 5-minute iperf runs; the benches average ``RUNS`` seeded
 runs of ``DURATION_S`` simulated seconds, which is past convergence for
 every scenario measured here.
+
+Grid helpers run through :mod:`repro.runner` and therefore consult the
+content-addressed result cache (:mod:`repro.cache`) by default:
+re-rendering a figure whose simulations are unchanged is served from
+disk in milliseconds, bit-identical to a fresh run. Set
+``REPRO_CACHE=off`` (or pass ``cache=False``) to force recomputation,
+e.g. when timing the simulator itself.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import replace
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro import (
     ExperimentSpec,
@@ -67,25 +74,31 @@ def scenario_specs(name: str) -> List[ExperimentSpec]:
     return load_scenario(scenario_path(name))
 
 
-def measure(spec: SpecLike, runs: int = RUNS) -> ReplicatedResult:
+def measure(spec: SpecLike, runs: int = RUNS, cache=None) -> ReplicatedResult:
     """Run a grid point with the suite's replication count.
 
     Accepts a built :class:`ExperimentSpec` or a declarative spec dict.
     Replications fan out across worker processes (``REPRO_JOBS`` or all
     cores; see :mod:`repro.runner`); results are identical to serial.
+    *cache* passes through to the runner (``None`` = the default
+    on-disk result cache, ``False`` = always recompute).
     """
-    return run_replicated_parallel(_coerce_spec(spec), runs=runs)
+    return run_replicated_parallel(_coerce_spec(spec), runs=runs, cache=cache)
 
 
 def measure_grid(
-    specs: Sequence[SpecLike], runs: int = RUNS
+    specs: Sequence[SpecLike], runs: int = RUNS, cache=None,
+    chunk: Optional[int] = None,
 ) -> List[ReplicatedResult]:
     """Run a whole grid through the parallel runner, in grid order.
 
     Each element may be a built spec or a declarative spec dict (e.g.
-    from :func:`repro.expand_scenario_dicts`).
+    from :func:`repro.expand_scenario_dicts`). *cache* and *chunk* pass
+    through to :func:`repro.runner.run_grid_report`.
     """
-    return run_replicated_grid([_coerce_spec(s) for s in specs], runs=runs)
+    return run_replicated_grid(
+        [_coerce_spec(s) for s in specs], runs=runs, cache=cache, chunk=chunk
+    )
 
 
 def goodput_series(

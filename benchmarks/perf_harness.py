@@ -14,7 +14,16 @@ measure
   cancel is exactly what this workload stresses);
 * **allocation microbenchmark** — ``tracemalloc`` peak plus packet-pool
   reuse statistics for one canonical run (the zero-allocation hot path's
-  scoreboard).
+  scoreboard);
+* **result-cache microbenchmark** — the Figure 5 scenario grid run cold
+  (empty cache) and warm (every point a hit) against a throwaway cache
+  directory: wall time, hit rate, and the cold/warm speedup;
+* **chunked-dispatch microbenchmark** — a grid of many very short
+  simulations dispatched one point per pool task versus batched, which
+  isolates the per-task IPC round trip the chunking amortizes.
+
+All timing measurements pin ``cache=False`` so the result cache can
+never serve a point the harness meant to time.
 
 Results are written to ``benchmarks/results/BENCH_runner.json``. The
 ``baseline`` block is *preserved* across reruns — it records the seed
@@ -33,13 +42,22 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 import tracemalloc
 from typing import Dict, List
 
-from repro import ExperimentSpec, run_experiment, run_grid_report
+from repro import (
+    ExperimentSpec,
+    ResultCache,
+    load_scenario,
+    run_experiment,
+    run_grid_report,
+)
 from repro.netsim.packet import PACKET_POOL
 from repro.sim import EventLoop, Timer
+
+SCENARIO_DIR = os.path.join(os.path.dirname(__file__), "scenarios")
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_runner.json")
@@ -111,9 +129,9 @@ def measure_parallel_scaling(duration_s: float, warmup_s: float) -> Dict[str, ob
     # single-core box (where the speedup will honestly be ~1x or below —
     # meta.cpu_count records the hardware this ran on).
     jobs_n = max(2, min(os.cpu_count() or 1, 4))
-    serial = run_grid_report(grid, jobs=1)
+    serial = run_grid_report(grid, jobs=1, cache=False)
     print(f"  jobs=1: {serial.summary_line()}")
-    parallel = run_grid_report(grid, jobs=jobs_n)
+    parallel = run_grid_report(grid, jobs=jobs_n, cache=False)
     print(f"  jobs={jobs_n}: {parallel.summary_line()}")
     speedup = serial.wall_s / parallel.wall_s if parallel.wall_s > 0 else 0.0
     return {
@@ -182,6 +200,74 @@ def measure_timer_churn(quick: bool) -> Dict[str, object]:
     }
 
 
+def measure_result_cache(quick: bool) -> Dict[str, object]:
+    """Cold vs warm wall time for a scenario grid through the result cache.
+
+    Uses a throwaway cache directory so the numbers are honest cold/warm
+    measurements regardless of the developer's real cache state. The
+    full harness runs the Figure 5 grid (the ISSUE's acceptance target:
+    a warm re-run recomputes 0 points and is >= 50x faster); ``--quick``
+    uses the 2-point CI smoke grid.
+    """
+    name = "smoke_2point" if quick else "fig5_pacing_connections"
+    specs = load_scenario(os.path.join(SCENARIO_DIR, f"{name}.json"))
+    with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") as tmp:
+        cache = ResultCache(root=tmp)
+        cold = run_grid_report(specs, cache=cache)
+        warm = run_grid_report(specs, cache=cache)
+    speedup = cold.wall_s / warm.wall_s if warm.wall_s > 0 else float("inf")
+    hit_rate = warm.cache_hits / warm.points if warm.points else 0.0
+    print(f"  {name}: cold {cold.wall_s:.3f}s -> warm {warm.wall_s:.4f}s "
+          f"(x{speedup:,.0f}, {hit_rate:.0%} hits, "
+          f"{warm.total_events} events recomputed)")
+    return {
+        "grid": name,
+        "points": cold.points,
+        "cold_wall_s": round(cold.wall_s, 4),
+        "cold_misses": cold.cache_misses,
+        "warm_wall_s": round(warm.wall_s, 4),
+        "warm_hits": warm.cache_hits,
+        "warm_recomputed_events": warm.total_events,
+        "hit_rate": round(hit_rate, 4),
+        "speedup": round(speedup, 1),
+    }
+
+
+def measure_chunked_dispatch(quick: bool) -> Dict[str, object]:
+    """Chunk=1 vs batched dispatch on a grid of many short simulations.
+
+    The grid is the smoke-2point pair fanned across seeds: each point is
+    a few tens of milliseconds of simulation, so the per-task IPC round
+    trip (pickle, queue, result pickle) is a visible fraction of the
+    cold run — exactly the overhead chunking is meant to amortize.
+    """
+    seeds = range(1, 9) if quick else range(1, 17)
+    specs = [
+        ExperimentSpec(cc=cc, connections=2, duration_s=0.8, warmup_s=0.2,
+                       seed=seed)
+        for seed in seeds
+        for cc in ("bbr", "cubic")
+    ]
+    jobs = max(2, min(os.cpu_count() or 1, 4))
+    chunk = max(2, len(specs) // (jobs * 2))
+    unchunked = run_grid_report(specs, jobs=jobs, chunk=1, cache=False)
+    print(f"  chunk=1: {unchunked.summary_line()}")
+    chunked = run_grid_report(specs, jobs=jobs, chunk=chunk, cache=False)
+    print(f"  chunk={chunk}: {chunked.summary_line()}")
+    improvement = (unchunked.wall_s / chunked.wall_s - 1
+                   if chunked.wall_s > 0 else 0.0)
+    print(f"  chunked dispatch: {improvement:+.1%} wall-clock vs per-point")
+    return {
+        "grid": "smoke pair x seeds",
+        "points": len(specs),
+        "jobs": jobs,
+        "chunk": chunk,
+        "unchunked_wall_s": round(unchunked.wall_s, 4),
+        "chunked_wall_s": round(chunked.wall_s, 4),
+        "improvement": round(improvement, 4),
+    }
+
+
 def measure_allocations(duration_s: float, warmup_s: float) -> Dict[str, object]:
     """tracemalloc peak + packet-pool reuse for one canonical run.
 
@@ -236,6 +322,10 @@ def main(argv=None) -> int:
     churn = measure_timer_churn(args.quick)
     print("allocations (microbenchmark):")
     allocations = measure_allocations(duration_s, warmup_s)
+    print("result cache (microbenchmark):")
+    cache_bench = measure_result_cache(args.quick)
+    print("chunked dispatch (microbenchmark):")
+    chunking = measure_chunked_dispatch(args.quick)
 
     existing: Dict[str, object] = {}
     if os.path.exists(BENCH_PATH):
@@ -250,6 +340,8 @@ def main(argv=None) -> int:
         "microbench": {
             "timer_churn": churn,
             "allocation": allocations,
+            "result_cache": cache_bench,
+            "chunked_dispatch": chunking,
         },
         "meta": {
             "cpu_count": os.cpu_count(),

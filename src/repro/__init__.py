@@ -24,6 +24,7 @@ from .core import (
     PAPER_STRIDES,
     ReplicatedResult,
     StrideRow,
+    canonical_spec_json,
     expand_scenario,
     expand_scenario_dicts,
     expected_throughput_bps,
@@ -33,9 +34,17 @@ from .core import (
     make_cc_factory,
     run_experiment,
     run_replicated,
+    spec_digest,
     spec_from_dict,
     spec_to_dict,
     sweep_strides,
+)
+from .cache import (
+    CacheStats,
+    ResultCache,
+    code_fingerprint,
+    default_cache_dir,
+    resolve_cache,
 )
 from .cc import CC_ALGORITHMS
 from .cpu import EXECUTORS
@@ -64,10 +73,12 @@ from .runner import (
     ExperimentGridError,
     GridPointError,
     GridReport,
+    resolve_chunk,
     resolve_jobs,
     run_grid,
     run_grid_report,
     run_replicated_grid,
+    run_replicated_grid_report,
     run_replicated_parallel,
 )
 from .tcp.pacing import PacingMode
@@ -84,6 +95,13 @@ __all__ = [
     "make_cc_factory",
     "spec_to_dict",
     "spec_from_dict",
+    "canonical_spec_json",
+    "spec_digest",
+    "CacheStats",
+    "ResultCache",
+    "code_fingerprint",
+    "default_cache_dir",
+    "resolve_cache",
     "expand_scenario",
     "expand_scenario_dicts",
     "load_scenario",
@@ -126,9 +144,11 @@ __all__ = [
     "ExperimentGridError",
     "GridPointError",
     "GridReport",
+    "resolve_chunk",
     "resolve_jobs",
     "run_grid",
     "run_grid_report",
     "run_replicated_grid",
+    "run_replicated_grid_report",
     "run_replicated_parallel",
 ]

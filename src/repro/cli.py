@@ -10,15 +10,21 @@ Examples::
     python -m repro grid --scenario benchmarks/scenarios/fig8_stride_sweep.json
     python -m repro compare --connections 20 --config low-end
     python -m repro sweep-strides --config default --connections 20
+    python -m repro cache stats
     python -m repro list
 
 ``run`` executes one experiment (optionally replicated), ``grid``
 expands a declarative scenario file into its full experiment grid,
 ``compare`` races BBR against Cubic on identical settings,
-``sweep-strides`` reproduces a Figure-8 row, and ``list`` shows every
-registered component. All ``choices=`` below come from the component
-registries (:mod:`repro.registry`), so a newly registered algorithm or
-medium is immediately addressable here.
+``sweep-strides`` reproduces a Figure-8 row, ``cache`` inspects or
+clears the on-disk result cache (:mod:`repro.cache`), and ``list``
+shows every registered component. All ``choices=`` below come from the
+component registries (:mod:`repro.registry`), so a newly registered
+algorithm or medium is immediately addressable here.
+
+Experiment commands consult the result cache transparently: repeated
+runs of an unchanged grid are served from disk (the timing line reports
+``cache hits=... misses=...``); ``--no-cache`` forces recomputation.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from . import (
     PROBES,
     PacingMode,
     ReplicatedResult,
+    ResultCache,
     SimProfiler,
     TimeSeries,
     Tracer,
@@ -52,7 +59,7 @@ from . import (
     load_scenario_doc,
     resolve_jobs,
     run_experiment,
-    run_replicated_grid,
+    run_replicated_grid_report,
     sweep_strides,
 )
 from .metrics import RunSet, render_series, render_table
@@ -87,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", "-j", type=int, default=None,
                        help="worker processes for grid/replication fan-out "
                             "(default: $REPRO_JOBS, then CPU count)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="recompute every point instead of consulting "
+                            "the on-disk result cache")
+        p.add_argument("--chunk", type=int, default=None,
+                       help="specs batched per worker task (default: "
+                            "$REPRO_CHUNK, then auto-sized from the grid)")
         p.add_argument("--rate-limit-mbps", type=float, default=None,
                        help="tc rate limit on the router's server port")
         p.add_argument("--buffer-segments", type=int, default=None,
@@ -143,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     grid_p.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes (default: $REPRO_JOBS, "
                              "then CPU count)")
+    grid_p.add_argument("--no-cache", action="store_true",
+                        help="recompute every point instead of consulting "
+                             "the on-disk result cache")
+    grid_p.add_argument("--chunk", type=int, default=None,
+                        help="specs batched per worker task (default: "
+                             "$REPRO_CHUNK, then auto-sized from the grid)")
     grid_p.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
 
@@ -154,6 +173,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sweep_p)
     sweep_p.add_argument("--strides", type=float, nargs="+",
                          default=[1, 2, 5, 10, 20, 50])
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_stats_p = cache_sub.add_parser(
+        "stats", help="entry counts, size, and the current code fingerprint")
+    cache_stats_p.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON")
+    cache_clear_p = cache_sub.add_parser(
+        "clear", help="delete cached results")
+    cache_clear_p.add_argument("--stale", action="store_true",
+                               help="only delete entries from older code "
+                                    "versions (keep the current ones)")
+    cache_sub.add_parser(
+        "path", help="print the cache directory ($REPRO_CACHE_DIR overrides)")
 
     report_p = sub.add_parser(
         "report", help="render probe time series saved by 'run --series-out'")
@@ -218,10 +252,16 @@ def _emit(rows: List[dict], as_json: bool, out) -> None:
     out.write(table + "\n")
 
 
-def _timing_line(aggs, jobs: int, wall_s: float) -> str:
-    """One-line sweep timing summary (points, workers, wall, events/sec)."""
+def _timing_line(aggs, jobs: int, wall_s: float,
+                 events: Optional[int] = None) -> str:
+    """One-line sweep timing summary (points, workers, wall, events/sec).
+
+    *events* overrides the event count (the grid report's total excludes
+    cache hits, so warm re-runs don't report fictitious throughput).
+    """
     points = sum(len(a.runs) for a in aggs)
-    events = sum(r.events_processed for a in aggs for r in a.runs)
+    if events is None:
+        events = sum(r.events_processed for a in aggs for r in a.runs)
     rate = events / wall_s if wall_s > 0 else 0.0
     return (
         f"# points={points} workers={min(jobs, points)} "
@@ -229,13 +269,31 @@ def _timing_line(aggs, jobs: int, wall_s: float) -> str:
     )
 
 
+def _cache_suffix(report) -> str:
+    """Cache/chunk annotations for the timing line (empty when unused)."""
+    suffix = ""
+    if report.chunk > 1:
+        suffix += f" chunk={report.chunk}"
+    if report.cache_used:
+        suffix += (f" cache hits={report.cache_hits} "
+                   f"misses={report.cache_misses}")
+        if report.cache_skipped:
+            suffix += f" skipped={report.cache_skipped}"
+    return suffix
+
+
 def _run_specs(args, specs):
     """Run replicated specs through the parallel runner, with timing."""
     jobs = resolve_jobs(args.jobs)
+    cache = False if getattr(args, "no_cache", False) else None
     start = time.perf_counter()
-    aggs = run_replicated_grid(specs, runs=args.runs, jobs=jobs)
+    aggs, report = run_replicated_grid_report(
+        specs, runs=args.runs, jobs=jobs, cache=cache,
+        chunk=getattr(args, "chunk", None),
+    )
     wall = time.perf_counter() - start
-    return aggs, _timing_line(aggs, jobs, wall)
+    line = _timing_line(aggs, jobs, wall, events=report.total_events)
+    return aggs, line + _cache_suffix(report)
 
 
 def _resolve_probes(names: Optional[List[str]]) -> tuple:
@@ -411,6 +469,26 @@ def _cmd_list(args, out) -> int:
     return 0
 
 
+def _cmd_cache(args, out) -> int:
+    cache = ResultCache()
+    if args.cache_command == "path":
+        out.write(cache.root + "\n")
+        return 0
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.json:
+            json.dump(stats.to_dict(), out, indent=2)
+            out.write("\n")
+        else:
+            out.write(stats.render() + "\n")
+        return 0
+    assert args.cache_command == "clear"
+    removed = cache.clear(stale_only=args.stale)
+    what = "stale cache entries" if args.stale else "cache entries"
+    out.write(f"removed {removed} {what} under {cache.root}\n")
+    return 0
+
+
 def _cmd_compare(args, out) -> int:
     specs = [
         _spec_from_args(args, cc=cc, pacing_stride=args.stride)
@@ -431,7 +509,9 @@ def _cmd_sweep(args, out) -> int:
     spec = _spec_from_args(args, cc="bbr")
     jobs = resolve_jobs(args.jobs)
     start = time.perf_counter()
-    results = sweep_strides(spec, strides=args.strides, runs=args.runs, jobs=jobs)
+    results = sweep_strides(spec, strides=args.strides, runs=args.runs,
+                            jobs=jobs, cache=False if args.no_cache else None,
+                            chunk=args.chunk)
     wall = time.perf_counter() - start
     rows = []
     for stride in args.strides:
@@ -460,6 +540,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_sweep(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     if args.command == "list":
         return _cmd_list(args, out)
     raise AssertionError("unreachable")

@@ -11,10 +11,12 @@ from .experiment import (
     run_replicated,
 )
 from .scenario import (
+    canonical_spec_json,
     expand_scenario,
     expand_scenario_dicts,
     load_scenario,
     load_scenario_doc,
+    spec_digest,
     spec_from_dict,
     spec_to_dict,
 )
@@ -29,6 +31,8 @@ __all__ = [
     "make_cc_factory",
     "spec_to_dict",
     "spec_from_dict",
+    "canonical_spec_json",
+    "spec_digest",
     "expand_scenario",
     "expand_scenario_dicts",
     "load_scenario",

@@ -34,6 +34,7 @@ shell. This module makes the spec a *wire format*:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import fields
@@ -48,6 +49,8 @@ from .experiment import ExperimentSpec
 __all__ = [
     "spec_to_dict",
     "spec_from_dict",
+    "canonical_spec_json",
+    "spec_digest",
     "expand_scenario",
     "expand_scenario_dicts",
     "load_scenario",
@@ -170,6 +173,29 @@ def spec_from_dict(data: Dict[str, Any]) -> ExperimentSpec:
             raise ValueError("probes must be a list of probe names")
         kwargs["probes"] = tuple(probes)
     return ExperimentSpec(**kwargs)
+
+
+def canonical_spec_json(spec: ExperimentSpec) -> str:
+    """The canonical wire-format serialization of *spec*, as one line.
+
+    Key-sorted, separator-minimal JSON over :func:`spec_to_dict`, so two
+    equal specs always produce the same byte string regardless of field
+    declaration order or how the spec was constructed (built in Python,
+    expanded from a scenario file, or round-tripped through a worker).
+    This is the string the result cache (:mod:`repro.cache`) hashes.
+    """
+    return json.dumps(spec_to_dict(spec), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def spec_digest(spec: ExperimentSpec) -> str:
+    """SHA-256 hex digest of :func:`canonical_spec_json`.
+
+    The content address of one experiment: any spec mutation — a seed
+    bump, a different device, an extra probe — changes the digest, and
+    equal specs always share it.
+    """
+    return hashlib.sha256(canonical_spec_json(spec).encode("utf-8")).hexdigest()
 
 
 def expand_scenario_dicts(doc: Dict[str, Any]) -> List[Dict[str, Any]]:

@@ -30,19 +30,25 @@ def sweep_strides(
     strides: Sequence[float] = PAPER_STRIDES,
     runs: int = 3,
     jobs: Optional[int] = None,
+    cache=None,
+    chunk: Optional[int] = None,
 ) -> Dict[float, ReplicatedResult]:
     """Run *spec* at each stride; returns ``{stride: aggregate}``.
 
     Points fan out across *jobs* worker processes (``None`` resolves via
     ``REPRO_JOBS`` / cpu count; see :mod:`repro.runner`); results are
-    deterministic and independent of the worker count.
+    deterministic and independent of the worker count. *cache* and
+    *chunk* pass through to :func:`repro.runner.run_grid_report` (result
+    cache selection and pool batch size).
     """
     from ..runner import run_replicated_grid  # deferred: avoids import cycle
 
     stride_specs = [
         replace(spec, pacing_stride=float(stride)) for stride in strides
     ]
-    aggregates = run_replicated_grid(stride_specs, runs=runs, jobs=jobs)
+    aggregates = run_replicated_grid(
+        stride_specs, runs=runs, jobs=jobs, cache=cache, chunk=chunk
+    )
     return {
         float(stride): agg for stride, agg in zip(strides, aggregates)
     }

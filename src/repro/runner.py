@@ -19,6 +19,21 @@ keeping the three properties the benchmarks rely on:
 3. **Graceful degradation** — ``jobs=1`` (or a platform without working
    multiprocessing) runs the same grid serially in-process.
 
+Two layers sit in front of the pool:
+
+* **Result cache** — by default every point is looked up in the
+  content-addressed on-disk cache (:mod:`repro.cache`) before dispatch;
+  hits short-circuit the simulation entirely and misses are written
+  back, so re-running a figure grid after an unrelated change costs
+  milliseconds instead of minutes. ``cache=False`` (or
+  ``REPRO_CACHE=off``) bypasses it.
+* **Chunked dispatch** — pool tasks carry batches of spec dicts rather
+  than one point each, amortizing the per-task IPC round trip on grids
+  of many short simulations. The chunk size auto-sizes from the grid
+  and worker counts (about :data:`TASKS_PER_WORKER` tasks per worker)
+  and can be pinned via ``REPRO_CHUNK`` or the ``chunk`` argument;
+  ordering and per-point error capture are unaffected.
+
 The worker count comes from, in order: the ``jobs`` argument, the
 ``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
 """
@@ -32,6 +47,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
+from .cache import ResultCache, resolve_cache
 from .core.experiment import (
     ExperimentResult,
     ExperimentSpec,
@@ -46,14 +62,27 @@ __all__ = [
     "GridReport",
     "ExperimentGridError",
     "resolve_jobs",
+    "resolve_chunk",
     "run_grid",
     "run_grid_report",
     "run_replicated_grid",
+    "run_replicated_grid_report",
     "run_replicated_parallel",
 ]
 
 #: environment variable consulted when ``jobs`` is not given explicitly
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: environment variable consulted when ``chunk`` is not given explicitly
+CHUNK_ENV_VAR = "REPRO_CHUNK"
+
+#: auto chunk sizing target: enough tasks for this many rounds of
+#: dynamic load balancing per worker
+TASKS_PER_WORKER = 4
+
+#: auto chunk sizing never batches more points than this per task
+#: (bounds the load-balance penalty when one chunk lands slow points)
+MAX_AUTO_CHUNK = 32
 
 
 @dataclass
@@ -92,9 +121,20 @@ class GridReport:
     #: worker processes actually used (1 = serial path)
     jobs: int
     wall_s: float
-    #: total simulation events dispatched across all points
+    #: simulation events dispatched across all *computed* points (cache
+    #: hits contribute nothing: no simulation ran for them)
     total_events: int
     errors: List[GridPointError] = field(default_factory=list)
+    #: points served from the result cache without running a simulation
+    cache_hits: int = 0
+    #: points computed and written back to the cache
+    cache_misses: int = 0
+    #: points computed but not cacheable (failed points are never cached)
+    cache_skipped: int = 0
+    #: whether a result cache was consulted at all for this grid
+    cache_used: bool = False
+    #: spec batch size per pool task (1 = unchunked / serial path)
+    chunk: int = 1
 
     @property
     def points(self) -> int:
@@ -108,29 +148,89 @@ class GridReport:
 
     def summary_line(self) -> str:
         """One-line human-readable timing summary."""
-        return (
+        line = (
             f"points={self.points} workers={self.jobs} "
             f"wall={self.wall_s:.2f}s events/sec={self.events_per_sec:,.0f}"
-            + (f" errors={len(self.errors)}" if self.errors else "")
         )
+        if self.chunk > 1:
+            line += f" chunk={self.chunk}"
+        if self.cache_used:
+            line += f" cache hits={self.cache_hits} misses={self.cache_misses}"
+            if self.cache_skipped:
+                line += f" skipped={self.cache_skipped}"
+        if self.errors:
+            line += f" errors={len(self.errors)}"
+        return line
+
+
+def _positive_int_env(env_var: str, what: str) -> Optional[int]:
+    """Parse *env_var* as a positive integer (``None`` when unset).
+
+    Raises ``ValueError`` naming the variable on junk values — a bad
+    ``REPRO_JOBS``/``REPRO_CHUNK`` export must fail here, loudly, not as
+    an opaque crash deep inside the process-pool machinery.
+    """
+    env = os.environ.get(env_var, "").strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{env_var} must be a positive integer "
+            f"({what}), got {env!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{env_var} must be a positive integer ({what}), got {env!r}"
+        )
+    return value
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve the worker count: argument > ``REPRO_JOBS`` > cpu_count."""
+    """Resolve the worker count: argument > ``REPRO_JOBS`` > cpu_count.
+
+    Both the argument and the environment variable must be positive
+    integers; anything else raises ``ValueError`` immediately (naming
+    ``REPRO_JOBS`` when the value came from the environment).
+    """
     if jobs is None:
-        env = os.environ.get(JOBS_ENV_VAR, "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
-                ) from None
-        else:
-            jobs = os.cpu_count() or 1
+        env_jobs = _positive_int_env(JOBS_ENV_VAR, "worker process count")
+        return env_jobs if env_jobs is not None else (os.cpu_count() or 1)
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(
+            f"jobs must be an integer, got {type(jobs).__name__} {jobs!r}"
+        )
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def resolve_chunk(
+    chunk: Optional[int] = None, points: int = 0, jobs: int = 1
+) -> int:
+    """Resolve the per-task batch size: argument > ``REPRO_CHUNK`` > auto.
+
+    Auto-sizing splits *points* into about :data:`TASKS_PER_WORKER`
+    tasks per worker (so the pool still load-balances) and never batches
+    more than :data:`MAX_AUTO_CHUNK` points per task. Explicit values
+    must be positive integers.
+    """
+    if chunk is None:
+        env_chunk = _positive_int_env(CHUNK_ENV_VAR, "specs per pool task")
+        if env_chunk is not None:
+            return env_chunk
+        if points <= 0:
+            return 1
+        auto = -(-points // (max(1, jobs) * TASKS_PER_WORKER))  # ceil div
+        return max(1, min(MAX_AUTO_CHUNK, auto))
+    if isinstance(chunk, bool) or not isinstance(chunk, int):
+        raise ValueError(
+            f"chunk must be an integer, got {type(chunk).__name__} {chunk!r}"
+        )
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    return chunk
 
 
 def _run_point(
@@ -165,10 +265,27 @@ def _run_wire_point(
     return _run_point((index, spec_from_dict(payload)))
 
 
+def _run_wire_chunk(
+    batch: List[Tuple[int, dict]],
+) -> List[Tuple[int, Optional[ExperimentResult], Optional[GridPointError]]]:
+    """Worker body for chunked dispatch: one task, many wire points.
+
+    Each point keeps its own try/except (via :func:`_run_wire_point`),
+    so a failing point inside a batch still becomes a per-point
+    :class:`GridPointError` and its batchmates still run.
+    """
+    return [_run_wire_point(item) for item in batch]
+
+
+Outcome = Tuple[int, Optional[ExperimentResult], Optional[GridPointError]]
+
+
 def run_grid_report(
     specs: Sequence[ExperimentSpec],
     jobs: Optional[int] = None,
     raise_on_error: bool = True,
+    cache: Union[None, bool, ResultCache] = None,
+    chunk: Optional[int] = None,
 ) -> GridReport:
     """Run every spec and return results (grid order) plus timing data.
 
@@ -178,40 +295,86 @@ def run_grid_report(
     ``errors``); with *raise_on_error* they are raised as one
     :class:`ExperimentGridError` after the whole grid has run, so a
     sweep always produces every result it can.
+
+    *cache* selects the result cache (see
+    :func:`repro.cache.resolve_cache`): by default every point is looked
+    up before dispatch — hits are returned without running anything and
+    misses are written back after computing. *chunk* sets how many spec
+    dicts ride in each pool task (``None`` = ``REPRO_CHUNK``, then
+    auto-sizing); neither knob changes results, ordering, or error
+    capture.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
-    if specs:
-        jobs = min(jobs, len(specs))
     start = time.perf_counter()
-    outcomes: List[Tuple[int, Optional[ExperimentResult], Optional[GridPointError]]]
-    if jobs == 1 or len(specs) <= 1:
-        jobs = 1
-        outcomes = [_run_point(item) for item in enumerate(specs)]
+
+    store = resolve_cache(cache)
+    slots: List[Optional[Outcome]] = [None] * len(specs)
+    cache_hits = 0
+    pending: List[Tuple[int, ExperimentSpec]]
+    if store is not None:
+        pending = []
+        for i, spec in enumerate(specs):
+            hit = store.get(spec)
+            if hit is not None:
+                slots[i] = (i, hit, None)
+                cache_hits += 1
+            else:
+                pending.append((i, spec))
     else:
+        pending = list(enumerate(specs))
+
+    jobs = min(jobs, len(pending)) if pending else 1
+    chunk_size = 1
+    outcomes: List[Outcome]
+    if jobs == 1 or len(pending) <= 1:
+        jobs = 1
+        outcomes = [_run_point(item) for item in pending]
+    else:
+        chunk_size = resolve_chunk(chunk, points=len(pending), jobs=jobs)
         try:
-            # Workers receive serialized spec dicts, not pickled specs.
-            wire = [(i, spec_to_dict(spec)) for i, spec in enumerate(specs)]
+            # Workers receive serialized spec dicts, not pickled specs,
+            # batched chunk_size to a task to amortize the IPC round trip.
+            wire = [(i, spec_to_dict(spec)) for i, spec in pending]
+            batches = [
+                wire[k : k + chunk_size] for k in range(0, len(wire), chunk_size)
+            ]
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 # map() yields in submission order == grid order.
-                outcomes = list(pool.map(_run_wire_point, wire))
+                outcomes = [
+                    outcome
+                    for batch in pool.map(_run_wire_chunk, batches)
+                    for outcome in batch
+                ]
         except (OSError, NotImplementedError, PermissionError):
             # Platforms without working process pools (restricted
             # sandboxes, missing /dev/shm) fall back to the serial path.
             jobs = 1
-            outcomes = [_run_point(item) for item in enumerate(specs)]
+            chunk_size = 1
+            outcomes = [_run_point(item) for item in pending]
+
+    cache_misses = cache_skipped = 0
+    total_events = 0
+    for index, result, error in outcomes:
+        slots[index] = (index, result, error)
+        if error is None:
+            total_events += result.events_processed
+            if store is not None:
+                store.put(specs[index], result)
+                cache_misses += 1
+        elif store is not None:
+            cache_skipped += 1
     wall = time.perf_counter() - start
 
     results: List[Union[ExperimentResult, GridPointError]] = []
     errors: List[GridPointError] = []
-    total_events = 0
-    for index, result, error in outcomes:
-        assert index == len(results), "grid ordering violated"
+    for i, slot in enumerate(slots):
+        assert slot is not None and slot[0] == i, "grid ordering violated"
+        _, result, error = slot
         if error is not None:
             errors.append(error)
             results.append(error)
         else:
-            total_events += result.events_processed
             results.append(result)
     if errors and raise_on_error:
         raise ExperimentGridError(errors)
@@ -221,6 +384,11 @@ def run_grid_report(
         wall_s=wall,
         total_events=total_events,
         errors=errors,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        cache_skipped=cache_skipped,
+        cache_used=store is not None,
+        chunk=chunk_size,
     )
 
 
@@ -228,9 +396,13 @@ def run_grid(
     specs: Sequence[ExperimentSpec],
     jobs: Optional[int] = None,
     raise_on_error: bool = True,
+    cache: Union[None, bool, ResultCache] = None,
+    chunk: Optional[int] = None,
 ) -> List[Union[ExperimentResult, GridPointError]]:
     """Run every spec (possibly in parallel); results in grid order."""
-    return run_grid_report(specs, jobs=jobs, raise_on_error=raise_on_error).results
+    return run_grid_report(
+        specs, jobs=jobs, raise_on_error=raise_on_error, cache=cache, chunk=chunk
+    ).results
 
 
 def _replication_specs(spec: ExperimentSpec, runs: int) -> List[ExperimentSpec]:
@@ -245,10 +417,40 @@ def _replication_specs(spec: ExperimentSpec, runs: int) -> List[ExperimentSpec]:
     return [replace(spec, seed=spec.seed + 1000 * i) for i in range(runs)]
 
 
+def run_replicated_grid_report(
+    specs: Sequence[ExperimentSpec],
+    runs: int = 3,
+    jobs: Optional[int] = None,
+    cache: Union[None, bool, ResultCache] = None,
+    chunk: Optional[int] = None,
+) -> Tuple[List[ReplicatedResult], GridReport]:
+    """Replicated aggregates plus the underlying flat grid's report.
+
+    The report covers the ``len(specs) * runs`` flat replication points
+    — its cache hit/miss counters and timing are what the CLI surfaces
+    after a sweep.
+    """
+    specs = list(specs)
+    flat: List[ExperimentSpec] = []
+    for spec in specs:
+        flat.extend(_replication_specs(spec, runs))
+    report = run_grid_report(flat, jobs=jobs, cache=cache, chunk=chunk)
+    aggregates: List[ReplicatedResult] = []
+    for i, spec in enumerate(specs):
+        group = report.results[i * runs : (i + 1) * runs]
+        stats = RunSet()
+        for result in group:
+            stats.add_run(result.scalar_metrics())
+        aggregates.append(ReplicatedResult(spec=spec, runs=list(group), stats=stats))
+    return aggregates, report
+
+
 def run_replicated_grid(
     specs: Sequence[ExperimentSpec],
     runs: int = 3,
     jobs: Optional[int] = None,
+    cache: Union[None, bool, ResultCache] = None,
+    chunk: Optional[int] = None,
 ) -> List[ReplicatedResult]:
     """Replicated aggregates for every spec, fanned out at run granularity.
 
@@ -257,25 +459,16 @@ def run_replicated_grid(
     assembled in replication order — exactly what serial
     :func:`run_replicated` produces.
     """
-    specs = list(specs)
-    flat: List[ExperimentSpec] = []
-    for spec in specs:
-        flat.extend(_replication_specs(spec, runs))
-    flat_results = run_grid(flat, jobs=jobs)
-    aggregates: List[ReplicatedResult] = []
-    for i, spec in enumerate(specs):
-        chunk = flat_results[i * runs : (i + 1) * runs]
-        stats = RunSet()
-        for result in chunk:
-            stats.add_run(result.scalar_metrics())
-        aggregates.append(ReplicatedResult(spec=spec, runs=list(chunk), stats=stats))
-    return aggregates
+    return run_replicated_grid_report(
+        specs, runs=runs, jobs=jobs, cache=cache, chunk=chunk
+    )[0]
 
 
 def run_replicated_parallel(
     spec: ExperimentSpec,
     runs: int = 3,
     jobs: Optional[int] = None,
+    cache: Union[None, bool, ResultCache] = None,
 ) -> ReplicatedResult:
     """Parallel drop-in for :func:`repro.core.experiment.run_replicated`."""
-    return run_replicated_grid([spec], runs=runs, jobs=jobs)[0]
+    return run_replicated_grid([spec], runs=runs, jobs=jobs, cache=cache)[0]

@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# The result cache (repro.cache) is on by default, which would let the
+# serial-vs-parallel determinism tests trivially compare cache hits with
+# cache hits — and would write into the developer's real cache while
+# testing. Run the suite cache-off; cache tests opt back in with
+# explicit ResultCache instances in tmp dirs.
+os.environ.setdefault("REPRO_CACHE", "off")
 
 from repro.cpu import FreeExecutor, ZERO_COSTS
 from repro.netsim import ETHERNET_LAN, MediumProfile, NetemConfig, Testbed

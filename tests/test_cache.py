@@ -1,0 +1,324 @@
+"""Tests for the content-addressed result cache (:mod:`repro.cache`).
+
+The load-bearing properties: a hit reproduces the fresh run's metrics
+bit-identically, any spec or code change misses, and the cache can never
+turn a runnable grid into a failing one (corrupt entries and unwritable
+directories degrade to plain recomputation).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import (
+    ExperimentSpec,
+    ResultCache,
+    canonical_spec_json,
+    run_experiment,
+    run_grid_report,
+    spec_digest,
+)
+from repro.cache import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_ENV_VAR,
+    cache_enabled,
+    code_fingerprint,
+    default_cache_dir,
+    resolve_cache,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+def _quick(**overrides) -> ExperimentSpec:
+    defaults = dict(connections=1, duration_s=0.6, warmup_s=0.2)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+# -- addressing -------------------------------------------------------------
+
+
+def test_canonical_json_is_stable_and_key_sorted():
+    spec = _quick(cc="bbr")
+    text = canonical_spec_json(spec)
+    assert text == canonical_spec_json(_quick(cc="bbr"))  # equal specs agree
+    keys = list(json.loads(text))
+    assert keys == sorted(keys)
+
+
+def test_spec_digest_changes_on_any_mutation():
+    base = _quick()
+    assert spec_digest(base) == spec_digest(_quick())
+    for mutated in (
+        _quick(seed=2),
+        _quick(cc="cubic"),
+        _quick(connections=2),
+        _quick(pacing_stride=5.0),
+        _quick(probes=("cwnd",)),
+    ):
+        assert spec_digest(mutated) != spec_digest(base)
+
+
+def test_code_fingerprint_is_memoized_hex():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    assert len(fp) == 64
+    int(fp, 16)  # valid hex
+
+
+# -- result serialization ---------------------------------------------------
+
+
+def test_result_round_trip_is_bit_identical():
+    result = run_experiment(_quick(cc="bbr"))
+    rebuilt = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+    assert rebuilt.spec == result.spec
+    assert rebuilt.scalar_metrics() == result.scalar_metrics()
+    assert rebuilt.per_flow_goodput_mbps == result.per_flow_goodput_mbps
+    # ints must survive as ints, not floats
+    assert isinstance(rebuilt.events_processed, int)
+    assert isinstance(rebuilt.retransmitted_segments, int)
+
+
+def test_result_round_trip_preserves_timeseries():
+    result = run_experiment(_quick(cc="bbr", probes=("cwnd", "bbr_state")))
+    rebuilt = result_from_dict(result_to_dict(result))
+    assert sorted(rebuilt.timeseries) == sorted(result.timeseries)
+    for name, ts in result.timeseries.items():
+        back = rebuilt.timeseries[name]
+        assert back.t_ns == ts.t_ns
+        assert back.values == ts.values
+        assert back.labels == ts.labels
+        assert back.unit == ts.unit
+
+
+def test_result_from_dict_rejects_schema_mismatch():
+    payload = result_to_dict(run_experiment(_quick()))
+    payload["metrics"].pop("goodput_mbps")
+    with pytest.raises(ValueError, match="schema"):
+        result_from_dict(payload)
+
+
+# -- cache store ------------------------------------------------------------
+
+
+def test_cache_hit_returns_bit_identical_metrics(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    spec = _quick(cc="bbr")
+    assert cache.get(spec) is None
+    fresh = run_experiment(spec)
+    assert cache.put(spec, fresh)
+    hit = cache.get(spec)
+    assert hit is not None
+    assert hit.spec == spec
+    assert json.dumps(hit.scalar_metrics(), sort_keys=True) == \
+        json.dumps(fresh.scalar_metrics(), sort_keys=True)
+    assert hit.per_flow_goodput_mbps == fresh.per_flow_goodput_mbps
+
+
+def test_cache_invalidated_by_spec_mutation(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    spec = _quick(seed=1)
+    cache.put(spec, run_experiment(spec))
+    assert cache.get(spec) is not None
+    assert cache.get(_quick(seed=2)) is None
+    assert cache.get(_quick(seed=1, cc="cubic")) is None
+
+
+def test_cache_invalidated_by_code_fingerprint_change(tmp_path):
+    spec = _quick()
+    old = ResultCache(root=str(tmp_path), fingerprint="a" * 64)
+    old.put(spec, run_experiment(spec))
+    assert old.get(spec) is not None
+    new = ResultCache(root=str(tmp_path), fingerprint="b" * 64)
+    assert new.get(spec) is None  # other code version: miss
+    stats = new.stats()
+    assert stats.current_entries == 0
+    assert stats.stale_entries == 1
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    spec = _quick()
+    cache.put(spec, run_experiment(spec))
+    with open(cache.entry_path(spec), "w") as fh:
+        fh.write("{not json")
+    assert cache.get(spec) is None
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    spec = _quick()
+    cache.put(spec, run_experiment(spec))
+    names = os.listdir(cache.version_dir)
+    assert names == [spec_digest(spec) + ".json"]
+
+
+def test_put_failure_is_swallowed(tmp_path):
+    # A root that is a *file* makes every directory operation fail.
+    blocker = tmp_path / "blocked"
+    blocker.write_text("")
+    cache = ResultCache(root=str(blocker))
+    spec = _quick()
+    assert cache.put(spec, run_experiment(spec)) is False
+    assert cache.get(spec) is None
+
+
+def test_clear_and_stats(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    stale = ResultCache(root=str(tmp_path), fingerprint="c" * 64)
+    result = run_experiment(_quick())
+    cache.put(_quick(), result)
+    cache.put(_quick(seed=9), run_experiment(_quick(seed=9)))
+    stale.put(_quick(), result)
+    stats = cache.stats()
+    assert stats.current_entries == 2
+    assert stats.stale_entries == 1
+    assert stats.versions == 2
+    assert stats.size_bytes > 0
+    assert cache.clear(stale_only=True) == 1
+    assert cache.stats().current_entries == 2
+    assert cache.clear() == 2
+    empty = cache.stats()
+    assert empty.entries == 0 and empty.versions == 0
+
+
+# -- env resolution ---------------------------------------------------------
+
+
+def test_default_cache_dir_env_override(monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, "/tmp/somewhere-else")
+    assert default_cache_dir() == "/tmp/somewhere-else"
+    monkeypatch.delenv(CACHE_DIR_ENV_VAR)
+    assert default_cache_dir().endswith(os.path.join(".cache", "repro-bbr"))
+
+
+@pytest.mark.parametrize("value,enabled", [
+    ("off", False), ("0", False), ("no", False), ("FALSE", False),
+    ("", True), ("on", True), ("1", True),
+])
+def test_cache_enabled_env_values(monkeypatch, value, enabled):
+    monkeypatch.setenv(CACHE_ENV_VAR, value)
+    assert cache_enabled() is enabled
+
+
+def test_resolve_cache_contract(monkeypatch, tmp_path):
+    explicit = ResultCache(root=str(tmp_path))
+    monkeypatch.setenv(CACHE_ENV_VAR, "off")
+    assert resolve_cache(None) is None          # env disables the default
+    assert resolve_cache(False) is None
+    assert resolve_cache(explicit) is explicit  # explicit store always wins
+    assert resolve_cache(True) is not None      # True overrides the env
+    monkeypatch.setenv(CACHE_ENV_VAR, "on")
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "default"))
+    resolved = resolve_cache(None)
+    assert resolved is not None
+    assert resolved.root == str(tmp_path / "default")
+
+
+# -- grid integration -------------------------------------------------------
+
+
+def _grid():
+    return [_quick(cc=cc, seed=s) for cc in ("bbr", "cubic") for s in (1, 2)]
+
+
+def test_grid_cold_then_warm_counters_and_metrics(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    specs = _grid()
+    cold = run_grid_report(specs, jobs=2, cache=cache)
+    assert cold.cache_used
+    assert (cold.cache_hits, cold.cache_misses) == (0, len(specs))
+    warm = run_grid_report(specs, jobs=2, cache=cache)
+    assert (warm.cache_hits, warm.cache_misses) == (len(specs), 0)
+    assert warm.total_events == 0  # nothing was recomputed
+    assert "cache hits=4 misses=0" in warm.summary_line()
+    cold_metrics = [r.scalar_metrics() for r in cold.results]
+    warm_metrics = [r.scalar_metrics() for r in warm.results]
+    assert json.dumps(cold_metrics, sort_keys=True) == \
+        json.dumps(warm_metrics, sort_keys=True)
+    assert [r.spec for r in warm.results] == specs
+
+
+def test_grid_partial_warm_recomputes_only_new_points(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    specs = _grid()
+    run_grid_report(specs[:2], jobs=1, cache=cache)
+    mixed = run_grid_report(specs, jobs=2, cache=cache)
+    assert (mixed.cache_hits, mixed.cache_misses) == (2, 2)
+    assert [r.spec for r in mixed.results] == specs
+
+
+def test_grid_cache_false_bypasses_store(tmp_path):
+    cache_dir = tmp_path / "cache"
+    specs = _grid()[:2]
+    report = run_grid_report(specs, jobs=1, cache=False)
+    assert not report.cache_used
+    assert report.cache_hits == report.cache_misses == 0
+    assert "cache" not in report.summary_line()
+    assert not cache_dir.exists()
+
+
+def test_grid_error_points_are_never_cached(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    bad = ExperimentSpec(duration_s=0.5, warmup_s=1.0)  # warmup >= duration
+    report = run_grid_report([_quick(), bad], jobs=1, cache=cache,
+                             raise_on_error=False)
+    assert (report.cache_hits, report.cache_misses, report.cache_skipped) == \
+        (0, 1, 1)
+    assert not os.path.exists(cache.entry_path(bad))
+    again = run_grid_report([_quick(), bad], jobs=1, cache=cache,
+                            raise_on_error=False)
+    assert (again.cache_hits, again.cache_skipped) == (1, 1)
+
+
+def test_cli_no_cache_flag_writes_nothing(monkeypatch, tmp_path):
+    import io
+
+    from repro.cli import main
+
+    cache_dir = tmp_path / "cli-cache"
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(cache_dir))
+    monkeypatch.setenv(CACHE_ENV_VAR, "on")
+    args = ["run", "--cc", "bbr", "--connections", "1",
+            "--duration", "0.6", "--warmup", "0.2"]
+    out = io.StringIO()
+    assert main(args + ["--no-cache"], out=out) == 0
+    assert not cache_dir.exists()
+    assert "cache" not in out.getvalue()
+    out = io.StringIO()
+    assert main(args, out=out) == 0  # cached path does write
+    assert cache_dir.exists()
+    assert "cache hits=0 misses=1" in out.getvalue()
+    out = io.StringIO()
+    assert main(args, out=out) == 0
+    assert "cache hits=1 misses=0" in out.getvalue()
+
+
+def test_cli_cache_stats_clear_path(monkeypatch, tmp_path):
+    import io
+
+    from repro.cli import main
+
+    cache_dir = tmp_path / "cli-cache"
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(cache_dir))
+    monkeypatch.setenv(CACHE_ENV_VAR, "on")
+    out = io.StringIO()
+    assert main(["run", "--cc", "bbr", "--connections", "1",
+                 "--duration", "0.6", "--warmup", "0.2"], out=out) == 0
+    out = io.StringIO()
+    assert main(["cache", "path"], out=out) == 0
+    assert out.getvalue().strip() == str(cache_dir)
+    out = io.StringIO()
+    assert main(["cache", "stats", "--json"], out=out) == 0
+    stats = json.loads(out.getvalue())
+    assert stats["current_entries"] == 1
+    assert stats["fingerprint"] == code_fingerprint()
+    out = io.StringIO()
+    assert main(["cache", "clear"], out=out) == 0
+    assert "removed 1 cache entries" in out.getvalue()
+    out = io.StringIO()
+    assert main(["cache", "stats", "--json"], out=out) == 0
+    assert json.loads(out.getvalue())["entries"] == 0

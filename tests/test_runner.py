@@ -11,6 +11,7 @@ from repro import (
     ExperimentGridError,
     ExperimentSpec,
     GridPointError,
+    resolve_chunk,
     resolve_jobs,
     run_grid,
     run_grid_report,
@@ -18,7 +19,13 @@ from repro import (
     run_replicated_grid,
     run_replicated_parallel,
 )
-from repro.runner import JOBS_ENV_VAR, _replication_specs
+from repro.runner import (
+    CHUNK_ENV_VAR,
+    JOBS_ENV_VAR,
+    MAX_AUTO_CHUNK,
+    TASKS_PER_WORKER,
+    _replication_specs,
+)
 
 
 def _quick(**overrides) -> ExperimentSpec:
@@ -102,6 +109,87 @@ def test_failing_point_raises_after_grid_completes():
     assert excinfo.value.errors[0].index == 1
 
 
+# -- chunked dispatch -------------------------------------------------------
+
+
+def _chunk_grid():
+    specs = [_quick(cc="bbr", seed=s) for s in range(1, 6)]
+    bad = ExperimentSpec(duration_s=0.5, warmup_s=1.0)  # warmup >= duration
+    specs.insert(2, bad)
+    return specs, 2
+
+
+def test_chunked_matches_unchunked_ordering_and_errors():
+    specs, bad_index = _chunk_grid()
+    unchunked = run_grid_report(specs, jobs=3, chunk=1, raise_on_error=False)
+    chunked = run_grid_report(specs, jobs=3, chunk=2, raise_on_error=False)
+    assert unchunked.chunk == 1 and chunked.chunk == 2
+    assert len(unchunked.results) == len(chunked.results) == len(specs)
+    for i, (u, c) in enumerate(zip(unchunked.results, chunked.results)):
+        if i == bad_index:
+            assert isinstance(u, GridPointError)
+            assert isinstance(c, GridPointError)
+            assert c.index == bad_index and c.spec == specs[bad_index]
+            assert "warmup must be shorter" in c.traceback
+        else:
+            assert u.spec == c.spec == specs[i]
+            assert u.scalar_metrics() == c.scalar_metrics()
+
+
+def test_oversized_chunk_batches_whole_grid_into_one_task():
+    specs = [_quick(cc=cc) for cc in ("bbr", "cubic")]
+    report = run_grid_report(specs, jobs=2, chunk=64)
+    assert report.chunk == 64
+    assert [r.spec for r in report.results] == specs
+
+
+def test_chunk_summary_line():
+    specs = [_quick(cc="bbr", seed=s) for s in range(1, 5)]
+    report = run_grid_report(specs, jobs=2, chunk=2)
+    assert "chunk=2" in report.summary_line()
+
+
+# -- chunk resolution -------------------------------------------------------
+
+
+def test_resolve_chunk_explicit_wins(monkeypatch):
+    monkeypatch.setenv(CHUNK_ENV_VAR, "7")
+    assert resolve_chunk(3, points=100, jobs=2) == 3
+
+
+def test_resolve_chunk_env_var(monkeypatch):
+    monkeypatch.setenv(CHUNK_ENV_VAR, "5")
+    assert resolve_chunk(points=100, jobs=2) == 5
+
+
+def test_resolve_chunk_auto_sizing(monkeypatch):
+    monkeypatch.delenv(CHUNK_ENV_VAR, raising=False)
+    assert resolve_chunk(points=0, jobs=4) == 1
+    assert resolve_chunk(points=8, jobs=4) == 1
+    # 100 points on 2 workers: ceil(100 / (2 * TASKS_PER_WORKER))
+    expected = -(-100 // (2 * TASKS_PER_WORKER))
+    assert resolve_chunk(points=100, jobs=2) == expected
+    assert resolve_chunk(points=100_000, jobs=2) == MAX_AUTO_CHUNK
+
+
+@pytest.mark.parametrize("env", ["0", "-1", "2.5", "many"])
+def test_resolve_chunk_bad_env(monkeypatch, env):
+    monkeypatch.setenv(CHUNK_ENV_VAR, env)
+    with pytest.raises(ValueError, match="REPRO_CHUNK"):
+        resolve_chunk(points=10, jobs=2)
+
+
+def test_resolve_chunk_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        resolve_chunk(0)
+    with pytest.raises(ValueError):
+        resolve_chunk(-3)
+    with pytest.raises(ValueError):
+        resolve_chunk(2.5)
+    with pytest.raises(ValueError):
+        resolve_chunk(True)
+
+
 # -- jobs resolution / fallback ---------------------------------------------
 
 
@@ -115,8 +203,11 @@ def test_resolve_jobs_env_var(monkeypatch):
     assert resolve_jobs() == 5
 
 
-def test_resolve_jobs_bad_env(monkeypatch):
-    monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+@pytest.mark.parametrize("env", ["lots", "2.5", "0", "-4"])
+def test_resolve_jobs_bad_env(monkeypatch, env):
+    """Junk REPRO_JOBS fails fast, naming the variable — not deep in the
+    executor."""
+    monkeypatch.setenv(JOBS_ENV_VAR, env)
     with pytest.raises(ValueError, match="REPRO_JOBS"):
         resolve_jobs()
 
@@ -124,6 +215,15 @@ def test_resolve_jobs_bad_env(monkeypatch):
 def test_resolve_jobs_rejects_nonpositive():
     with pytest.raises(ValueError):
         resolve_jobs(0)
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+def test_resolve_jobs_rejects_non_integers():
+    with pytest.raises(ValueError, match="integer"):
+        resolve_jobs(2.5)
+    with pytest.raises(ValueError, match="integer"):
+        resolve_jobs(True)
 
 
 def test_report_serial_fallback_for_single_point():
