@@ -48,12 +48,16 @@ import tracemalloc
 from typing import Dict, List
 
 from repro import (
+    KERNELS,
     ExperimentSpec,
     ResultCache,
+    kernel_info,
     load_scenario,
+    resolve_kernel,
     run_experiment,
     run_grid_report,
 )
+from repro.kernel import KERNEL_ENV_VAR
 from repro.netsim.packet import PACKET_POOL
 from repro.sim import EventLoop, Timer
 
@@ -123,12 +127,20 @@ def measure_single_runs(duration_s: float, warmup_s: float) -> Dict[str, Dict[st
 
 
 def measure_parallel_scaling(duration_s: float, warmup_s: float) -> Dict[str, object]:
-    """Fig. 2 Low-End grid wall-clock at jobs=1 vs jobs=N."""
+    """Fig. 2 Low-End grid wall-clock at jobs=1 vs jobs=N.
+
+    On a single-core box this section is skipped entirely: a jobs=N
+    measurement there reports pure process-pool overhead (speedup < 1x),
+    which reads like a regression when it is really a statement about
+    the hardware. The skip is recorded so the JSON says *why* the
+    numbers are absent. ``--check-regression`` never gates on this
+    section either way — only the single-run points are budgeted.
+    """
+    if (os.cpu_count() or 1) < 2:
+        print("  skipped: single core")
+        return {"skipped_reason": "single core"}
     grid = fig2_lowend_grid(duration_s, warmup_s)
-    # At least 2 so the process-pool path is always exercised, even on a
-    # single-core box (where the speedup will honestly be ~1x or below —
-    # meta.cpu_count records the hardware this ran on).
-    jobs_n = max(2, min(os.cpu_count() or 1, 4))
+    jobs_n = min(os.cpu_count(), 4)
     serial = run_grid_report(grid, jobs=1, cache=False)
     print(f"  jobs=1: {serial.summary_line()}")
     parallel = run_grid_report(grid, jobs=jobs_n, cache=False)
@@ -314,8 +326,29 @@ def main(argv=None) -> int:
     duration_s, warmup_s = (0.8, 0.2) if args.quick else (2.0, 0.5)
     write = args.write if args.write is not None else not args.quick
 
-    print("single-run speed (best of %d):" % REPEATS)
+    active_kernel = resolve_kernel()
+    print("single-run speed (best of %d, kernel=%s):"
+          % (REPEATS, active_kernel.describe()))
     current = measure_single_runs(duration_s, warmup_s)
+
+    # When the compiled kernel is built and the regular numbers above ran
+    # pure, measure the compiled backend too: the baseline comparison
+    # stays like-for-like while the JSON still records what the fast
+    # kernel does on this hardware.
+    current_compiled = None
+    compiled_kernel = KERNELS.get("compiled")
+    if active_kernel.name != "compiled" and compiled_kernel.available:
+        print("single-run speed (kernel=%s):" % compiled_kernel.describe())
+        prev = os.environ.get(KERNEL_ENV_VAR)
+        os.environ[KERNEL_ENV_VAR] = "compiled"
+        try:
+            current_compiled = measure_single_runs(duration_s, warmup_s)
+        finally:
+            if prev is None:
+                os.environ.pop(KERNEL_ENV_VAR, None)
+            else:
+                os.environ[KERNEL_ENV_VAR] = prev
+
     print("parallel scaling:")
     scaling = measure_parallel_scaling(duration_s, warmup_s)
     print("timer churn (microbenchmark):")
@@ -347,8 +380,13 @@ def main(argv=None) -> int:
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "quick": bool(args.quick),
+            #: the backend the ``current`` block was measured with
+            "kernel": kernel_info(active_kernel),
         },
     }
+    if current_compiled is not None:
+        payload["current_compiled"] = current_compiled
+        payload["meta"]["kernel_compiled"] = kernel_info(compiled_kernel)
     if write:
         os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
         with open(args.output, "w") as f:

@@ -4,8 +4,68 @@ The offline environment this project targets has no ``wheel`` package, so
 PEP 660 editable builds (which require building a wheel) are unavailable;
 ``pip install -e .`` falls back to ``setup.py develop`` through this
 shim. All metadata lives in pyproject.toml.
+
+The compiled simulation kernel (``repro._ckernel``) is an *optional* C
+extension: if no C toolchain (or no CPython headers) is available the
+build quietly degrades to the pure-python kernel, which is the behavioral
+reference. Control via the ``REPRO_BUILD_CKERNEL`` environment variable:
+
+    REPRO_BUILD_CKERNEL=0        never attempt the C build
+    REPRO_BUILD_CKERNEL=require  fail the install if the C build fails
+    (unset / anything else)      try to build, fall back to pure on error
+
+Build in place for a source checkout with::
+
+    python setup.py build_ext --inplace
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """Build the C kernel if possible; otherwise install pure-python.
+
+    ``repro.kernel`` copes with the extension being absent at import
+    time, so swallowing the compile failure here leaves a fully working
+    (just slower) installation.
+    """
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # compiler missing, headers missing, ...
+            self._fall_back(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            self._fall_back(exc)
+
+    @staticmethod
+    def _fall_back(exc):
+        if os.environ.get("REPRO_BUILD_CKERNEL") == "require":
+            raise
+        print(
+            "repro: could not build the compiled simulation kernel "
+            f"({exc!r}); falling back to the pure-python kernel"
+        )
+
+
+if os.environ.get("REPRO_BUILD_CKERNEL") == "0":
+    ext_modules = []
+    cmdclass = {}
+else:
+    ext_modules = [
+        Extension(
+            "repro._ckernel",
+            sources=["src/repro/_ckernel.c"],
+            extra_compile_args=["-O2"],
+        )
+    ]
+    cmdclass = {"build_ext": OptionalBuildExt}
+
+setup(ext_modules=ext_modules, cmdclass=cmdclass)

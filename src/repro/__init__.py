@@ -44,8 +44,10 @@ from .cache import (
     ResultCache,
     code_fingerprint,
     default_cache_dir,
+    kernel_fingerprint,
     resolve_cache,
 )
+from .kernel import KERNELS, kernel_info, resolve_kernel
 from .cc import CC_ALGORITHMS
 from .cpu import EXECUTORS
 from .devices import CPU_CONFIGS, DEVICES, PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
@@ -101,7 +103,11 @@ __all__ = [
     "ResultCache",
     "code_fingerprint",
     "default_cache_dir",
+    "kernel_fingerprint",
     "resolve_cache",
+    "KERNELS",
+    "kernel_info",
+    "resolve_kernel",
     "expand_scenario",
     "expand_scenario_dicts",
     "load_scenario",

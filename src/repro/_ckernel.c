@@ -1,0 +1,2282 @@
+/* Compiled simulation-kernel backend (the `compiled` entry of
+ * repro.kernel.KERNELS).
+ *
+ * This extension re-implements the simulator's mechanical hot core —
+ * EventLoop/Event, WorkItem/CpuCore, Timer, Link, DropTailQueue — as C
+ * types that are drop-in constructor-compatible with their pure-python
+ * counterparts. The pure modules remain the bit-identical determinism
+ * reference (see DESIGN.md "Simulation kernel"); this file must never
+ * change observable behaviour, only wall-clock cost.
+ *
+ * Determinism contract (mirrors repro.sim.engine):
+ *   1. time is an integer nanosecond counter (int64 here; values in
+ *      every supported workload fit comfortably),
+ *   2. events fire in (when, seq) order where seq is a single shared
+ *      insertion counter — every scheduling site, Python-visible or
+ *      internal, consumes exactly one seq at the same logical point as
+ *      the pure code, so tie-breaks are identical,
+ *   3. float arithmetic is IEEE-754 double in both interpreters: the C
+ *      expressions are transcribed verbatim from the pure modules
+ *      (Python round() == C nearbyint() under the default half-even
+ *      rounding mode; Python int() truncation == C double->int64 cast
+ *      for the non-negative values used here).
+ *
+ * Unlike the pure loop there is no timer wheel: a single binary heap
+ * with lazy deletion gives the same total (when, seq) order (the wheel
+ * is a routing optimization, not an ordering feature), and C heap ops
+ * are cheap enough that bucketing would only add constant factors.
+ *
+ * Internal event kinds (CPU completion, link/queue tx-done, timer fire,
+ * one-arg calls) carry no Python Event object and no args tuple — the
+ * heap entry itself is the schedule record — which is where most of the
+ * speedup over interpreted dispatch comes from.
+ *
+ * Tracing/profiling are pure-kernel features: constructors reject
+ * enabled tracers and EventLoop.set_profiler raises, pointing at
+ * `--kernel pure` (repro.core.experiment falls back automatically).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <math.h>
+#include <stdint.h>
+#include "structmember.h"
+
+#define NS_PER_SEC 1000000000LL
+
+/* ---------------------------------------------------------------- types */
+
+typedef struct CLoop CLoop;
+typedef struct CEvent CEvent;
+typedef struct CTimer CTimer;
+typedef struct CWorkItem CWorkItem;
+typedef struct CCore CCore;
+typedef struct CLink CLink;
+typedef struct CQueue CQueue;
+
+enum {
+    KIND_PY = 0,     /* a = CEvent (owns callback/args)                  */
+    KIND_CPU = 1,    /* a = CCore, b = CWorkItem                         */
+    KIND_LINK = 2,   /* a = CLink, b = Packet                            */
+    KIND_QTX = 3,    /* a = CQueue                                       */
+    KIND_TIMER = 4,  /* a = CTimer, tag = arming generation              */
+    KIND_CALL1 = 5,  /* a = callable, b = single argument                */
+};
+
+typedef struct {
+    int64_t when;
+    int64_t seq;
+    int64_t tag;
+    int kind;
+    PyObject *a;  /* owned */
+    PyObject *b;  /* owned or NULL */
+} HeapEntry;
+
+struct CLoop {
+    PyObject_HEAD
+    HeapEntry *heap;
+    Py_ssize_t heap_len;
+    Py_ssize_t heap_cap;
+    int64_t now;
+    int64_t seq;
+    int64_t events_processed;
+    int64_t cancelled_in_heap;
+    int64_t compactions;
+    int running;
+    int stopped;
+    PyObject *context;   /* dict */
+    PyObject *profiler;  /* always None (set_profiler(None) is allowed) */
+};
+
+struct CEvent {
+    PyObject_HEAD
+    int64_t when;
+    int64_t seq;
+    PyObject *callback;
+    PyObject *args;  /* tuple */
+    CLoop *loop;     /* owned */
+    char cancelled;
+    char fired;
+};
+
+struct CTimer {
+    PyObject_HEAD
+    CLoop *loop;        /* owned */
+    PyObject *callback;
+    PyObject *name;
+    int64_t slack;
+    int64_t fire_count;
+    int64_t gen;        /* bumped every (re-)arm; heap entries carry the
+                           generation they were armed with */
+    int64_t when;
+    int armed;
+};
+
+struct CWorkItem {
+    PyObject_HEAD
+    int64_t cycles;
+    PyObject *callback;
+    PyObject *name;
+    int priority;
+    int64_t submitted_at;
+    int64_t started_at;
+    int has_submitted;
+    int has_started;
+};
+
+struct CCore {
+    PyObject_HEAD
+    CLoop *loop;       /* owned */
+    double freq_hz;
+    PyObject *name;
+    /* two circular buffers of owned CWorkItem refs */
+    PyObject **q;
+    Py_ssize_t q_head, q_len, q_cap;
+    PyObject **hq;
+    Py_ssize_t hq_head, hq_len, hq_cap;
+    PyObject *current;  /* owned CWorkItem or NULL */
+    int64_t busy_ns_total;
+    int64_t items_executed;
+    int64_t cycles_executed;
+    int64_t max_queue_depth;
+    int64_t busy_since;
+    int has_busy_since;
+};
+
+struct CLink {
+    PyObject_HEAD
+    CLoop *loop;      /* owned */
+    double rate_bps;
+    int64_t prop_delay_ns;
+    PyObject *name;
+    PyObject *sink;   /* owned or NULL (exposed as None) */
+    /* circular buffer of owned Packet refs */
+    PyObject **fifo;
+    Py_ssize_t f_head, f_len, f_cap;
+    int transmitting;
+    int64_t packets_sent;
+    int64_t bytes_sent;
+    int64_t busy_ns;
+};
+
+struct CQueue {
+    PyObject_HEAD
+    CLoop *loop;          /* owned */
+    PyObject *link;       /* owned; CLink fast path or any Link-alike */
+    PyObject *input_link; /* owned or NULL (exposed as None) */
+    int64_t capacity_segments;
+    PyObject *name;
+    PyObject *on_drop;    /* owned or NULL (exposed as None) */
+    PyObject **fifo;
+    Py_ssize_t f_head, f_len, f_cap;
+    int64_t backlog_segments;
+    int link_busy;
+    int64_t enqueued_segments;
+    int64_t dropped_segments;
+    int64_t dropped_packets;
+    int64_t max_backlog_segments;
+    double backlog_sum_segments;
+    int64_t backlog_samples;
+};
+
+static PyTypeObject CLoop_Type;
+static PyTypeObject CEvent_Type;
+static PyTypeObject CTimer_Type;
+static PyTypeObject CWorkItem_Type;
+static PyTypeObject CCore_Type;
+static PyTypeObject CLink_Type;
+static PyTypeObject CQueue_Type;
+
+/* interned attribute names for the Python-object interop paths */
+static PyObject *s_wire_bytes, *s_segments, *s_is_ack, *s_split_head,
+    *s_rate_bps, *s_enabled, *s_send, *s_serialization_ns;
+
+/* ------------------------------------------------------------- helpers */
+
+static PyObject *
+sim_error(void)
+{
+    /* repro.sim.engine.SimulationError, fetched lazily so the compiled
+     * and pure kernels raise the exact same exception class. */
+    static PyObject *exc = NULL;
+    if (exc == NULL) {
+        PyObject *mod = PyImport_ImportModule("repro.sim.engine");
+        if (mod != NULL) {
+            exc = PyObject_GetAttrString(mod, "SimulationError");
+            Py_DECREF(mod);
+        }
+        if (exc == NULL) {
+            PyErr_Clear();
+            exc = PyExc_RuntimeError;
+            Py_INCREF(exc);
+        }
+    }
+    return exc;
+}
+
+static int
+as_i64(PyObject *obj, int64_t *out)
+{
+    PyObject *idx = PyNumber_Index(obj);
+    if (idx == NULL)
+        return -1;
+    long long v = PyLong_AsLongLong(idx);
+    Py_DECREF(idx);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    *out = (int64_t)v;
+    return 0;
+}
+
+static int
+tracer_is_enabled(PyObject *tracer)
+{
+    /* Truthiness of tracer.enabled; a missing attribute counts as off. */
+    if (tracer == NULL || tracer == Py_None)
+        return 0;
+    PyObject *en = PyObject_GetAttr(tracer, s_enabled);
+    if (en == NULL) {
+        PyErr_Clear();
+        return 0;
+    }
+    int truthy = PyObject_IsTrue(en);
+    Py_DECREF(en);
+    return truthy > 0;
+}
+
+static int
+reject_enabled_tracer(PyObject *tracer, const char *what)
+{
+    if (tracer_is_enabled(tracer)) {
+        PyErr_Format(PyExc_ValueError,
+                     "compiled %s does not support an enabled tracer; "
+                     "run with --kernel pure (REPRO_KERNEL=pure) for "
+                     "instrumented runs", what);
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------ heap machinery */
+
+static inline int
+entry_lt(const HeapEntry *x, const HeapEntry *y)
+{
+    if (x->when != y->when)
+        return x->when < y->when;
+    return x->seq < y->seq;
+}
+
+static int
+entry_live(const HeapEntry *e)
+{
+    switch (e->kind) {
+    case KIND_PY:
+        return !((CEvent *)e->a)->cancelled;
+    case KIND_TIMER: {
+        CTimer *t = (CTimer *)e->a;
+        return t->armed && t->gen == e->tag;
+    }
+    default:
+        return 1;
+    }
+}
+
+static void
+entry_release(HeapEntry *e)
+{
+    Py_XDECREF(e->a);
+    Py_XDECREF(e->b);
+    e->a = e->b = NULL;
+}
+
+static int
+heap_reserve(CLoop *self, Py_ssize_t need)
+{
+    if (need <= self->heap_cap)
+        return 0;
+    Py_ssize_t cap = self->heap_cap ? self->heap_cap : 64;
+    while (cap < need)
+        cap *= 2;
+    HeapEntry *mem = PyMem_Realloc(self->heap, cap * sizeof(HeapEntry));
+    if (mem == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = mem;
+    self->heap_cap = cap;
+    return 0;
+}
+
+/* push an entry; steals the references held in *e */
+static int
+heap_push(CLoop *self, HeapEntry *e)
+{
+    if (heap_reserve(self, self->heap_len + 1) < 0) {
+        entry_release(e);
+        return -1;
+    }
+    HeapEntry *h = self->heap;
+    Py_ssize_t pos = self->heap_len++;
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!entry_lt(e, &h[parent]))
+            break;
+        h[pos] = h[parent];
+        pos = parent;
+    }
+    h[pos] = *e;
+    return 0;
+}
+
+/* pop the minimum into *out (caller owns its references) */
+static void
+heap_pop(CLoop *self, HeapEntry *out)
+{
+    HeapEntry *h = self->heap;
+    *out = h[0];
+    Py_ssize_t n = --self->heap_len;
+    if (n == 0)
+        return;
+    HeapEntry last = h[n];
+    Py_ssize_t pos = 0;
+    Py_ssize_t child;
+    while ((child = 2 * pos + 1) < n) {
+        if (child + 1 < n && entry_lt(&h[child + 1], &h[child]))
+            child += 1;
+        if (!entry_lt(&h[child], &last))
+            break;
+        h[pos] = h[child];
+        pos = child;
+    }
+    h[pos] = last;
+}
+
+/* discard a dead head entry, settling the lazy-deletion debt */
+static void
+heap_pop_dead(CLoop *self)
+{
+    HeapEntry e;
+    heap_pop(self, &e);
+    if (e.kind == KIND_PY || e.kind == KIND_TIMER)
+        self->cancelled_in_heap -= 1;
+    entry_release(&e);
+}
+
+static void
+loop_compact(CLoop *self)
+{
+    /* Drop dead entries and re-heapify (Floyd). Live order is fully
+     * determined by (when, seq), so this never perturbs firing order. */
+    if (self->cancelled_in_heap == 0)
+        return;
+    HeapEntry *h = self->heap;
+    Py_ssize_t n = self->heap_len;
+    Py_ssize_t w = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        if (entry_live(&h[i]))
+            h[w++] = h[i];
+        else
+            entry_release(&h[i]);
+    }
+    self->heap_len = w;
+    for (Py_ssize_t i = w / 2 - 1; i >= 0; i--) {
+        HeapEntry item = h[i];
+        Py_ssize_t pos = i;
+        Py_ssize_t child;
+        while ((child = 2 * pos + 1) < w) {
+            if (child + 1 < w && entry_lt(&h[child + 1], &h[child]))
+                child += 1;
+            if (!entry_lt(&h[child], &item))
+                break;
+            h[pos] = h[child];
+            pos = child;
+        }
+        h[pos] = item;
+    }
+    self->cancelled_in_heap = 0;
+    self->compactions += 1;
+}
+
+/* mirror of EventLoop._note_cancelled's compaction policy */
+#define COMPACT_MIN 512
+
+static void
+loop_note_cancelled(CLoop *self)
+{
+    self->cancelled_in_heap += 1;
+    if (self->cancelled_in_heap >= COMPACT_MIN
+        && self->cancelled_in_heap * 2 >= self->heap_len)
+        loop_compact(self);
+}
+
+/* schedule an internal (no Python Event) entry; consumes one seq.
+ * Steals no references: INCREFs a and b itself. */
+static int
+schedule_internal(CLoop *self, int64_t when, int kind, int64_t tag,
+                  PyObject *a, PyObject *b)
+{
+    HeapEntry e;
+    e.when = when;
+    e.seq = ++self->seq;
+    e.tag = tag;
+    e.kind = kind;
+    Py_INCREF(a);
+    e.a = a;
+    Py_XINCREF(b);
+    e.b = b;
+    return heap_push(self, &e);
+}
+
+/* --------------------------------------------------------------- Event */
+
+static void
+CEvent_dealloc(CEvent *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_XDECREF(self->callback);
+    Py_XDECREF(self->args);
+    Py_XDECREF(self->loop);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CEvent_traverse(CEvent *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->args);
+    Py_VISIT(self->loop);
+    return 0;
+}
+
+static int
+CEvent_clear(CEvent *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->args);
+    Py_CLEAR(self->loop);
+    return 0;
+}
+
+static PyObject *
+CEvent_cancel(CEvent *self, PyObject *Py_UNUSED(ignored))
+{
+    if (!self->cancelled) {
+        self->cancelled = 1;
+        if (!self->fired && self->loop != NULL)
+            loop_note_cancelled(self->loop);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CEvent_get_pending(CEvent *self, void *closure)
+{
+    return PyBool_FromLong(!self->cancelled && !self->fired);
+}
+
+static PyObject *
+CEvent_repr(CEvent *self)
+{
+    const char *state = self->cancelled ? "cancelled"
+                        : (self->fired ? "fired" : "pending");
+    return PyUnicode_FromFormat("<Event t=%lld %R %s>",
+                                (long long)self->when, self->callback, state);
+}
+
+static PyMethodDef CEvent_methods[] = {
+    {"cancel", (PyCFunction)CEvent_cancel, METH_NOARGS,
+     "Cancel the event; a no-op if it already fired."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef CEvent_getset[] = {
+    {"pending", (getter)CEvent_get_pending, NULL,
+     "True while the event is scheduled and not cancelled/fired.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef CEvent_members[] = {
+    {"when", T_LONGLONG, offsetof(CEvent, when), READONLY,
+     "Absolute fire time in ns."},
+    {"callback", T_OBJECT_EX, offsetof(CEvent, callback), READONLY, NULL},
+    {"cancelled", T_BOOL, offsetof(CEvent, cancelled), READONLY, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject CEvent_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel.Event",
+    .tp_basicsize = sizeof(CEvent),
+    .tp_dealloc = (destructor)CEvent_dealloc,
+    .tp_repr = (reprfunc)CEvent_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A scheduled callback (compiled kernel).",
+    .tp_traverse = (traverseproc)CEvent_traverse,
+    .tp_clear = (inquiry)CEvent_clear,
+    .tp_methods = CEvent_methods,
+    .tp_getset = CEvent_getset,
+    .tp_members = CEvent_members,
+    .tp_free = PyObject_GC_Del,
+};
+
+/* ------------------------------------------------------------ EventLoop */
+
+static PyObject *
+CLoop_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "", kwlist))
+        return NULL;
+    CLoop *self = (CLoop *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->context = PyDict_New();
+    if (self->context == NULL) {
+        Py_DECREF(self);
+        return NULL;
+    }
+    Py_INCREF(Py_None);
+    self->profiler = Py_None;
+    return (PyObject *)self;
+}
+
+static void
+CLoop_dealloc(CLoop *self)
+{
+    PyObject_GC_UnTrack(self);
+    for (Py_ssize_t i = 0; i < self->heap_len; i++)
+        entry_release(&self->heap[i]);
+    self->heap_len = 0;
+    PyMem_Free(self->heap);
+    self->heap = NULL;
+    Py_XDECREF(self->context);
+    Py_XDECREF(self->profiler);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CLoop_traverse(CLoop *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->heap_len; i++) {
+        Py_VISIT(self->heap[i].a);
+        Py_VISIT(self->heap[i].b);
+    }
+    Py_VISIT(self->context);
+    Py_VISIT(self->profiler);
+    return 0;
+}
+
+static int
+CLoop_clear(CLoop *self)
+{
+    for (Py_ssize_t i = 0; i < self->heap_len; i++)
+        entry_release(&self->heap[i]);
+    self->heap_len = 0;
+    Py_CLEAR(self->context);
+    Py_CLEAR(self->profiler);
+    return 0;
+}
+
+/* shared scheduling core for call_at/call_after */
+static PyObject *
+loop_schedule_event(CLoop *self, int64_t when, PyObject *callback,
+                    PyObject *const *extra, Py_ssize_t nextra)
+{
+    CEvent *ev = PyObject_GC_New(CEvent, &CEvent_Type);
+    if (ev == NULL)
+        return NULL;
+    ev->when = when;
+    Py_INCREF(callback);
+    ev->callback = callback;
+    ev->args = PyTuple_New(nextra);
+    if (ev->args == NULL) {
+        ev->loop = NULL;
+        Py_DECREF(ev);
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < nextra; i++) {
+        Py_INCREF(extra[i]);
+        PyTuple_SET_ITEM(ev->args, i, extra[i]);
+    }
+    Py_INCREF(self);
+    ev->loop = self;
+    ev->cancelled = 0;
+    ev->fired = 0;
+    ev->seq = ++self->seq;
+    PyObject_GC_Track(ev);
+
+    HeapEntry e;
+    e.when = when;
+    e.seq = ev->seq;
+    e.tag = 0;
+    e.kind = KIND_PY;
+    Py_INCREF(ev);
+    e.a = (PyObject *)ev;
+    e.b = NULL;
+    if (heap_push(self, &e) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    return (PyObject *)ev;
+}
+
+static PyObject *
+CLoop_call_at(CLoop *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_at(when, callback, *args) takes at least 2 arguments");
+        return NULL;
+    }
+    int64_t when;
+    if (as_i64(args[0], &when) < 0)
+        return NULL;
+    if (when < self->now) {
+        PyErr_Format(sim_error(),
+                     "cannot schedule at t=%lld before now=%lld",
+                     (long long)when, (long long)self->now);
+        return NULL;
+    }
+    return loop_schedule_event(self, when, args[1], args + 2, nargs - 2);
+}
+
+static PyObject *
+CLoop_call_after(CLoop *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_after(delay, callback, *args) takes at least 2 arguments");
+        return NULL;
+    }
+    int64_t delay;
+    if (as_i64(args[0], &delay) < 0)
+        return NULL;
+    if (delay < 0) {
+        PyErr_Format(sim_error(), "negative delay %lld", (long long)delay);
+        return NULL;
+    }
+    return loop_schedule_event(self, self->now + delay, args[1],
+                               args + 2, nargs - 2);
+}
+
+static PyObject *
+CLoop_call_soon(CLoop *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_soon(callback, *args) takes at least 1 argument");
+        return NULL;
+    }
+    return loop_schedule_event(self, self->now, args[0], args + 1, nargs - 1);
+}
+
+static PyObject *
+CLoop_stop(CLoop *self, PyObject *Py_UNUSED(ignored))
+{
+    self->stopped = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CLoop_set_profiler(CLoop *self, PyObject *profiler)
+{
+    if (profiler != Py_None) {
+        PyErr_SetString(sim_error(),
+                        "the compiled kernel does not support the "
+                        "SimProfiler; rerun with --kernel pure "
+                        "(REPRO_KERNEL=pure)");
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+/* forward declarations of the internal dispatchers (defined with their
+ * component types below) */
+static int core_complete(CCore *core, CWorkItem *item);
+static int link_tx_done(CLink *link, PyObject *packet);
+static int queue_tx_done(CQueue *q);
+
+static PyObject *
+CLoop_run(CLoop *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"until", "max_events", NULL};
+    PyObject *until = Py_None, *max_events = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|OO", kwlist,
+                                     &until, &max_events))
+        return NULL;
+    int64_t horizon = 0, limit = 0;
+    int has_h = 0, has_l = 0;
+    if (until != Py_None) {
+        if (as_i64(until, &horizon) < 0)
+            return NULL;
+        has_h = 1;
+    }
+    if (max_events != Py_None) {
+        if (as_i64(max_events, &limit) < 0)
+            return NULL;
+        has_l = 1;
+    }
+    if (self->running) {
+        PyErr_SetString(sim_error(), "loop is already running");
+        return NULL;
+    }
+    self->running = 1;
+    self->stopped = 0;
+    int64_t processed = 0;
+    int failed = 0;
+
+    while (!self->stopped) {
+        if (self->heap_len == 0)
+            break;
+        HeapEntry *head = &self->heap[0];
+        if (has_h && head->when > horizon)
+            break;
+        if (!entry_live(head)) {
+            heap_pop_dead(self);
+            continue;
+        }
+        HeapEntry e;
+        heap_pop(self, &e);
+        self->now = e.when;
+        int rc = 0;
+        switch (e.kind) {
+        case KIND_PY: {
+            CEvent *ev = (CEvent *)e.a;
+            ev->fired = 1;
+            PyObject *res = PyObject_Call(ev->callback, ev->args, NULL);
+            if (res == NULL)
+                rc = -1;
+            else
+                Py_DECREF(res);
+            break;
+        }
+        case KIND_CPU:
+            rc = core_complete((CCore *)e.a, (CWorkItem *)e.b);
+            break;
+        case KIND_LINK:
+            rc = link_tx_done((CLink *)e.a, e.b);
+            break;
+        case KIND_QTX:
+            rc = queue_tx_done((CQueue *)e.a);
+            break;
+        case KIND_TIMER: {
+            CTimer *t = (CTimer *)e.a;
+            t->armed = 0;
+            t->fire_count += 1;
+            PyObject *res = PyObject_CallNoArgs(t->callback);
+            if (res == NULL)
+                rc = -1;
+            else
+                Py_DECREF(res);
+            break;
+        }
+        case KIND_CALL1: {
+            PyObject *res = PyObject_CallOneArg(e.a, e.b);
+            if (res == NULL)
+                rc = -1;
+            else
+                Py_DECREF(res);
+            break;
+        }
+        }
+        entry_release(&e);
+        if (rc < 0) {
+            failed = 1;
+            break;
+        }
+        processed += 1;
+        if (has_l && processed >= limit) {
+            PyErr_Format(sim_error(),
+                         "exceeded max_events=%lld (runaway simulation?)",
+                         (long long)limit);
+            failed = 1;
+            break;
+        }
+    }
+    if (!failed && has_h && self->now < horizon)
+        self->now = horizon;
+    self->events_processed += processed;
+    self->running = 0;
+    if (failed)
+        return NULL;
+    return PyLong_FromLongLong(self->now);
+}
+
+static PyObject *
+CLoop_run_until_idle(CLoop *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *args = PyTuple_New(0);
+    if (args == NULL)
+        return NULL;
+    PyObject *res = CLoop_run(self, args, NULL);
+    Py_DECREF(args);
+    return res;
+}
+
+static PyObject *
+CLoop_peek_next_time(CLoop *self, PyObject *Py_UNUSED(ignored))
+{
+    while (self->heap_len && !entry_live(&self->heap[0]))
+        heap_pop_dead(self);
+    if (self->heap_len == 0)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(self->heap[0].when);
+}
+
+static PyObject *
+CLoop_pending_count(CLoop *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromLongLong(
+        (long long)self->heap_len - self->cancelled_in_heap);
+}
+
+static PyObject *
+CLoop_compact_py(CLoop *self, PyObject *Py_UNUSED(ignored))
+{
+    loop_compact(self);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CLoop_get_now(CLoop *self, void *closure)
+{
+    return PyLong_FromLongLong(self->now);
+}
+
+static PyObject *
+CLoop_get_events_processed(CLoop *self, void *closure)
+{
+    return PyLong_FromLongLong(self->events_processed);
+}
+
+static PyMethodDef CLoop_methods[] = {
+    {"call_at", (PyCFunction)(void (*)(void))CLoop_call_at, METH_FASTCALL,
+     "Schedule callback(*args) at absolute time `when` (ns)."},
+    {"call_after", (PyCFunction)(void (*)(void))CLoop_call_after, METH_FASTCALL,
+     "Schedule callback(*args) after `delay` ns (must be >= 0)."},
+    {"call_soon", (PyCFunction)(void (*)(void))CLoop_call_soon, METH_FASTCALL,
+     "Schedule callback(*args) at the current instant."},
+    {"run", (PyCFunction)(void (*)(void))CLoop_run,
+     METH_VARARGS | METH_KEYWORDS, "Run the simulation."},
+    {"run_until_idle", (PyCFunction)CLoop_run_until_idle, METH_NOARGS,
+     "Run until no events remain; returns the final time."},
+    {"stop", (PyCFunction)CLoop_stop, METH_NOARGS,
+     "Request the running loop to stop after the current callback."},
+    {"set_profiler", (PyCFunction)CLoop_set_profiler, METH_O,
+     "Unsupported on the compiled kernel (raises; use --kernel pure)."},
+    {"peek_next_time", (PyCFunction)CLoop_peek_next_time, METH_NOARGS,
+     "Time of the next pending event, or None."},
+    {"pending_count", (PyCFunction)CLoop_pending_count, METH_NOARGS,
+     "Number of scheduled, non-cancelled events (O(1))."},
+    {"compact", (PyCFunction)CLoop_compact_py, METH_NOARGS,
+     "Drop cancelled entries from the heap and re-heapify."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef CLoop_getset[] = {
+    {"now", (getter)CLoop_get_now, NULL,
+     "Current simulated time in integer nanoseconds.", NULL},
+    {"_now", (getter)CLoop_get_now, NULL,
+     "Alias of `now` for callers that read the pure loop's clock slot "
+     "directly (a per-event hot-path optimization).", NULL},
+    {"events_processed", (getter)CLoop_get_events_processed, NULL,
+     "Count of callbacks that have fired.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef CLoop_members[] = {
+    {"context", T_OBJECT_EX, offsetof(CLoop, context), READONLY,
+     "Arbitrary per-simulation scratch space."},
+    {"compactions", T_LONGLONG, offsetof(CLoop, compactions), READONLY,
+     "Heap rebuilds triggered by cancellation debt."},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject CLoop_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel.EventLoop",
+    .tp_basicsize = sizeof(CLoop),
+    .tp_dealloc = (destructor)CLoop_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "The simulation clock and scheduler (compiled kernel).",
+    .tp_traverse = (traverseproc)CLoop_traverse,
+    .tp_clear = (inquiry)CLoop_clear,
+    .tp_methods = CLoop_methods,
+    .tp_getset = CLoop_getset,
+    .tp_members = CLoop_members,
+    .tp_new = CLoop_new,
+    .tp_free = PyObject_GC_Del,
+};
+/* ------------------------------------------------------- ring buffers */
+
+/* A tiny grow-only circular buffer of owned PyObject* — the C stand-in
+ * for collections.deque in CpuCore/Link/DropTailQueue. */
+
+static int
+ring_push(PyObject ***bufp, Py_ssize_t *headp, Py_ssize_t *lenp,
+          Py_ssize_t *capp, PyObject *item, int front)
+{
+    PyObject **buf = *bufp;
+    Py_ssize_t cap = *capp, len = *lenp;
+    if (len == cap) {
+        Py_ssize_t ncap = cap ? cap * 2 : 8;
+        PyObject **nbuf = PyMem_Malloc(ncap * sizeof(PyObject *));
+        if (nbuf == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        for (Py_ssize_t i = 0; i < len; i++)
+            nbuf[i] = buf[(*headp + i) % (cap ? cap : 1)];
+        PyMem_Free(buf);
+        *bufp = buf = nbuf;
+        *capp = cap = ncap;
+        *headp = 0;
+    }
+    if (front) {
+        *headp = (*headp - 1 + cap) % cap;
+        buf[*headp] = item;
+    } else {
+        buf[(*headp + len) % cap] = item;
+    }
+    *lenp = len + 1;
+    Py_INCREF(item);
+    return 0;
+}
+
+/* pop-left; transfers ownership to the caller (never called empty) */
+static PyObject *
+ring_pop(PyObject **buf, Py_ssize_t *headp, Py_ssize_t *lenp, Py_ssize_t cap)
+{
+    PyObject *item = buf[*headp];
+    *headp = (*headp + 1) % cap;
+    *lenp -= 1;
+    return item;
+}
+
+static void
+ring_dealloc(PyObject **buf, Py_ssize_t head, Py_ssize_t len, Py_ssize_t cap)
+{
+    for (Py_ssize_t i = 0; i < len; i++)
+        Py_DECREF(buf[(head + i) % cap]);
+    PyMem_Free(buf);
+}
+
+#define RING_TRAVERSE(buf, head, len, cap)                                \
+    do {                                                                  \
+        for (Py_ssize_t _i = 0; _i < (len); _i++)                         \
+            Py_VISIT((buf)[((head) + _i) % (cap)]);                       \
+    } while (0)
+
+/* tolerant int coercion used by Timer: mirrors pure int(x) for floats */
+static int
+as_i64_trunc(PyObject *obj, int64_t *out)
+{
+    if (PyFloat_Check(obj)) {
+        *out = (int64_t)PyFloat_AS_DOUBLE(obj);
+        return 0;
+    }
+    return as_i64(obj, out);
+}
+
+/* ------------------------------------------------------------ WorkItem */
+
+static int
+workitem_setup(CWorkItem *self, int64_t cycles, PyObject *callback,
+               PyObject *name, int priority)
+{
+    if (cycles < 0) {
+        PyErr_SetString(PyExc_ValueError, "work cycles must be >= 0");
+        return -1;
+    }
+    if (priority != 0 && priority != 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "priority must be 0 (high) or 1 (normal)");
+        return -1;
+    }
+    self->cycles = cycles;
+    Py_INCREF(callback);
+    self->callback = callback;
+    Py_INCREF(name);
+    self->name = name;
+    self->priority = priority;
+    self->has_submitted = 0;
+    self->has_started = 0;
+    return 0;
+}
+
+static PyObject *
+CWorkItem_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"cycles", "callback", "name", "priority", NULL};
+    PyObject *cycles_obj, *callback, *name = NULL;
+    int priority = 1;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO|Oi:WorkItem", kwlist,
+                                     &cycles_obj, &callback, &name, &priority))
+        return NULL;
+    int64_t cycles;
+    if (as_i64_trunc(cycles_obj, &cycles) < 0)
+        return NULL;
+    CWorkItem *self = (CWorkItem *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    PyObject *nm = name ? name : PyUnicode_FromString("work");
+    if (nm == NULL) {
+        Py_DECREF(self);
+        return NULL;
+    }
+    if (workitem_setup(self, cycles, callback, nm, priority) < 0) {
+        if (!name)
+            Py_DECREF(nm);
+        Py_DECREF(self);
+        return NULL;
+    }
+    if (!name)
+        Py_DECREF(nm);  /* workitem_setup took its own reference */
+    return (PyObject *)self;
+}
+
+static void
+CWorkItem_dealloc(CWorkItem *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_XDECREF(self->callback);
+    Py_XDECREF(self->name);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CWorkItem_traverse(CWorkItem *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->name);
+    return 0;
+}
+
+static int
+CWorkItem_clear(CWorkItem *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->name);
+    return 0;
+}
+
+static PyObject *
+CWorkItem_get_submitted_at(CWorkItem *self, void *closure)
+{
+    if (!self->has_submitted)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(self->submitted_at);
+}
+
+static PyObject *
+CWorkItem_get_started_at(CWorkItem *self, void *closure)
+{
+    if (!self->has_started)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(self->started_at);
+}
+
+static PyGetSetDef CWorkItem_getset[] = {
+    {"submitted_at", (getter)CWorkItem_get_submitted_at, NULL,
+     "Time the item was queued, or None.", NULL},
+    {"started_at", (getter)CWorkItem_get_started_at, NULL,
+     "Time the item started executing, or None.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef CWorkItem_members[] = {
+    {"cycles", T_LONGLONG, offsetof(CWorkItem, cycles), READONLY,
+     "Cycle cost of the item."},
+    {"callback", T_OBJECT_EX, offsetof(CWorkItem, callback), READONLY, NULL},
+    {"name", T_OBJECT, offsetof(CWorkItem, name), 0, NULL},
+    {"priority", T_INT, offsetof(CWorkItem, priority), READONLY, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject CWorkItem_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel.WorkItem",
+    .tp_basicsize = sizeof(CWorkItem),
+    .tp_dealloc = (destructor)CWorkItem_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A unit of stack work to execute on a core (compiled kernel).",
+    .tp_traverse = (traverseproc)CWorkItem_traverse,
+    .tp_clear = (inquiry)CWorkItem_clear,
+    .tp_getset = CWorkItem_getset,
+    .tp_members = CWorkItem_members,
+    .tp_new = CWorkItem_new,
+    .tp_free = PyObject_GC_Del,
+};
+
+/* ------------------------------------------------------------- CpuCore */
+
+static int
+core_start_next(CCore *self)
+{
+    PyObject *item_obj;
+    if (self->hq_len)
+        item_obj = ring_pop(self->hq, &self->hq_head, &self->hq_len,
+                            self->hq_cap);
+    else if (self->q_len)
+        item_obj = ring_pop(self->q, &self->q_head, &self->q_len,
+                            self->q_cap);
+    else
+        return 0;
+    CWorkItem *item = (CWorkItem *)item_obj;
+    CLoop *loop = self->loop;
+    int64_t now = loop->now;
+    self->current = item_obj;  /* takes the popped reference */
+    item->started_at = now;
+    item->has_started = 1;
+    self->busy_since = now;
+    self->has_busy_since = 1;
+    /* pure: duration = int(round(item.cycles * SEC / self._freq_hz)) */
+    int64_t duration = (int64_t)nearbyint(
+        (double)item->cycles * (double)NS_PER_SEC / self->freq_hz);
+    return schedule_internal(loop, now + duration, KIND_CPU, 0,
+                             (PyObject *)self, item_obj);
+}
+
+/* KIND_CPU dispatch: the heap entry owns `item` while this runs */
+static int
+core_complete(CCore *self, CWorkItem *item)
+{
+    if (self->has_busy_since) {
+        self->busy_ns_total += self->loop->now - self->busy_since;
+        self->has_busy_since = 0;
+    }
+    Py_CLEAR(self->current);
+    self->items_executed += 1;
+    self->cycles_executed += item->cycles;
+    /* Run the callback *before* starting the next item (pure semantics:
+     * newly submitted work lands behind already-queued items). */
+    PyObject *res = PyObject_CallNoArgs(item->callback);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    if (self->current == NULL)
+        return core_start_next(self);
+    return 0;
+}
+
+static int
+core_submit(CCore *self, CWorkItem *item, int continuation)
+{
+    item->submitted_at = self->loop->now;
+    item->has_submitted = 1;
+    int rc;
+    if (item->priority == 0)
+        rc = ring_push(&self->hq, &self->hq_head, &self->hq_len,
+                       &self->hq_cap, (PyObject *)item, continuation);
+    else
+        rc = ring_push(&self->q, &self->q_head, &self->q_len,
+                       &self->q_cap, (PyObject *)item, continuation);
+    if (rc < 0)
+        return -1;
+    Py_ssize_t depth = self->q_len + self->hq_len;
+    if (depth > self->max_queue_depth)
+        self->max_queue_depth = depth;
+    if (self->current == NULL)
+        return core_start_next(self);
+    return 0;
+}
+
+static PyObject *
+CCore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"loop", "freq_hz", "name", "tracer", NULL};
+    CLoop *loop;
+    double freq_hz;
+    PyObject *name = NULL, *tracer = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!d|OO:CpuCore", kwlist,
+                                     &CLoop_Type, &loop, &freq_hz,
+                                     &name, &tracer))
+        return NULL;
+    if (freq_hz <= 0) {
+        PyErr_SetString(PyExc_ValueError, "core frequency must be positive");
+        return NULL;
+    }
+    if (reject_enabled_tracer(tracer, "CpuCore") < 0)
+        return NULL;
+    CCore *self = (CCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    Py_INCREF(loop);
+    self->loop = loop;
+    self->freq_hz = freq_hz;
+    if (name != NULL) {
+        Py_INCREF(name);
+        self->name = name;
+    } else {
+        self->name = PyUnicode_FromString("cpu0");
+        if (self->name == NULL) {
+            Py_DECREF(self);
+            return NULL;
+        }
+    }
+    return (PyObject *)self;
+}
+
+static void
+CCore_dealloc(CCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    ring_dealloc(self->q, self->q_head, self->q_len, self->q_cap);
+    ring_dealloc(self->hq, self->hq_head, self->hq_len, self->hq_cap);
+    self->q = self->hq = NULL;
+    self->q_len = self->hq_len = 0;
+    Py_XDECREF(self->current);
+    Py_XDECREF(self->loop);
+    Py_XDECREF(self->name);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CCore_traverse(CCore *self, visitproc visit, void *arg)
+{
+    RING_TRAVERSE(self->q, self->q_head, self->q_len, self->q_cap);
+    RING_TRAVERSE(self->hq, self->hq_head, self->hq_len, self->hq_cap);
+    Py_VISIT(self->current);
+    Py_VISIT(self->loop);
+    Py_VISIT(self->name);
+    return 0;
+}
+
+static int
+CCore_clear(CCore *self)
+{
+    ring_dealloc(self->q, self->q_head, self->q_len, self->q_cap);
+    ring_dealloc(self->hq, self->hq_head, self->hq_len, self->hq_cap);
+    self->q = self->hq = NULL;
+    self->q_head = self->hq_head = self->q_len = self->hq_len = 0;
+    self->q_cap = self->hq_cap = 0;
+    Py_CLEAR(self->current);
+    Py_CLEAR(self->loop);
+    Py_CLEAR(self->name);
+    return 0;
+}
+
+static PyObject *
+CCore_submit(CCore *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"item", "continuation", NULL};
+    PyObject *item;
+    int continuation = 0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!|p:submit", kwlist,
+                                     &CWorkItem_Type, &item, &continuation))
+        return NULL;
+    if (core_submit(self, (CWorkItem *)item, continuation) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CCore_submit_work(CCore *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"cycles", "callback", "name", "priority",
+                             "continuation", NULL};
+    PyObject *cycles_obj, *callback, *name = NULL;
+    int priority = 1, continuation = 0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO|Oip:submit_work",
+                                     kwlist, &cycles_obj, &callback, &name,
+                                     &priority, &continuation))
+        return NULL;
+    int64_t cycles;
+    if (as_i64_trunc(cycles_obj, &cycles) < 0)
+        return NULL;
+    CWorkItem *item = PyObject_GC_New(CWorkItem, &CWorkItem_Type);
+    if (item == NULL)
+        return NULL;
+    item->callback = NULL;
+    item->name = NULL;
+    PyObject *nm = name ? name : PyUnicode_FromString("work");
+    if (nm == NULL) {
+        Py_DECREF(item);
+        return NULL;
+    }
+    int rc = workitem_setup(item, cycles, callback, nm, priority);
+    if (!name)
+        Py_DECREF(nm);
+    if (rc < 0) {
+        Py_DECREF(item);
+        return NULL;
+    }
+    PyObject_GC_Track(item);
+    if (core_submit(self, item, continuation) < 0) {
+        Py_DECREF(item);
+        return NULL;
+    }
+    return (PyObject *)item;
+}
+
+static PyObject *
+CCore_set_frequency(CCore *self, PyObject *arg)
+{
+    double freq_hz = PyFloat_AsDouble(arg);
+    if (freq_hz == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (freq_hz <= 0) {
+        PyErr_SetString(PyExc_ValueError, "core frequency must be positive");
+        return NULL;
+    }
+    self->freq_hz = freq_hz;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CCore_busy_ns_up_to_now(CCore *self, PyObject *Py_UNUSED(ignored))
+{
+    int64_t total = self->busy_ns_total;
+    if (self->has_busy_since)
+        total += self->loop->now - self->busy_since;
+    return PyLong_FromLongLong(total);
+}
+
+static PyObject *
+CCore_get_freq_hz(CCore *self, void *closure)
+{
+    return PyFloat_FromDouble(self->freq_hz);
+}
+
+static PyObject *
+CCore_get_busy(CCore *self, void *closure)
+{
+    return PyBool_FromLong(self->current != NULL);
+}
+
+static PyObject *
+CCore_get_queue_depth(CCore *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->q_len + self->hq_len);
+}
+
+static PyMethodDef CCore_methods[] = {
+    {"submit", (PyCFunction)(void (*)(void))CCore_submit,
+     METH_VARARGS | METH_KEYWORDS,
+     "Enqueue a WorkItem; it runs when the core reaches it."},
+    {"submit_work", (PyCFunction)(void (*)(void))CCore_submit_work,
+     METH_VARARGS | METH_KEYWORDS,
+     "Build and submit a WorkItem without a Python-side allocation."},
+    {"set_frequency", (PyCFunction)CCore_set_frequency, METH_O,
+     "Change the clock; affects items started after this call."},
+    {"busy_ns_up_to_now", (PyCFunction)CCore_busy_ns_up_to_now, METH_NOARGS,
+     "Total busy nanoseconds including the in-flight item so far."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef CCore_getset[] = {
+    {"freq_hz", (getter)CCore_get_freq_hz, NULL,
+     "Current clock frequency in Hz.", NULL},
+    {"busy", (getter)CCore_get_busy, NULL,
+     "True while an item is executing.", NULL},
+    {"queue_depth", (getter)CCore_get_queue_depth, NULL,
+     "Items waiting (not counting the one executing).", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef CCore_members[] = {
+    {"name", T_OBJECT, offsetof(CCore, name), 0, NULL},
+    {"busy_ns_total", T_LONGLONG, offsetof(CCore, busy_ns_total), READONLY,
+     NULL},
+    {"items_executed", T_LONGLONG, offsetof(CCore, items_executed), READONLY,
+     NULL},
+    {"cycles_executed", T_LONGLONG, offsetof(CCore, cycles_executed),
+     READONLY, NULL},
+    {"max_queue_depth", T_LONGLONG, offsetof(CCore, max_queue_depth),
+     READONLY, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject CCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel.CpuCore",
+    .tp_basicsize = sizeof(CCore),
+    .tp_dealloc = (destructor)CCore_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "One core: frequency, FIFO run queues, busy accounting "
+              "(compiled kernel).",
+    .tp_traverse = (traverseproc)CCore_traverse,
+    .tp_clear = (inquiry)CCore_clear,
+    .tp_methods = CCore_methods,
+    .tp_getset = CCore_getset,
+    .tp_members = CCore_members,
+    .tp_new = CCore_new,
+    .tp_free = PyObject_GC_Del,
+};
+
+/* --------------------------------------------------------------- Timer */
+
+static PyObject *
+CTimer_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"loop", "callback", "slack_ns", "name", NULL};
+    CLoop *loop;
+    PyObject *callback, *name = NULL;
+    long long slack_ns = 0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!O|LO:Timer", kwlist,
+                                     &CLoop_Type, &loop, &callback,
+                                     &slack_ns, &name))
+        return NULL;
+    CTimer *self = (CTimer *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    Py_INCREF(loop);
+    self->loop = loop;
+    Py_INCREF(callback);
+    self->callback = callback;
+    self->slack = slack_ns > 0 ? (int64_t)slack_ns : 0;
+    if (name != NULL) {
+        Py_INCREF(name);
+        self->name = name;
+    } else {
+        self->name = PyUnicode_FromString("");
+        if (self->name == NULL) {
+            Py_DECREF(self);
+            return NULL;
+        }
+    }
+    return (PyObject *)self;
+}
+
+static void
+CTimer_dealloc(CTimer *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_XDECREF(self->loop);
+    Py_XDECREF(self->callback);
+    Py_XDECREF(self->name);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CTimer_traverse(CTimer *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->loop);
+    Py_VISIT(self->callback);
+    Py_VISIT(self->name);
+    return 0;
+}
+
+static int
+CTimer_clear(CTimer *self)
+{
+    Py_CLEAR(self->loop);
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->name);
+    return 0;
+}
+
+static void
+timer_cancel_internal(CTimer *self)
+{
+    if (self->armed) {
+        self->armed = 0;
+        loop_note_cancelled(self->loop);
+    }
+}
+
+static int
+timer_start_at(CTimer *self, int64_t when_ns)
+{
+    timer_cancel_internal(self);
+    int64_t now = self->loop->now;
+    int64_t when = when_ns > now ? when_ns : now;
+    if (self->slack) {
+        int64_t remainder = when % self->slack;
+        if (remainder)
+            when += self->slack - remainder;
+    }
+    self->gen += 1;
+    self->armed = 1;
+    self->when = when;
+    return schedule_internal(self->loop, when, KIND_TIMER, self->gen,
+                             (PyObject *)self, NULL);
+}
+
+static PyObject *
+CTimer_start(CTimer *self, PyObject *arg)
+{
+    int64_t delay;
+    if (as_i64_trunc(arg, &delay) < 0)
+        return NULL;
+    if (delay < 0)
+        delay = 0;
+    if (timer_start_at(self, self->loop->now + delay) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CTimer_start_at(CTimer *self, PyObject *arg)
+{
+    int64_t when;
+    if (as_i64_trunc(arg, &when) < 0)
+        return NULL;
+    if (timer_start_at(self, when) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CTimer_cancel(CTimer *self, PyObject *Py_UNUSED(ignored))
+{
+    timer_cancel_internal(self);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CTimer_get_pending(CTimer *self, void *closure)
+{
+    return PyBool_FromLong(self->armed);
+}
+
+static PyObject *
+CTimer_get_expires_at(CTimer *self, void *closure)
+{
+    if (!self->armed)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(self->when);
+}
+
+static PyMethodDef CTimer_methods[] = {
+    {"start", (PyCFunction)CTimer_start, METH_O,
+     "(Re-)arm the timer delay_ns from now (>= 0)."},
+    {"start_at", (PyCFunction)CTimer_start_at, METH_O,
+     "(Re-)arm the timer for an absolute time."},
+    {"cancel", (PyCFunction)CTimer_cancel, METH_NOARGS,
+     "Disarm the timer if pending."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef CTimer_getset[] = {
+    {"pending", (getter)CTimer_get_pending, NULL,
+     "True if the timer is armed and has not fired.", NULL},
+    {"expires_at", (getter)CTimer_get_expires_at, NULL,
+     "Absolute expiry time in ns, or None when not armed.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef CTimer_members[] = {
+    {"name", T_OBJECT, offsetof(CTimer, name), 0, NULL},
+    {"fire_count", T_LONGLONG, offsetof(CTimer, fire_count), READONLY,
+     "Number of times the timer has fired."},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject CTimer_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel.Timer",
+    .tp_basicsize = sizeof(CTimer),
+    .tp_dealloc = (destructor)CTimer_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A one-shot, re-armable timer (compiled kernel).",
+    .tp_traverse = (traverseproc)CTimer_traverse,
+    .tp_clear = (inquiry)CTimer_clear,
+    .tp_methods = CTimer_methods,
+    .tp_getset = CTimer_getset,
+    .tp_members = CTimer_members,
+    .tp_new = CTimer_new,
+    .tp_free = PyObject_GC_Del,
+};
+
+/* ---------------------------------------------------------------- Link */
+
+static int
+packet_wire_bytes(PyObject *packet, int64_t *out)
+{
+    PyObject *v = PyObject_GetAttr(packet, s_wire_bytes);
+    if (v == NULL)
+        return -1;
+    int rc = as_i64(v, out);
+    Py_DECREF(v);
+    return rc;
+}
+
+static int
+packet_segments(PyObject *packet, int64_t *out)
+{
+    PyObject *v = PyObject_GetAttr(packet, s_segments);
+    if (v == NULL)
+        return -1;
+    int rc = as_i64(v, out);
+    Py_DECREF(v);
+    return rc;
+}
+
+/* pure: transmit_time(nbytes, rate) — 0 for rate <= 0 */
+static int64_t
+transmit_time_c(int64_t nbytes, double rate_bps)
+{
+    if (rate_bps <= 0)
+        return 0;
+    return (int64_t)nearbyint(
+        (double)nbytes * 8.0 * (double)NS_PER_SEC / rate_bps);
+}
+
+/* begin serializing the head packet; *tx_out = -1 when nothing started */
+static int
+clink_start_next(CLink *self, int64_t *tx_out)
+{
+    *tx_out = -1;
+    if (self->f_len == 0)
+        return 0;
+    PyObject *packet = ring_pop(self->fifo, &self->f_head, &self->f_len,
+                                self->f_cap);
+    self->transmitting = 1;
+    int64_t wb;
+    if (packet_wire_bytes(packet, &wb) < 0) {
+        Py_DECREF(packet);
+        return -1;
+    }
+    /* pure: tx_ns = int(round(packet.wire_bytes * 8 * SEC / self.rate_bps)) */
+    int64_t tx_ns = (int64_t)nearbyint(
+        (double)wb * 8.0 * (double)NS_PER_SEC / self->rate_bps);
+    self->busy_ns += tx_ns;
+    int rc = schedule_internal(self->loop, self->loop->now + tx_ns,
+                               KIND_LINK, 0, (PyObject *)self, packet);
+    Py_DECREF(packet);
+    if (rc < 0)
+        return -1;
+    *tx_out = tx_ns;
+    return 0;
+}
+
+static int
+clink_send(CLink *self, PyObject *packet, int64_t *tx_out)
+{
+    if (ring_push(&self->fifo, &self->f_head, &self->f_len, &self->f_cap,
+                  packet, 0) < 0)
+        return -1;
+    if (!self->transmitting)
+        return clink_start_next(self, tx_out);
+    *tx_out = -1;
+    return 0;
+}
+
+/* KIND_LINK dispatch: the heap entry owns `packet` while this runs */
+static int
+link_tx_done(CLink *self, PyObject *packet)
+{
+    self->transmitting = 0;
+    self->packets_sent += 1;
+    int64_t wb;
+    if (packet_wire_bytes(packet, &wb) < 0)
+        return -1;
+    self->bytes_sent += wb;
+    PyObject *sink = self->sink;
+    if (sink == NULL || sink == Py_None) {
+        PyErr_Format(PyExc_RuntimeError, "link %S has no sink connected",
+                     self->name);
+        return -1;
+    }
+    int64_t delay = self->prop_delay_ns > 0 ? self->prop_delay_ns : 0;
+    if (schedule_internal(self->loop, self->loop->now + delay, KIND_CALL1,
+                          0, sink, packet) < 0)
+        return -1;
+    if (self->f_len) {
+        int64_t dummy;
+        return clink_start_next(self, &dummy);
+    }
+    return 0;
+}
+
+static PyObject *
+CLink_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"loop", "rate_bps", "prop_delay_ns", "name",
+                             "tracer", NULL};
+    CLoop *loop;
+    double rate_bps;
+    long long prop_delay_ns = 0;
+    PyObject *name = NULL, *tracer = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!d|LOO:Link", kwlist,
+                                     &CLoop_Type, &loop, &rate_bps,
+                                     &prop_delay_ns, &name, &tracer))
+        return NULL;
+    if (rate_bps <= 0) {
+        PyErr_SetString(PyExc_ValueError, "link rate must be positive");
+        return NULL;
+    }
+    if (reject_enabled_tracer(tracer, "Link") < 0)
+        return NULL;
+    CLink *self = (CLink *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    Py_INCREF(loop);
+    self->loop = loop;
+    self->rate_bps = rate_bps;
+    self->prop_delay_ns = (int64_t)prop_delay_ns;
+    if (name != NULL) {
+        Py_INCREF(name);
+        self->name = name;
+    } else {
+        self->name = PyUnicode_FromString("link");
+        if (self->name == NULL) {
+            Py_DECREF(self);
+            return NULL;
+        }
+    }
+    return (PyObject *)self;
+}
+
+static void
+CLink_dealloc(CLink *self)
+{
+    PyObject_GC_UnTrack(self);
+    ring_dealloc(self->fifo, self->f_head, self->f_len, self->f_cap);
+    self->fifo = NULL;
+    self->f_len = 0;
+    Py_XDECREF(self->loop);
+    Py_XDECREF(self->name);
+    Py_XDECREF(self->sink);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CLink_traverse(CLink *self, visitproc visit, void *arg)
+{
+    RING_TRAVERSE(self->fifo, self->f_head, self->f_len, self->f_cap);
+    Py_VISIT(self->loop);
+    Py_VISIT(self->name);
+    Py_VISIT(self->sink);
+    return 0;
+}
+
+static int
+CLink_clear(CLink *self)
+{
+    ring_dealloc(self->fifo, self->f_head, self->f_len, self->f_cap);
+    self->fifo = NULL;
+    self->f_head = self->f_len = self->f_cap = 0;
+    Py_CLEAR(self->loop);
+    Py_CLEAR(self->name);
+    Py_CLEAR(self->sink);
+    return 0;
+}
+
+static PyObject *
+CLink_connect(CLink *self, PyObject *sink)
+{
+    Py_INCREF(sink);
+    Py_XSETREF(self->sink, sink);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CLink_send(CLink *self, PyObject *packet)
+{
+    int64_t tx;
+    if (clink_send(self, packet, &tx) < 0)
+        return NULL;
+    if (tx < 0)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(tx);
+}
+
+static PyObject *
+CLink_serialization_ns(CLink *self, PyObject *packet)
+{
+    int64_t wb;
+    if (packet_wire_bytes(packet, &wb) < 0)
+        return NULL;
+    return PyLong_FromLongLong(transmit_time_c(wb, self->rate_bps));
+}
+
+static PyObject *
+CLink_get_backlogged(CLink *self, void *closure)
+{
+    return PyBool_FromLong(self->transmitting || self->f_len > 0);
+}
+
+static PyObject *
+CLink_get_queue_len(CLink *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->f_len);
+}
+
+static PyObject *
+CLink_get_sink(CLink *self, void *closure)
+{
+    PyObject *sink = self->sink ? self->sink : Py_None;
+    Py_INCREF(sink);
+    return sink;
+}
+
+static int
+CLink_set_sink(CLink *self, PyObject *value, void *closure)
+{
+    if (value == NULL)
+        value = Py_None;
+    Py_INCREF(value);
+    Py_XSETREF(self->sink, value);
+    return 0;
+}
+
+static PyMethodDef CLink_methods[] = {
+    {"connect", (PyCFunction)CLink_connect, METH_O,
+     "Set the receiver callback for delivered packets."},
+    {"send", (PyCFunction)CLink_send, METH_O,
+     "Begin (or queue for) serialization; returns tx ns or None."},
+    {"serialization_ns", (PyCFunction)CLink_serialization_ns, METH_O,
+     "Time to clock the packet onto the wire at the current rate."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef CLink_getset[] = {
+    {"backlogged", (getter)CLink_get_backlogged, NULL,
+     "True while the wire is busy or the FIFO is non-empty.", NULL},
+    {"queue_len", (getter)CLink_get_queue_len, NULL,
+     "Packets waiting for the wire (excludes the one being sent).", NULL},
+    {"sink", (getter)CLink_get_sink, (setter)CLink_set_sink,
+     "Receiver callback for delivered packets.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef CLink_members[] = {
+    {"rate_bps", T_DOUBLE, offsetof(CLink, rate_bps), 0,
+     "Line rate in bits/s (mutable, e.g. by rate processes)."},
+    {"prop_delay_ns", T_LONGLONG, offsetof(CLink, prop_delay_ns), 0, NULL},
+    {"name", T_OBJECT, offsetof(CLink, name), 0, NULL},
+    {"packets_sent", T_LONGLONG, offsetof(CLink, packets_sent), READONLY,
+     NULL},
+    {"bytes_sent", T_LONGLONG, offsetof(CLink, bytes_sent), READONLY, NULL},
+    {"busy_ns", T_LONGLONG, offsetof(CLink, busy_ns), READONLY, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject CLink_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel.Link",
+    .tp_basicsize = sizeof(CLink),
+    .tp_dealloc = (destructor)CLink_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A unidirectional link with rate, propagation delay, and a "
+              "FIFO (compiled kernel).",
+    .tp_traverse = (traverseproc)CLink_traverse,
+    .tp_clear = (inquiry)CLink_clear,
+    .tp_methods = CLink_methods,
+    .tp_getset = CLink_getset,
+    .tp_members = CLink_members,
+    .tp_new = CLink_new,
+    .tp_free = PyObject_GC_Del,
+};
+
+/* ------------------------------------------------------- DropTailQueue */
+
+static int
+link_rate(PyObject *link, double *out)
+{
+    if (PyObject_TypeCheck(link, &CLink_Type)) {
+        *out = ((CLink *)link)->rate_bps;
+        return 0;
+    }
+    PyObject *v = PyObject_GetAttr(link, s_rate_bps);
+    if (v == NULL)
+        return -1;
+    double d = PyFloat_AsDouble(v);
+    Py_DECREF(v);
+    if (d == -1.0 && PyErr_Occurred())
+        return -1;
+    *out = d;
+    return 0;
+}
+
+static int
+cqueue_pump(CQueue *self)
+{
+    if (self->link_busy || self->f_len == 0)
+        return 0;
+    PyObject *packet = ring_pop(self->fifo, &self->f_head, &self->f_len,
+                                self->f_cap);
+    int64_t segs;
+    if (packet_segments(packet, &segs) < 0) {
+        Py_DECREF(packet);
+        return -1;
+    }
+    self->backlog_segments -= segs;
+    self->link_busy = 1;
+    int64_t tx_ns = -1;
+    if (PyObject_TypeCheck(self->link, &CLink_Type)) {
+        if (clink_send((CLink *)self->link, packet, &tx_ns) < 0) {
+            Py_DECREF(packet);
+            return -1;
+        }
+        if (tx_ns < 0) {
+            int64_t wb;
+            if (packet_wire_bytes(packet, &wb) < 0) {
+                Py_DECREF(packet);
+                return -1;
+            }
+            tx_ns = transmit_time_c(wb, ((CLink *)self->link)->rate_bps);
+        }
+    } else {
+        PyObject *res = PyObject_CallMethodOneArg(self->link, s_send, packet);
+        if (res == NULL) {
+            Py_DECREF(packet);
+            return -1;
+        }
+        if (res == Py_None) {
+            Py_DECREF(res);
+            res = PyObject_CallMethodOneArg(self->link, s_serialization_ns,
+                                            packet);
+            if (res == NULL) {
+                Py_DECREF(packet);
+                return -1;
+            }
+        }
+        int rc = as_i64(res, &tx_ns);
+        Py_DECREF(res);
+        if (rc < 0) {
+            Py_DECREF(packet);
+            return -1;
+        }
+    }
+    Py_DECREF(packet);
+    return schedule_internal(self->loop, self->loop->now + tx_ns, KIND_QTX,
+                             0, (PyObject *)self, NULL);
+}
+
+/* KIND_QTX dispatch */
+static int
+queue_tx_done(CQueue *self)
+{
+    self->link_busy = 0;
+    return cqueue_pump(self);
+}
+
+static int
+cqueue_admit(CQueue *self, PyObject *packet)
+{
+    int64_t segs;
+    if (packet_segments(packet, &segs) < 0)
+        return -1;
+    if (ring_push(&self->fifo, &self->f_head, &self->f_len, &self->f_cap,
+                  packet, 0) < 0)
+        return -1;
+    self->backlog_segments += segs;
+    self->enqueued_segments += segs;
+    if (self->backlog_segments > self->max_backlog_segments)
+        self->max_backlog_segments = self->backlog_segments;
+    return cqueue_pump(self);
+}
+
+static PyObject *
+CQueue_enqueue(CQueue *self, PyObject *packet)
+{
+    int64_t free_segs = self->capacity_segments - self->backlog_segments;
+    int is_ack = 0;
+    PyObject *v = PyObject_GetAttr(packet, s_is_ack);
+    if (v == NULL)
+        return NULL;
+    is_ack = PyObject_IsTrue(v);
+    Py_DECREF(v);
+    if (is_ack < 0)
+        return NULL;
+    int64_t segs;
+    if (packet_segments(packet, &segs) < 0)
+        return NULL;
+    if (self->input_link != NULL && self->input_link != Py_None && !is_ack) {
+        double lr, ir;
+        if (link_rate(self->link, &lr) < 0
+            || link_rate(self->input_link, &ir) < 0)
+            return NULL;
+        double ratio = lr / ir;
+        if (ratio > 1.0)
+            ratio = 1.0;
+        /* pure: free += int(packet.segments * ratio) — truncation */
+        free_segs += (int64_t)((double)segs * ratio);
+    }
+    if (segs <= free_segs) {
+        if (cqueue_admit(self, packet) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    if (free_segs > 0 && !is_ack) {
+        PyObject *free_obj = PyLong_FromLongLong(free_segs);
+        if (free_obj == NULL)
+            return NULL;
+        PyObject *head = PyObject_CallMethodOneArg(packet, s_split_head,
+                                                   free_obj);
+        Py_DECREF(free_obj);
+        if (head == NULL)
+            return NULL;
+        if (head != Py_None) {
+            if (cqueue_admit(self, head) < 0) {
+                Py_DECREF(head);
+                return NULL;
+            }
+        }
+        Py_DECREF(head);
+    }
+    /* remainder of `packet` (possibly all of it) is dropped; pure rereads
+     * packet.segments after split_head shrank the packet */
+    self->dropped_packets += 1;
+    int64_t rem_segs;
+    if (packet_segments(packet, &rem_segs) < 0)
+        return NULL;
+    self->dropped_segments += rem_segs;
+    if (self->on_drop != NULL && self->on_drop != Py_None) {
+        PyObject *segs_obj = PyLong_FromLongLong(rem_segs);
+        if (segs_obj == NULL)
+            return NULL;
+        PyObject *res = PyObject_CallFunctionObjArgs(self->on_drop, packet,
+                                                     segs_obj, NULL);
+        Py_DECREF(segs_obj);
+        if (res == NULL)
+            return NULL;
+        Py_DECREF(res);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CQueue_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"loop", "link", "capacity_segments", "name",
+                             "input_link", "tracer", NULL};
+    CLoop *loop;
+    PyObject *link, *name = NULL, *input_link = NULL, *tracer = NULL;
+    long long capacity = 1000;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!O|LOOO:DropTailQueue",
+                                     kwlist, &CLoop_Type, &loop, &link,
+                                     &capacity, &name, &input_link, &tracer))
+        return NULL;
+    if (capacity < 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "queue capacity must be at least one segment");
+        return NULL;
+    }
+    if (reject_enabled_tracer(tracer, "DropTailQueue") < 0)
+        return NULL;
+    CQueue *self = (CQueue *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    Py_INCREF(loop);
+    self->loop = loop;
+    Py_INCREF(link);
+    self->link = link;
+    if (input_link != NULL && input_link != Py_None) {
+        Py_INCREF(input_link);
+        self->input_link = input_link;
+    }
+    self->capacity_segments = (int64_t)capacity;
+    if (name != NULL) {
+        Py_INCREF(name);
+        self->name = name;
+    } else {
+        self->name = PyUnicode_FromString("queue");
+        if (self->name == NULL) {
+            Py_DECREF(self);
+            return NULL;
+        }
+    }
+    return (PyObject *)self;
+}
+
+static void
+CQueue_dealloc(CQueue *self)
+{
+    PyObject_GC_UnTrack(self);
+    ring_dealloc(self->fifo, self->f_head, self->f_len, self->f_cap);
+    self->fifo = NULL;
+    self->f_len = 0;
+    Py_XDECREF(self->loop);
+    Py_XDECREF(self->link);
+    Py_XDECREF(self->input_link);
+    Py_XDECREF(self->name);
+    Py_XDECREF(self->on_drop);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CQueue_traverse(CQueue *self, visitproc visit, void *arg)
+{
+    RING_TRAVERSE(self->fifo, self->f_head, self->f_len, self->f_cap);
+    Py_VISIT(self->loop);
+    Py_VISIT(self->link);
+    Py_VISIT(self->input_link);
+    Py_VISIT(self->name);
+    Py_VISIT(self->on_drop);
+    return 0;
+}
+
+static int
+CQueue_clear(CQueue *self)
+{
+    ring_dealloc(self->fifo, self->f_head, self->f_len, self->f_cap);
+    self->fifo = NULL;
+    self->f_head = self->f_len = self->f_cap = 0;
+    Py_CLEAR(self->loop);
+    Py_CLEAR(self->link);
+    Py_CLEAR(self->input_link);
+    Py_CLEAR(self->name);
+    Py_CLEAR(self->on_drop);
+    return 0;
+}
+
+static PyObject *
+CQueue_sample_backlog(CQueue *self, PyObject *Py_UNUSED(ignored))
+{
+    self->backlog_sum_segments += (double)self->backlog_segments;
+    self->backlog_samples += 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CQueue_get_backlog_segments(CQueue *self, void *closure)
+{
+    return PyLong_FromLongLong(self->backlog_segments);
+}
+
+static PyObject *
+CQueue_get_backlog_packets(CQueue *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->f_len);
+}
+
+static PyObject *
+CQueue_get_mean_backlog(CQueue *self, void *closure)
+{
+    if (self->backlog_samples == 0)
+        return PyFloat_FromDouble(0.0);
+    return PyFloat_FromDouble(self->backlog_sum_segments
+                              / (double)self->backlog_samples);
+}
+
+static PyObject *
+CQueue_get_input_link(CQueue *self, void *closure)
+{
+    PyObject *v = self->input_link ? self->input_link : Py_None;
+    Py_INCREF(v);
+    return v;
+}
+
+static PyMethodDef CQueue_methods[] = {
+    {"enqueue", (PyCFunction)CQueue_enqueue, METH_O,
+     "Admit as much of the packet as fits; drop the rest (tail drop)."},
+    {"sample_backlog", (PyCFunction)CQueue_sample_backlog, METH_NOARGS,
+     "Record the instantaneous backlog for averaging (metrics hook)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef CQueue_getset[] = {
+    {"backlog_segments", (getter)CQueue_get_backlog_segments, NULL,
+     "Segments currently buffered (excluding the one on the wire).", NULL},
+    {"backlog_packets", (getter)CQueue_get_backlog_packets, NULL,
+     "Super-packets currently buffered.", NULL},
+    {"mean_backlog_segments", (getter)CQueue_get_mean_backlog, NULL,
+     "Mean of sampled backlogs (0 if never sampled).", NULL},
+    {"input_link", (getter)CQueue_get_input_link, NULL,
+     "Upstream link feeding this queue, if any.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef CQueue_members[] = {
+    {"link", T_OBJECT_EX, offsetof(CQueue, link), READONLY, NULL},
+    {"capacity_segments", T_LONGLONG, offsetof(CQueue, capacity_segments),
+     READONLY, NULL},
+    {"name", T_OBJECT, offsetof(CQueue, name), 0, NULL},
+    {"on_drop", T_OBJECT, offsetof(CQueue, on_drop), 0,
+     "Optional callback invoked when segments are dropped."},
+    {"enqueued_segments", T_LONGLONG, offsetof(CQueue, enqueued_segments),
+     READONLY, NULL},
+    {"dropped_segments", T_LONGLONG, offsetof(CQueue, dropped_segments),
+     READONLY, NULL},
+    {"dropped_packets", T_LONGLONG, offsetof(CQueue, dropped_packets),
+     READONLY, NULL},
+    {"max_backlog_segments", T_LONGLONG,
+     offsetof(CQueue, max_backlog_segments), READONLY, NULL},
+    {"backlog_sum_segments", T_DOUBLE,
+     offsetof(CQueue, backlog_sum_segments), READONLY, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject CQueue_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel.DropTailQueue",
+    .tp_basicsize = sizeof(CQueue),
+    .tp_dealloc = (destructor)CQueue_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A bounded FIFO feeding a Link (compiled kernel).",
+    .tp_traverse = (traverseproc)CQueue_traverse,
+    .tp_clear = (inquiry)CQueue_clear,
+    .tp_methods = CQueue_methods,
+    .tp_getset = CQueue_getset,
+    .tp_members = CQueue_members,
+    .tp_new = CQueue_new,
+    .tp_free = PyObject_GC_Del,
+};
+
+/* -------------------------------------------------------------- module */
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._ckernel",
+    .m_doc = "Compiled simulation-kernel backend: C implementations of the "
+             "event loop and the mechanical hot-path components, "
+             "bit-identical to the pure-python reference.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    if ((s_wire_bytes = PyUnicode_InternFromString("wire_bytes")) == NULL
+        || (s_segments = PyUnicode_InternFromString("segments")) == NULL
+        || (s_is_ack = PyUnicode_InternFromString("is_ack")) == NULL
+        || (s_split_head = PyUnicode_InternFromString("split_head")) == NULL
+        || (s_rate_bps = PyUnicode_InternFromString("rate_bps")) == NULL
+        || (s_enabled = PyUnicode_InternFromString("enabled")) == NULL
+        || (s_send = PyUnicode_InternFromString("send")) == NULL
+        || (s_serialization_ns
+            = PyUnicode_InternFromString("serialization_ns")) == NULL)
+        return NULL;
+
+    if (PyType_Ready(&CEvent_Type) < 0 || PyType_Ready(&CLoop_Type) < 0
+        || PyType_Ready(&CWorkItem_Type) < 0 || PyType_Ready(&CCore_Type) < 0
+        || PyType_Ready(&CTimer_Type) < 0 || PyType_Ready(&CLink_Type) < 0
+        || PyType_Ready(&CQueue_Type) < 0)
+        return NULL;
+
+    /* WorkItem.HIGH / WorkItem.NORMAL class attributes */
+    PyObject *zero = PyLong_FromLong(0), *one = PyLong_FromLong(1);
+    if (zero == NULL || one == NULL)
+        return NULL;
+    if (PyDict_SetItemString(CWorkItem_Type.tp_dict, "HIGH", zero) < 0
+        || PyDict_SetItemString(CWorkItem_Type.tp_dict, "NORMAL", one) < 0) {
+        Py_DECREF(zero);
+        Py_DECREF(one);
+        return NULL;
+    }
+    Py_DECREF(zero);
+    Py_DECREF(one);
+
+    PyObject *m = PyModule_Create(&ckernel_module);
+    if (m == NULL)
+        return NULL;
+
+    if (PyModule_AddObjectRef(m, "Event", (PyObject *)&CEvent_Type) < 0
+        || PyModule_AddObjectRef(m, "EventLoop", (PyObject *)&CLoop_Type) < 0
+        || PyModule_AddObjectRef(m, "WorkItem",
+                                 (PyObject *)&CWorkItem_Type) < 0
+        || PyModule_AddObjectRef(m, "CpuCore", (PyObject *)&CCore_Type) < 0
+        || PyModule_AddObjectRef(m, "Timer", (PyObject *)&CTimer_Type) < 0
+        || PyModule_AddObjectRef(m, "Link", (PyObject *)&CLink_Type) < 0
+        || PyModule_AddObjectRef(m, "DropTailQueue",
+                                 (PyObject *)&CQueue_Type) < 0
+        || PyModule_AddStringConstant(m, "BACKEND", "compiled") < 0
+#if defined(__clang__)
+        || PyModule_AddStringConstant(m, "COMPILER",
+                                      "clang " __clang_version__) < 0
+#elif defined(__GNUC__)
+        || PyModule_AddStringConstant(m, "COMPILER", "gcc " __VERSION__) < 0
+#else
+        || PyModule_AddStringConstant(m, "COMPILER", "cc") < 0
+#endif
+    ) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -12,10 +12,14 @@ An entry is addressed by two hashes:
 * the **spec digest** — SHA-256 of the canonical wire-format JSON
   (:func:`repro.core.scenario.canonical_spec_json`), so any spec
   mutation misses;
-* the **code fingerprint** — SHA-256 over every ``*.py`` file under
-  ``src/repro/``, so any simulator change invalidates the whole cache
-  version at once (entries from older code stay on disk as *stale*
-  versions until ``repro cache clear``).
+* the **code fingerprint** — SHA-256 over every ``*.py`` and ``*.c``
+  file under ``src/repro/``, so any simulator change invalidates the
+  whole cache version at once (entries from older code stay on disk as
+  *stale* versions until ``repro cache clear``). The default fingerprint
+  additionally folds in the active simulation-kernel backend
+  (:func:`kernel_fingerprint`): pure and compiled kernels are verified
+  bit-identical, but a defect in one must never poison the other's
+  cached results.
 
 Entries live under ``~/.cache/repro-bbr/<fingerprint>/<digest>.json``
 (root overridable via ``REPRO_CACHE_DIR``) and store the full result —
@@ -52,6 +56,7 @@ __all__ = [
     "cache_enabled",
     "code_fingerprint",
     "default_cache_dir",
+    "kernel_fingerprint",
     "resolve_cache",
     "result_from_dict",
     "result_to_dict",
@@ -88,7 +93,7 @@ def cache_enabled() -> bool:
 
 
 def code_fingerprint() -> str:
-    """SHA-256 over every ``*.py`` file of the installed ``repro`` package.
+    """SHA-256 over the source of the installed ``repro`` package.
 
     Files are hashed in sorted relative-path order (paths normalized to
     ``/``), path and content both, so the fingerprint is stable across
@@ -102,7 +107,7 @@ def code_fingerprint() -> str:
         paths = []
         for dirpath, _dirnames, filenames in os.walk(root):
             for filename in filenames:
-                if filename.endswith(".py"):
+                if filename.endswith((".py", ".c")):
                     full = os.path.join(dirpath, filename)
                     rel = os.path.relpath(full, root).replace(os.sep, "/")
                     paths.append((rel, full))
@@ -115,6 +120,26 @@ def code_fingerprint() -> str:
             digest.update(b"\0")
         _code_fingerprint = digest.hexdigest()
     return _code_fingerprint
+
+
+def kernel_fingerprint(kernel_name: Optional[str] = None) -> str:
+    """The code fingerprint specialized to a simulation-kernel backend.
+
+    The pure kernel (the behavioral reference) keeps the plain
+    :func:`code_fingerprint`, so existing caches stay valid; any other
+    backend gets a derived version. *kernel_name* defaults to the
+    backend the environment currently selects.
+    """
+    if kernel_name is None:
+        from .kernel import resolve_kernel
+
+        kernel_name = resolve_kernel().name
+    base = code_fingerprint()
+    if kernel_name == "pure":
+        return base
+    return hashlib.sha256(
+        f"{base}:kernel={kernel_name}".encode("utf-8")
+    ).hexdigest()
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
@@ -222,7 +247,7 @@ class ResultCache:
     def __init__(self, root: Optional[str] = None,
                  fingerprint: Optional[str] = None):
         self.root = os.path.abspath(root or default_cache_dir())
-        self.fingerprint = fingerprint or code_fingerprint()
+        self.fingerprint = fingerprint or kernel_fingerprint()
 
     @property
     def version_dir(self) -> str:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import replace
 from typing import Dict, List, Optional
@@ -43,6 +44,7 @@ from . import (
     CpuConfig,
     DEVICES,
     ExperimentSpec,
+    KERNELS,
     MEDIA,
     NetemConfig,
     PROBES,
@@ -58,10 +60,12 @@ from . import (
     export_jsonl,
     load_scenario_doc,
     resolve_jobs,
+    resolve_kernel,
     run_experiment,
     run_replicated_grid_report,
     sweep_strides,
 )
+from .kernel import KERNEL_ENV_VAR
 from .metrics import RunSet, render_series, render_table
 
 __all__ = ["main", "build_parser"]
@@ -100,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--chunk", type=int, default=None,
                        help="specs batched per worker task (default: "
                             "$REPRO_CHUNK, then auto-sized from the grid)")
+        p.add_argument("--kernel", choices=KERNELS.names(), default=None,
+                       help="simulation-kernel backend (default: "
+                            "$REPRO_KERNEL, then pure); instrumented runs "
+                            "fall back to pure")
         p.add_argument("--rate-limit-mbps", type=float, default=None,
                        help="tc rate limit on the router's server port")
         p.add_argument("--buffer-segments", type=int, default=None,
@@ -270,10 +278,12 @@ def _timing_line(aggs, jobs: int, wall_s: float,
 
 
 def _cache_suffix(report) -> str:
-    """Cache/chunk annotations for the timing line (empty when unused)."""
+    """Cache/chunk/kernel annotations for the timing line (empty when default)."""
     suffix = ""
     if report.chunk > 1:
         suffix += f" chunk={report.chunk}"
+    if report.kernel != "pure":
+        suffix += f" kernel={report.kernel}"
     if report.cache_used:
         suffix += (f" cache hits={report.cache_hits} "
                    f"misses={report.cache_misses}")
@@ -530,6 +540,14 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernel", None):
+        # Exported (not just resolved here) so grid/replication worker
+        # processes inherit the same backend selection.
+        os.environ[KERNEL_ENV_VAR] = args.kernel
+        # Resolve once up front: if the compiled extension is missing
+        # this prints the fallback notice before any output, not midway
+        # through a grid.
+        resolve_kernel(args.kernel)
     if args.command == "run":
         return _cmd_run(args, out)
     if args.command == "grid":

@@ -18,6 +18,7 @@ from ..apps.iperf import IperfClientApp, IperfServerApp
 from ..cc import CC_ALGORITHMS, CongestionOps, MasterModule
 from ..cpu import CostModel, EXECUTORS
 from ..devices import CpuConfig, DeviceProfile, PIXEL_4, build_device
+from ..kernel import resolve_kernel
 from ..metrics.collector import StatAccumulator
 from ..metrics.summary import RunSet
 from ..netsim import ETHERNET_LAN, MediumProfile, NetemConfig, Testbed
@@ -219,10 +220,18 @@ def run_experiment(
     """
     if spec.warmup_s >= spec.duration_s:
         raise ValueError("warmup must be shorter than the duration")
-    loop = EventLoop()
-    rng = RngStreams(spec.seed)
     if tracer is None:
         tracer = NULL_TRACER
+    # Kernel selection (REPRO_KERNEL / --kernel) happens here and only
+    # here: every component below takes the loop, and the ones with C
+    # counterparts route themselves to the compiled backend when the loop
+    # is compiled (see repro.kernel). Instrumented runs always get the
+    # pure kernel — the C hot path carries no tracer/profiler hooks.
+    kernel = resolve_kernel(
+        instrumented=tracer.enabled or profiler is not None
+    )
+    loop = kernel.make_loop()
+    rng = RngStreams(spec.seed)
     if profiler is not None:
         loop.set_profiler(profiler)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from ..kernel import compiled_for
 from ..sim import EventLoop, Tracer, NULL_TRACER
 from ..units import SEC
 
@@ -80,6 +81,20 @@ class CpuCore:
         "_busy_since",
         "max_queue_depth",
     )
+
+    def __new__(cls, *args, **kwargs):
+        # Kernel routing: a core built on a compiled-kernel loop *is* the
+        # C implementation (construction is the only selection point; see
+        # repro.kernel). Instrumented cores stay pure — the C kernel has
+        # no tracer hooks. Subclasses always stay pure.
+        if cls is CpuCore and args:
+            tracer = kwargs.get(
+                "tracer", args[3] if len(args) > 3 else NULL_TRACER
+            )
+            ck = compiled_for(args[0])
+            if ck is not None and not tracer.enabled:
+                return ck.CpuCore(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -158,10 +173,16 @@ class CpuCore:
         callback: Callable[[], None],
         name: str = "work",
         priority: int = WorkItem.NORMAL,
+        continuation: bool = False,
     ) -> WorkItem:
-        """Convenience wrapper: build and submit a :class:`WorkItem`."""
+        """Build and submit a :class:`WorkItem` in one call.
+
+        This is the executor-facing entry point: going through it (rather
+        than constructing the item at the call site) lets the compiled
+        kernel build its own WorkItem without a Python-side allocation.
+        """
         item = WorkItem(cycles, callback, name, priority)
-        self.submit(item)
+        self.submit(item, continuation)
         return item
 
     # -- utilization --------------------------------------------------------

@@ -80,9 +80,8 @@ class NetStackExecutor(StackExecutor):
         priority: int = WorkItem.NORMAL,
         continuation: bool = False,
     ) -> None:
-        self.cpu.active_core.submit(
-            WorkItem(cycles, callback, name, priority), continuation
-        )
+        self.cpu.active_core.submit_work(cycles, callback, name, priority,
+                                         continuation)
 
     def submit_for(
         self,
@@ -94,10 +93,11 @@ class NetStackExecutor(StackExecutor):
         continuation: bool = False,
     ) -> None:
         # Serialized executor ignores the flow hint; go straight to the
-        # active core rather than through the base-class indirection.
-        self.cpu.active_core.submit(
-            WorkItem(cycles, callback, name, priority), continuation
-        )
+        # active core rather than through the base-class indirection. The
+        # submit_work form lets a compiled-kernel core build its WorkItem
+        # internally instead of allocating one here per submission.
+        self.cpu.active_core.submit_work(cycles, callback, name, priority,
+                                         continuation)
 
     def busy_ns(self) -> int:
         return sum(core.busy_ns_up_to_now() for core in self.cpu.all_cores())
@@ -128,9 +128,8 @@ class RpsExecutor(StackExecutor):
         priority: int = WorkItem.NORMAL,
         continuation: bool = False,
     ) -> None:
-        self._cores()[0].submit(
-            WorkItem(cycles, callback, name, priority), continuation
-        )
+        self._cores()[0].submit_work(cycles, callback, name, priority,
+                                     continuation)
 
     def submit_for(
         self,
@@ -142,9 +141,8 @@ class RpsExecutor(StackExecutor):
         continuation: bool = False,
     ) -> None:
         cores = self._cores()
-        cores[flow_id % len(cores)].submit(
-            WorkItem(cycles, callback, name, priority), continuation
-        )
+        cores[flow_id % len(cores)].submit_work(cycles, callback, name,
+                                                priority, continuation)
 
     def busy_ns(self) -> int:
         return sum(core.busy_ns_up_to_now() for core in self.cpu.all_cores())

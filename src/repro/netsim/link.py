@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from ..kernel import compiled_for
 from ..sim import EventLoop, Tracer, NULL_TRACER
 from ..units import SEC, transmit_time
 from .packet import Packet
@@ -28,6 +29,19 @@ class Link:
     FIFO is unbounded because upstream components are expected to respect
     :meth:`backlogged` (qdiscs do) or bound their own buffers (routers do).
     """
+
+    def __new__(cls, *args, **kwargs):
+        # Kernel routing: plain links on a compiled-kernel loop are C
+        # links. Subclasses (VariableRateLink) and traced links stay
+        # pure — their Python method overrides must keep working.
+        if cls is Link and args:
+            tracer = kwargs.get(
+                "tracer", args[4] if len(args) > 4 else NULL_TRACER
+            )
+            ck = compiled_for(args[0])
+            if ck is not None and not tracer.enabled:
+                return ck.Link(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from ..kernel import compiled_for
 from ..sim import EventLoop, Tracer, NULL_TRACER
 from .link import Link
 from .packet import Packet
@@ -27,6 +28,20 @@ class DropTailQueue:
     link's delivery completions (modelled by polling the link's busy
     state when packets are admitted and when the wire drains).
     """
+
+    def __new__(cls, *args, **kwargs):
+        # Kernel routing: droptail queues on a compiled-kernel loop are C
+        # queues (the fed link may be either backend — the C queue calls
+        # a python link's send() through the method protocol, which keeps
+        # VariableRateLink media working). Traced queues stay pure.
+        if cls is DropTailQueue and args:
+            tracer = kwargs.get(
+                "tracer", args[5] if len(args) > 5 else NULL_TRACER
+            )
+            ck = compiled_for(args[0])
+            if ck is not None and not tracer.enabled:
+                return ck.DropTailQueue(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,

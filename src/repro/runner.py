@@ -55,6 +55,7 @@ from .core.experiment import (
     run_experiment,
 )
 from .core.scenario import spec_from_dict, spec_to_dict
+from .kernel import resolve_kernel
 from .metrics.summary import RunSet
 
 __all__ = [
@@ -135,6 +136,8 @@ class GridReport:
     cache_used: bool = False
     #: spec batch size per pool task (1 = unchunked / serial path)
     chunk: int = 1
+    #: simulation-kernel backend the grid ran under ("pure"/"compiled")
+    kernel: str = "pure"
 
     @property
     def points(self) -> int:
@@ -154,6 +157,8 @@ class GridReport:
         )
         if self.chunk > 1:
             line += f" chunk={self.chunk}"
+        if self.kernel != "pure":
+            line += f" kernel={self.kernel}"
         if self.cache_used:
             line += f" cache hits={self.cache_hits} misses={self.cache_misses}"
             if self.cache_skipped:
@@ -389,6 +394,7 @@ def run_grid_report(
         cache_skipped=cache_skipped,
         cache_used=store is not None,
         chunk=chunk_size,
+        kernel=resolve_kernel().name,
     )
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..kernel import compiled_for
 from .engine import Event, EventLoop
 
 __all__ = ["Timer", "PeriodicTimer"]
@@ -26,6 +27,15 @@ class Timer:
     """
 
     __slots__ = ("_loop", "_callback", "_slack", "_event", "name", "fire_count")
+
+    def __new__(cls, *args, **kwargs):
+        # Kernel routing: timers armed on a compiled-kernel loop are C
+        # timers (O(1) generation-counter cancel, no Event allocation).
+        if cls is Timer and args:
+            ck = compiled_for(args[0])
+            if ck is not None:
+                return ck.Timer(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,

@@ -331,9 +331,9 @@ class TcpSender:
             if not self.pacer.in_period:
                 self.pacer.open_period(now)
 
-        skb_bytes = self._next_skb_bytes()
+        skb_bytes = self._next_skb_bytes(pacing)
         if skb_bytes <= 0:
-            self._handle_nothing_to_send()
+            self._handle_nothing_to_send(pacing)
             return
 
         chain = continuation and self._burst_bytes < self.config.tsq_limit_bytes
@@ -358,7 +358,7 @@ class TcpSender:
         allowed = self.scoreboard.snd_una + self.snd_wnd - self.snd_nxt
         return allowed if allowed > 0 else 0
 
-    def _next_skb_bytes(self) -> int:
+    def _next_skb_bytes(self, pacing: bool) -> int:
         """Size of the next super-packet, honouring every bound.
 
         Paced connections send *one* super-packet per pacing period (as
@@ -371,7 +371,7 @@ class TcpSender:
         if window_segs <= 0:
             return 0
         allowed = window_segs * self.mss
-        if self.pacing_active:
+        if pacing:
             bound = self.pacer.budget_remaining
             if bound < allowed:
                 allowed = bound
@@ -398,14 +398,15 @@ class TcpSender:
         if self._closed:
             return
         now = self.now
-        skb_bytes = self._revalidated_bytes()
+        pacing = self.pacing_active
+        skb_bytes = self._revalidated_bytes(pacing)
         if planned_bytes < skb_bytes:
             skb_bytes = planned_bytes
         skb_bytes = (skb_bytes // self.mss) * self.mss
         if skb_bytes <= 0:
             # Window shrank while the CPU was busy; cycles were spent for
             # nothing (as on real systems). Try again from the top.
-            self._handle_nothing_to_send()
+            self._handle_nothing_to_send(pacing)
             self._try_send()
             return
 
@@ -430,7 +431,7 @@ class TcpSender:
         self.services.send_packet(packet)
 
         self._burst_bytes += skb_bytes
-        if self.pacing_active and self.pacer.in_period:
+        if pacing and self.pacer.in_period:
             # One socket buffer per pacing period (§6.1): consume and
             # close immediately; the next send waits for the idle time.
             self.pacer.consume(skb_bytes)
@@ -440,12 +441,12 @@ class TcpSender:
         self._maybe_copy()  # refill the drained unsent buffer
         self._try_send(continuation=True)
 
-    def _revalidated_bytes(self) -> int:
+    def _revalidated_bytes(self, pacing: bool) -> int:
         window_segs = self.cwnd - self.inflight_segments
         if window_segs <= 0:
             return 0
         allowed = window_segs * self.mss
-        if self.pacing_active and self.pacer.in_period:
+        if pacing and self.pacer.in_period:
             bound = self.pacer.budget_remaining
             if bound < allowed:
                 allowed = bound
@@ -457,7 +458,7 @@ class TcpSender:
             allowed = bound
         return allowed
 
-    def _handle_nothing_to_send(self) -> None:
+    def _handle_nothing_to_send(self, pacing: bool) -> None:
         """Bookkeeping when the write path found nothing sendable.
 
         A pacing period ends as soon as the sender cannot continue it —
@@ -468,7 +469,7 @@ class TcpSender:
         A period in which nothing at all was sent is abandoned without
         idling (the ACK clock resumes transmission).
         """
-        if not self.pacing_active or not self.pacer.in_period:
+        if not pacing or not self.pacer.in_period:
             return
         if self.pacer.period_bytes_sent > 0:
             self._close_pacing_period()

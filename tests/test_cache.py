@@ -25,6 +25,7 @@ from repro.cache import (
     cache_enabled,
     code_fingerprint,
     default_cache_dir,
+    kernel_fingerprint,
     resolve_cache,
     result_from_dict,
     result_to_dict,
@@ -315,7 +316,9 @@ def test_cli_cache_stats_clear_path(monkeypatch, tmp_path):
     assert main(["cache", "stats", "--json"], out=out) == 0
     stats = json.loads(out.getvalue())
     assert stats["current_entries"] == 1
-    assert stats["fingerprint"] == code_fingerprint()
+    # the default cache version is kernel-aware (== code_fingerprint()
+    # under the pure kernel, a derived version under compiled)
+    assert stats["fingerprint"] == kernel_fingerprint()
     out = io.StringIO()
     assert main(["cache", "clear"], out=out) == 0
     assert "removed 1 cache entries" in out.getvalue()

@@ -1,0 +1,309 @@
+"""Compiled-kernel backend: selection, fallback, and pure-equivalence.
+
+The pure-python simulator is the behavioral reference; the C extension
+(:mod:`repro._ckernel`) must be *bit-identical* — same event order, same
+seq tie-breaks, same float expressions. The property-style tests drive
+both backends through the same randomized loop workload (same seeds as
+``test_sim_wheel.py``) and through full experiments (scalar metrics,
+event counts, probe time series compared for exact equality).
+
+Everything else here covers the graceful degradation paths: the
+extension being absent at import time, instrumented runs, and the C
+types refusing instrumentation they cannot honour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import os
+import random
+
+import pytest
+
+import repro.kernel as kernel_mod
+from repro import (
+    ExperimentSpec,
+    SimProfiler,
+    Tracer,
+    code_fingerprint,
+    kernel_fingerprint,
+    kernel_info,
+    run_experiment,
+)
+from repro.kernel import KERNEL_ENV_VAR, KERNELS, compiled_for, resolve_kernel
+from repro.netsim import MEDIA
+from repro.sim import EventLoop, SimulationError
+from repro.sim.engine import _WHEEL_MIN_DELAY_NS
+
+COMPILED = KERNELS.get("compiled")
+
+needs_compiled = pytest.mark.skipif(
+    not COMPILED.available,
+    reason=f"compiled kernel not built ({COMPILED.why_unavailable})",
+)
+
+
+@pytest.fixture
+def kernel_env(monkeypatch):
+    """Select a backend for run_experiment via the environment."""
+
+    def select(name: str) -> None:
+        monkeypatch.setenv(KERNEL_ENV_VAR, name)
+
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    return select
+
+
+# -- loop-level equivalence (same workload as test_sim_wheel.py) ---------------
+
+
+def _run_workload(loop, seed: int) -> list:
+    """Drive *loop* through a deterministic random schedule/cancel workload.
+
+    Identical to the wheel-vs-heap property test: both backends must
+    consume the RNG in the same order, so any divergence in fire order
+    or timing shows up as a log mismatch.
+    """
+    rng = random.Random(seed)
+    log = []
+    pending = {}
+    counter = [0]
+
+    def pick_delay() -> int:
+        bucket = rng.random()
+        if bucket < 0.4:
+            return rng.randrange(0, _WHEEL_MIN_DELAY_NS)
+        if bucket < 0.8:
+            return rng.randrange(_WHEEL_MIN_DELAY_NS, 40_000_000)
+        return rng.randrange(40_000_000, 600_000_000)
+
+    def schedule() -> None:
+        tag = counter[0]
+        counter[0] += 1
+        event = loop.call_after(pick_delay(), fire, tag)
+        pending[tag] = event
+
+    def fire(tag: int) -> None:
+        pending.pop(tag, None)
+        log.append((loop.now, tag))
+        roll = rng.random()
+        if roll < 0.55:
+            schedule()
+        if roll < 0.25 and pending:
+            victim = rng.choice(sorted(pending))
+            pending.pop(victim).cancel()
+        elif roll < 0.45 and pending:
+            victim = rng.choice(sorted(pending))
+            pending.pop(victim).cancel()
+            schedule()
+
+    for _ in range(60):
+        schedule()
+    loop.run(until=3_000_000_000)
+    return log
+
+
+@needs_compiled
+@pytest.mark.parametrize("seed", [7, 23, 1009])
+def test_compiled_loop_fires_identically_to_pure(seed):
+    """Property: the C loop never changes what fires, when, or in what order."""
+    pure_log = _run_workload(EventLoop(), seed)
+    compiled_log = _run_workload(COMPILED.make_loop(), seed)
+    assert pure_log, "workload should fire at least some events"
+    assert compiled_log == pure_log
+
+
+@needs_compiled
+@pytest.mark.parametrize("seed", [7, 23, 1009])
+def test_compiled_loop_agrees_on_events_processed(seed):
+    pure = EventLoop()
+    comp = COMPILED.make_loop()
+    _run_workload(pure, seed)
+    _run_workload(comp, seed)
+    assert comp.events_processed == pure.events_processed
+
+
+# -- experiment-level equivalence (metrics, event counts, probe series) --------
+
+
+def _experiment_specs():
+    return {
+        "bbr_lowend": ExperimentSpec(
+            cc="bbr", connections=2, cpu_config="low-end",
+            duration_s=1.0, warmup_s=0.2, seed=7,
+        ),
+        "cubic_wifi": ExperimentSpec(
+            cc="cubic", connections=2, medium=MEDIA.get("wifi"),
+            duration_s=1.0, warmup_s=0.2, seed=23,
+        ),
+        "bbr2_probes": ExperimentSpec(
+            cc="bbr2", connections=1, duration_s=1.0, warmup_s=0.2,
+            seed=1009, probes=("cwnd", "srtt", "delivery_rate"),
+        ),
+    }
+
+
+@needs_compiled
+@pytest.mark.parametrize("name", sorted(_experiment_specs()))
+def test_experiment_results_bit_identical_across_kernels(name, kernel_env):
+    """The full result — every scalar, every probe sample — must match."""
+    spec = _experiment_specs()[name]
+    kernel_env("pure")
+    pure = dataclasses.asdict(run_experiment(spec))
+    kernel_env("compiled")
+    compiled = dataclasses.asdict(run_experiment(spec))
+    assert compiled == pure
+
+
+# -- selection and fallback ----------------------------------------------------
+
+
+def test_resolve_kernel_defaults_to_pure(kernel_env):
+    assert resolve_kernel().name == "pure"
+
+
+def test_resolve_kernel_prefers_argument_over_env(kernel_env):
+    kernel_env("pure")
+    assert resolve_kernel().name == "pure"
+    # the argument wins even when the env says otherwise
+    kernel_env("compiled")
+    assert resolve_kernel("pure").name == "pure"
+
+
+def test_resolve_kernel_unknown_name_raises(kernel_env):
+    from repro.registry import UnknownNameError
+
+    with pytest.raises(UnknownNameError):
+        resolve_kernel("turbo")
+
+
+def test_instrumented_run_falls_back_to_pure_with_notice(monkeypatch, capsys):
+    monkeypatch.setattr(kernel_mod, "_noticed", set())
+    kernel = resolve_kernel("compiled", instrumented=True)
+    assert kernel.name == "pure"
+    err = capsys.readouterr().err
+    assert "instrumented" in err and "pure" in err
+    # once per process, not once per run
+    resolve_kernel("compiled", instrumented=True)
+    assert capsys.readouterr().err == ""
+
+
+def test_missing_extension_falls_back_to_pure(monkeypatch, capsys):
+    """Simulate a machine where the C extension never built."""
+    monkeypatch.setattr(kernel_mod, "_ckernel", None)
+    monkeypatch.setattr(kernel_mod, "_ckernel_error", "no compiler at install")
+    monkeypatch.setattr(kernel_mod, "_ckernel_loaded", True)
+    monkeypatch.setattr(kernel_mod, "_noticed", set())
+    assert not COMPILED.available
+    assert "no compiler at install" in COMPILED.why_unavailable
+    kernel = resolve_kernel("compiled")
+    assert kernel.name == "pure"
+    assert "falling back to the pure kernel" in capsys.readouterr().err
+
+
+def test_missing_extension_still_runs_experiments(monkeypatch, kernel_env):
+    """REPRO_KERNEL=compiled on a pure-only install must still work."""
+    monkeypatch.setattr(kernel_mod, "_ckernel", None)
+    monkeypatch.setattr(kernel_mod, "_ckernel_loaded", True)
+    monkeypatch.setattr(kernel_mod, "_noticed", set())
+    kernel_env("compiled")
+    spec = ExperimentSpec(cc="bbr", duration_s=0.5, warmup_s=0.1)
+    result = run_experiment(spec)
+    assert result.events_processed > 0
+
+
+def test_compiled_for_is_none_for_pure_loops():
+    assert compiled_for(EventLoop()) is None
+
+
+@needs_compiled
+def test_compiled_for_identifies_compiled_loops():
+    loop = COMPILED.make_loop()
+    assert compiled_for(loop) is not None
+
+
+def test_kernel_info_reports_active_backend(kernel_env):
+    info = kernel_info()
+    assert info == {"name": "pure", "compiler": None}
+
+
+@needs_compiled
+def test_kernel_info_reports_compiler_for_compiled():
+    info = kernel_info(COMPILED)
+    assert info["name"] == "compiled"
+    assert isinstance(info["compiler"], str) and info["compiler"]
+
+
+# -- instrumentation guards on the C types -------------------------------------
+
+
+@needs_compiled
+def test_profiled_experiment_falls_back_and_profiles_fully(kernel_env):
+    """A profiler under --kernel compiled must never come back empty."""
+    kernel_env("compiled")
+    profiler = SimProfiler()
+    result = run_experiment(
+        ExperimentSpec(cc="bbr", duration_s=0.5, warmup_s=0.1),
+        profiler=profiler,
+    )
+    assert profiler.total_events == result.events_processed
+
+
+@needs_compiled
+def test_compiled_loop_refuses_profiler():
+    loop = COMPILED.make_loop()
+    with pytest.raises(SimulationError, match="pure"):
+        loop.set_profiler(SimProfiler())
+
+
+@needs_compiled
+def test_traced_components_stay_pure_on_compiled_loop():
+    """Routing must not hand a tracing component to the tracerless C kernel."""
+    from repro.cpu.core import CpuCore
+
+    loop = COMPILED.make_loop()
+    tracer = Tracer(enabled=True)
+    core = CpuCore(loop, 1e9, "cpu0", tracer)
+    assert type(core) is CpuCore  # pure python, tracer honoured
+
+
+@needs_compiled
+def test_c_component_constructor_rejects_enabled_tracer():
+    ck = kernel_mod._load_ckernel()
+    loop = COMPILED.make_loop()
+    with pytest.raises(ValueError, match="pure"):
+        ck.CpuCore(loop, 1e9, "cpu0", Tracer(enabled=True))
+
+
+# -- cache fingerprints distinguish backends -----------------------------------
+
+
+def test_kernel_fingerprint_distinguishes_backends():
+    base = code_fingerprint()
+    assert kernel_fingerprint("pure") == base
+    assert kernel_fingerprint("compiled") != base
+    # deterministic: same input, same derived version
+    assert kernel_fingerprint("compiled") == kernel_fingerprint("compiled")
+
+
+# -- perf harness: single-core parallel skip -----------------------------------
+
+
+def _load_perf_harness():
+    path = os.path.join(
+        os.path.dirname(__file__), os.pardir, "benchmarks", "perf_harness.py"
+    )
+    spec = importlib.util.spec_from_file_location("perf_harness", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_parallel_scaling_skipped_on_single_core(monkeypatch):
+    """One core: no speedup claim, an explicit skip marker instead."""
+    harness = _load_perf_harness()
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert harness.measure_parallel_scaling(0.2, 0.05) == {
+        "skipped_reason": "single core"
+    }
