@@ -20,7 +20,10 @@ measure
   directory: wall time, hit rate, and the cold/warm speedup;
 * **chunked-dispatch microbenchmark** — a grid of many very short
   simulations dispatched one point per pool task versus batched, which
-  isolates the per-task IPC round trip the chunking amortizes.
+  isolates the per-task IPC round trip the chunking amortizes;
+* **flow-churn microbenchmark** — Poisson connection arrivals racing a
+  greedy flow, which stresses flow setup/teardown and the per-flow
+  accounting rather than the steady-state fast path.
 
 All timing measurements pin ``cache=False`` so the result cache can
 never serve a point the harness meant to time.
@@ -50,6 +53,8 @@ from typing import Dict, List
 from repro import (
     KERNELS,
     ExperimentSpec,
+    FlowSpec,
+    NetemConfig,
     ResultCache,
     kernel_info,
     load_scenario,
@@ -280,6 +285,47 @@ def measure_chunked_dispatch(quick: bool) -> Dict[str, object]:
     }
 
 
+def measure_flow_churn(quick: bool) -> Dict[str, object]:
+    """Flow-churn microbenchmark: Poisson connection arrivals against a
+    greedy flow on a shared bottleneck.
+
+    Unlike the steady-state canonical points, this run spends its time
+    on flow setup/teardown — connection creation, per-flow accounting,
+    completion hooks, and the flow routing table — so regressions in the
+    multi-flow plumbing show up here even when the fast path is fine.
+    """
+    duration_s, rate_hz = (1.2, 20.0) if quick else (3.0, 30.0)
+    spec = ExperimentSpec(
+        duration_s=duration_s, warmup_s=0.2,
+        netem=NetemConfig(rate_bps=2e8),
+        flows=(FlowSpec(cc="bbr"),
+               FlowSpec(cc="cubic", count=0, arrival_rate_hz=rate_hz,
+                        mean_transfer_bytes=200_000, start_s=0.1)),
+    )
+    best_wall = float("inf")
+    result = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        candidate = run_experiment(spec)
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall, result = wall, candidate
+    events_per_sec = result.events_processed / best_wall if best_wall else 0.0
+    print(f"  churn {rate_hz:g}/s: {result.flow_count} flows "
+          f"({result.flows_completed} completed), {best_wall:.3f}s  "
+          f"{events_per_sec:,.0f} ev/s")
+    return {
+        "arrival_rate_hz": rate_hz,
+        "duration_s": duration_s,
+        "flows": result.flow_count,
+        "flows_completed": result.flows_completed,
+        "fct_mean_ms": round(result.fct_mean_ms, 3),
+        "wall_s": round(best_wall, 4),
+        "events": result.events_processed,
+        "events_per_sec": round(events_per_sec, 1),
+    }
+
+
 def measure_allocations(duration_s: float, warmup_s: float) -> Dict[str, object]:
     """tracemalloc peak + packet-pool reuse for one canonical run.
 
@@ -359,6 +405,8 @@ def main(argv=None) -> int:
     cache_bench = measure_result_cache(args.quick)
     print("chunked dispatch (microbenchmark):")
     chunking = measure_chunked_dispatch(args.quick)
+    print("flow churn (microbenchmark):")
+    flow_churn = measure_flow_churn(args.quick)
 
     existing: Dict[str, object] = {}
     if os.path.exists(BENCH_PATH):
@@ -375,6 +423,7 @@ def main(argv=None) -> int:
             "allocation": allocations,
             "result_cache": cache_bench,
             "chunked_dispatch": chunking,
+            "flow_churn": flow_churn,
         },
         "meta": {
             "cpu_count": os.cpu_count(),

@@ -21,6 +21,7 @@ from .core import (
     AdaptiveStrideController,
     ExperimentResult,
     ExperimentSpec,
+    FlowSpec,
     PAPER_STRIDES,
     ReplicatedResult,
     StrideRow,
@@ -28,10 +29,13 @@ from .core import (
     expand_scenario,
     expand_scenario_dicts,
     expected_throughput_bps,
+    flow_from_dict,
+    flow_to_dict,
     idle_time_ns,
     load_scenario,
     load_scenario_doc,
     make_cc_factory,
+    resolve_flows,
     run_experiment,
     run_replicated,
     spec_digest,
@@ -39,6 +43,7 @@ from .core import (
     spec_to_dict,
     sweep_strides,
 )
+from .metrics import goodput_shares, jain_fairness_index
 from .cache import (
     CacheStats,
     ResultCache,
@@ -92,11 +97,17 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "ReplicatedResult",
+    "FlowSpec",
+    "resolve_flows",
     "run_experiment",
     "run_replicated",
     "make_cc_factory",
+    "jain_fairness_index",
+    "goodput_shares",
     "spec_to_dict",
     "spec_from_dict",
+    "flow_to_dict",
+    "flow_from_dict",
     "canonical_spec_json",
     "spec_digest",
     "CacheStats",

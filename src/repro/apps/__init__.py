@@ -1,5 +1,7 @@
-"""Workload applications: the iperf3-like bulk uplink client/server."""
+"""Workload applications: bulk uplink clients (iperf-like and
+multi-flow) and the measuring server."""
 
+from .flows import FlowClient, FlowRecord
 from .iperf import IperfClientApp, IperfServerApp
 
-__all__ = ["IperfClientApp", "IperfServerApp"]
+__all__ = ["FlowClient", "FlowRecord", "IperfClientApp", "IperfServerApp"]

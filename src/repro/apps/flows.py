@@ -1,0 +1,302 @@
+"""Flow orchestration: heterogeneous senders, lifetimes, and churn.
+
+:class:`FlowClient` generalizes the iperf workload: flow *groups* (N
+connections on one host stack, optionally byte-limited, with scheduled
+start/stop times) plus Poisson *churn processes* (finite transfers whose
+arrival times and sizes are pre-drawn from a seeded stream, so the run is
+reproducible under any executor). The legacy
+:class:`~repro.apps.iperf.IperfClientApp` is the special case of a single
+greedy group on one stack.
+
+Flow lifetimes are tracked in :class:`FlowRecord` entries — one per
+connection, in flow-id order — from which the experiment layer derives
+flow-completion-time summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import random
+
+from ..cc.base import CongestionOps
+from ..metrics.collector import StatAccumulator
+from ..sim import EventLoop
+from ..tcp.connection import FiniteSource, InfiniteSource, SocketConfig, TcpSender
+from ..tcp.stack import MobileTcpStack
+from ..units import USEC, seconds
+
+__all__ = ["FlowClient", "FlowRecord"]
+
+
+@dataclass
+class FlowRecord:
+    """Lifetime bookkeeping for one flow."""
+
+    flow_id: int
+    #: human label (normally the CC name of the owning flow entry)
+    label: str = ""
+    #: transfer size in bytes (None = greedy, runs until stopped)
+    target_bytes: Optional[int] = None
+    #: simulated time the flow started transmitting (None = never started)
+    started_ns: Optional[int] = None
+    #: simulated time the transfer completed (None = incomplete/greedy)
+    completed_ns: Optional[int] = None
+
+    @property
+    def completion_time_ns(self) -> Optional[int]:
+        """Flow completion time, or None while incomplete."""
+        if self.started_ns is None or self.completed_ns is None:
+            return None
+        return self.completed_ns - self.started_ns
+
+
+class FlowClient:
+    """The sending side of a multi-flow experiment.
+
+    Groups and churn processes are added while building the experiment;
+    :meth:`start` schedules every static flow (staggered like real iperf
+    clients) and every pre-drawn churn arrival. All connections — static
+    and spawned — accumulate in :attr:`connections` in flow-id order,
+    with a parallel :attr:`records` list.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        socket_config: Optional[SocketConfig] = None,
+        stagger_ns: int = 500 * USEC,
+    ):
+        self._loop = loop
+        self._config = socket_config
+        self._stagger_ns = int(stagger_ns)
+        self._mss = (socket_config or SocketConfig()).mss
+        self.connections: List[TcpSender] = []
+        self.records: List[FlowRecord] = []
+        #: RTT samples taken at/after this time count toward the stats
+        self.rtt_window_start_ns = 0
+        self.rtt_stats = StatAccumulator(keep=True)
+        self._static: List[Tuple[TcpSender, FlowRecord, float, Optional[float]]] = []
+        self._churn: List[
+            Tuple[MobileTcpStack, Callable[[], CongestionOps], List[Tuple[int, int]], str]
+        ] = []
+
+    # -- experiment construction ----------------------------------------------
+
+    def add_flow_group(
+        self,
+        stack: MobileTcpStack,
+        cc_factory: Callable[[], CongestionOps],
+        count: int = 1,
+        start_s: float = 0.0,
+        stop_s: Optional[float] = None,
+        transfer_bytes: Optional[int] = None,
+        label: str = "",
+    ) -> List[TcpSender]:
+        """Open *count* connections on *stack* (they transmit on start).
+
+        ``transfer_bytes`` bounds each connection (rounded up to whole
+        MSS segments — partial segments never transmit); ``None`` keeps
+        them greedy. Connections are created immediately, in call order,
+        so flow ids follow group declaration order.
+        """
+        created: List[TcpSender] = []
+        target = (
+            self._segment_aligned(transfer_bytes)
+            if transfer_bytes is not None
+            else None
+        )
+        for _ in range(count):
+            source = FiniteSource(target) if target is not None else InfiniteSource()
+            sender = stack.create_connection(
+                cc_factory(), config=self._config, source=source
+            )
+            sender.on_rtt_sample = self._on_rtt_sample
+            record = FlowRecord(
+                flow_id=sender.flow_id, label=label, target_bytes=target
+            )
+            if target is not None:
+                self._wire_completion(sender, record, target)
+            self.connections.append(sender)
+            self.records.append(record)
+            self._static.append((sender, record, start_s, stop_s))
+            created.append(sender)
+        return created
+
+    def add_churn_process(
+        self,
+        stack: MobileTcpStack,
+        cc_factory: Callable[[], CongestionOps],
+        rng: random.Random,
+        arrival_rate_hz: float,
+        mean_transfer_bytes: int,
+        start_s: float = 0.0,
+        stop_s: Optional[float] = None,
+        horizon_s: Optional[float] = None,
+        max_arrivals: Optional[int] = None,
+        label: str = "",
+    ) -> int:
+        """Schedule a Poisson process of finite transfers on *stack*.
+
+        The whole arrival schedule — exponential inter-arrival times at
+        *arrival_rate_hz* and exponential sizes with mean
+        *mean_transfer_bytes*, rounded up to whole segments — is drawn
+        here, in one place, from *rng*. Event callbacks never touch the
+        stream, so the run is identical under serial, parallel, and
+        cached execution. Returns the number of scheduled arrivals.
+        """
+        if arrival_rate_hz <= 0:
+            raise ValueError("arrival_rate_hz must be > 0")
+        if mean_transfer_bytes <= 0:
+            raise ValueError("mean_transfer_bytes must be > 0")
+        end_s = stop_s if stop_s is not None else horizon_s
+        if end_s is None and max_arrivals is None:
+            raise ValueError(
+                "an unbounded churn process needs stop_s, horizon_s, or "
+                "max_arrivals"
+            )
+        arrivals: List[Tuple[int, int]] = []
+        t = start_s
+        while True:
+            t += rng.expovariate(arrival_rate_hz)
+            if end_s is not None and t >= end_s:
+                break
+            nbytes = self._segment_aligned(
+                rng.expovariate(1.0 / mean_transfer_bytes)
+            )
+            arrivals.append((seconds(t), nbytes))
+            if max_arrivals is not None and len(arrivals) >= max_arrivals:
+                break
+        self._churn.append((stack, cc_factory, arrivals, label))
+        return len(arrivals)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule every static flow and churn arrival.
+
+        Static flows start at their group's ``start_s`` plus the iperf
+        stagger (one stagger step per static flow, in creation order —
+        exactly the legacy client's schedule when every ``start_s`` is
+        0); stops and churn arrivals are plain timed events.
+        """
+        for index, (sender, record, start_s, stop_s) in enumerate(self._static):
+            delay_ns = seconds(start_s) + index * self._stagger_ns
+            self._loop.call_after(delay_ns, self._starter(sender, record))
+            if stop_s is not None:
+                self._loop.call_after(seconds(stop_s), sender.close)
+        for stack, cc_factory, arrivals, label in self._churn:
+            for when_ns, nbytes in arrivals:
+                self._loop.call_after(
+                    when_ns, self._spawner(stack, cc_factory, nbytes, label)
+                )
+
+    def stop(self) -> None:
+        """Close every connection (idempotent per flow)."""
+        for sender in self.connections:
+            sender.close()
+
+    # -- flow-completion summaries ----------------------------------------------
+
+    @property
+    def flows_completed(self) -> int:
+        """Finite transfers that acknowledged all their bytes."""
+        return sum(1 for r in self.records if r.completed_ns is not None)
+
+    def completion_times_ns(self) -> List[int]:
+        """Completion time of every finished transfer, flow-id order."""
+        return [
+            r.completion_time_ns
+            for r in self.records
+            if r.completion_time_ns is not None
+        ]
+
+    # -- aggregated sender-side stats ------------------------------------------
+
+    def _on_rtt_sample(self, rtt_ns: int) -> None:
+        if self._loop.now >= self.rtt_window_start_ns:
+            self.rtt_stats.add(rtt_ns / 1e6)  # store milliseconds
+
+    @property
+    def retransmitted_segments(self) -> int:
+        """Total segments retransmitted across all connections."""
+        return sum(c.retransmitted_segments for c in self.connections)
+
+    @property
+    def rto_count(self) -> int:
+        """Total RTO firings across all connections."""
+        return sum(c.rto_count for c in self.connections)
+
+    @property
+    def mean_cwnd_segments(self) -> float:
+        """Instantaneous mean cwnd across connections."""
+        if not self.connections:
+            return 0.0
+        return sum(c.cwnd for c in self.connections) / len(self.connections)
+
+    def mean_pacer_period_bytes(self) -> float:
+        """Average bytes per pacing period across connections (Table 2)."""
+        periods = sum(c.pacer.periods for c in self.connections)
+        if periods == 0:
+            return 0.0
+        total = sum(c.pacer.bytes_per_period_total for c in self.connections)
+        return total / periods
+
+    def mean_pacer_idle_ns(self) -> float:
+        """Average pacing idle time across connections (Table 2)."""
+        periods = sum(c.pacer.periods for c in self.connections)
+        if periods == 0:
+            return 0.0
+        total = sum(c.pacer.idle_ns_total for c in self.connections)
+        return total / periods
+
+    # -- internals ----------------------------------------------------------------
+
+    def _segment_aligned(self, nbytes) -> int:
+        """Round a transfer size up to whole MSS segments (min 1)."""
+        segments = max(1, -(-int(nbytes) // self._mss))
+        return segments * self._mss
+
+    def _wire_completion(
+        self, sender: TcpSender, record: FlowRecord, target_bytes: int
+    ) -> None:
+        sender.complete_at_bytes = target_bytes
+
+        def done() -> None:
+            record.completed_ns = self._loop.now
+            sender.close()
+
+        sender.on_complete = done
+
+    def _starter(self, sender: TcpSender, record: FlowRecord) -> Callable[[], None]:
+        def go() -> None:
+            record.started_ns = self._loop.now
+            sender.start()
+
+        return go
+
+    def _spawner(
+        self,
+        stack: MobileTcpStack,
+        cc_factory: Callable[[], CongestionOps],
+        nbytes: int,
+        label: str,
+    ) -> Callable[[], None]:
+        def spawn() -> None:
+            sender = stack.create_connection(
+                cc_factory(), config=self._config, source=FiniteSource(nbytes)
+            )
+            sender.on_rtt_sample = self._on_rtt_sample
+            record = FlowRecord(
+                flow_id=sender.flow_id,
+                label=label,
+                target_bytes=nbytes,
+                started_ns=self._loop.now,
+            )
+            self._wire_completion(sender, record, nbytes)
+            self.connections.append(sender)
+            self.records.append(record)
+            sender.start()
+
+        return spawn

@@ -9,16 +9,17 @@ binned into intervals.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from ..cc.base import CongestionOps
-from ..metrics.collector import IntervalCounter, StatAccumulator
+from ..metrics.collector import IntervalCounter
 from ..netsim.testbed import Testbed
 from ..sim import EventLoop
-from ..tcp.connection import InfiniteSource, SocketConfig, TcpSender
+from ..tcp.connection import SocketConfig
 from ..tcp.receiver import TcpReceiverEndpoint
 from ..tcp.stack import MobileTcpStack, ServerHost
 from ..units import MSEC, USEC
+from .flows import FlowClient
 
 __all__ = ["IperfClientApp", "IperfServerApp"]
 
@@ -54,8 +55,13 @@ class IperfServerApp(ServerHost):
         return counter.rate_bps_between(start_ns, end_ns) if counter else 0.0
 
 
-class IperfClientApp:
-    """Sending side: N parallel greedy connections with RTT collection."""
+class IperfClientApp(FlowClient):
+    """Sending side: N parallel greedy connections with RTT collection.
+
+    The ``iperf3 -P N`` workload as a :class:`~repro.apps.flows.FlowClient`
+    special case: one greedy flow group on one stack, started with the
+    usual per-connection stagger.
+    """
 
     def __init__(
         self,
@@ -68,65 +74,6 @@ class IperfClientApp:
     ):
         if parallel < 1:
             raise ValueError("need at least one connection")
-        self._loop = loop
+        super().__init__(loop, socket_config=socket_config, stagger_ns=stagger_ns)
         self.stack = stack
-        self.connections: List[TcpSender] = []
-        #: RTT samples taken at/after this time count toward the stats
-        self.rtt_window_start_ns = 0
-        self.rtt_stats = StatAccumulator(keep=True)
-        self._stagger_ns = int(stagger_ns)
-        for _ in range(parallel):
-            sender = stack.create_connection(
-                cc_factory(), config=socket_config, source=InfiniteSource()
-            )
-            sender.on_rtt_sample = self._on_rtt_sample
-            self.connections.append(sender)
-
-    def start(self) -> None:
-        """Start every connection, slightly staggered like real flows."""
-        for index, sender in enumerate(self.connections):
-            self._loop.call_after(index * self._stagger_ns, sender.start)
-
-    def stop(self) -> None:
-        """Close every connection."""
-        for sender in self.connections:
-            sender.close()
-
-    # -- aggregated sender-side stats ------------------------------------------
-
-    def _on_rtt_sample(self, rtt_ns: int) -> None:
-        if self._loop.now >= self.rtt_window_start_ns:
-            self.rtt_stats.add(rtt_ns / 1e6)  # store milliseconds
-
-    @property
-    def retransmitted_segments(self) -> int:
-        """Total segments retransmitted across all connections."""
-        return sum(c.retransmitted_segments for c in self.connections)
-
-    @property
-    def rto_count(self) -> int:
-        """Total RTO firings across all connections."""
-        return sum(c.rto_count for c in self.connections)
-
-    @property
-    def mean_cwnd_segments(self) -> float:
-        """Instantaneous mean cwnd across connections."""
-        if not self.connections:
-            return 0.0
-        return sum(c.cwnd for c in self.connections) / len(self.connections)
-
-    def mean_pacer_period_bytes(self) -> float:
-        """Average bytes per pacing period across connections (Table 2)."""
-        periods = sum(c.pacer.periods for c in self.connections)
-        if periods == 0:
-            return 0.0
-        total = sum(c.pacer.bytes_per_period_total for c in self.connections)
-        return total / periods
-
-    def mean_pacer_idle_ns(self) -> float:
-        """Average pacing idle time across connections (Table 2)."""
-        periods = sum(c.pacer.periods for c in self.connections)
-        if periods == 0:
-            return 0.0
-        total = sum(c.pacer.idle_ns_total for c in self.connections)
-        return total / periods
+        self.add_flow_group(stack, cc_factory, count=parallel)

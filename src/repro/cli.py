@@ -237,7 +237,7 @@ def _spec_from_args(args, **overrides) -> ExperimentSpec:
 
 
 def _result_dict(agg) -> dict:
-    return {
+    row = {
         "label": agg.spec.label(),
         "runs": len(agg.runs),
         "goodput_mbps": round(agg.goodput_mbps, 2),
@@ -248,6 +248,10 @@ def _result_dict(agg) -> dict:
         "mean_skb_bytes": round(agg.mean("mean_skb_bytes"), 1),
         "mean_idle_ms": round(agg.mean("mean_idle_ms"), 3),
     }
+    if any(r.flow_count > 1 for r in agg.runs):
+        row["flows"] = round(agg.mean("flow_count"), 1)
+        row["jain_fairness"] = round(agg.mean("jain_fairness"), 3)
+    return row
 
 
 def _emit(rows: List[dict], as_json: bool, out) -> None:
@@ -255,8 +259,10 @@ def _emit(rows: List[dict], as_json: bool, out) -> None:
         json.dump(rows if len(rows) > 1 else rows[0], out, indent=2)
         out.write("\n")
         return
-    headers = list(rows[0])
-    table = render_table(headers, [[r[h] for h in headers] for r in rows])
+    # Rows may have heterogeneous keys (multi-flow rows grow fairness
+    # columns); the table shows the union, blank where absent.
+    headers = list(dict.fromkeys(k for r in rows for k in r))
+    table = render_table(headers, [[r.get(h, "") for h in headers] for r in rows])
     out.write(table + "\n")
 
 
@@ -457,6 +463,23 @@ def _cmd_grid(args, out) -> int:
     return 0
 
 
+def _scenario_files() -> List[str]:
+    """Scenario JSON names under the scenario directory, sorted.
+
+    The directory defaults to ``benchmarks/scenarios`` relative to the
+    working directory (the repo layout); ``$REPRO_SCENARIO_DIR``
+    overrides it. Missing directory -> empty list, not an error.
+    """
+    root = os.environ.get("REPRO_SCENARIO_DIR",
+                          os.path.join("benchmarks", "scenarios"))
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return []
+    return sorted(os.path.splitext(n)[0] for n in names
+                  if n.endswith(".json"))
+
+
 def _cmd_list(args, out) -> int:
     sections = {
         "cc": "congestion controls",
@@ -465,17 +488,22 @@ def _cmd_list(args, out) -> int:
         "device": "devices",
         "cpu-config": "CPU configs",
         "probe": "probes",
+        "scenario": "scenarios",
     }
     registries = all_registries()
+    scenarios = _scenario_files()
     if args.json:
-        json.dump({key: list(reg.names()) for key, reg in registries.items()},
-                  out, indent=2)
+        payload = {key: list(reg.names()) for key, reg in registries.items()}
+        payload["scenario"] = scenarios
+        json.dump(payload, out, indent=2)
         out.write("\n")
         return 0
     width = max(len(title) for title in sections.values())
     for key, reg in registries.items():
         title = sections.get(key, key)
         out.write(f"{title.rjust(width)}: {', '.join(reg.names())}\n")
+    if scenarios:
+        out.write(f"{'scenarios'.rjust(width)}: {', '.join(scenarios)}\n")
     return 0
 
 

@@ -10,10 +10,13 @@ from .experiment import (
     run_experiment,
     run_replicated,
 )
+from .flows import FlowSpec, resolve_flows
 from .scenario import (
     canonical_spec_json,
     expand_scenario,
     expand_scenario_dicts,
+    flow_from_dict,
+    flow_to_dict,
     load_scenario,
     load_scenario_doc,
     spec_digest,
@@ -26,11 +29,15 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "ReplicatedResult",
+    "FlowSpec",
+    "resolve_flows",
     "run_experiment",
     "run_replicated",
     "make_cc_factory",
     "spec_to_dict",
     "spec_from_dict",
+    "flow_to_dict",
+    "flow_from_dict",
     "canonical_spec_json",
     "spec_digest",
     "expand_scenario",

@@ -14,12 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..apps.iperf import IperfClientApp, IperfServerApp
+from ..apps.flows import FlowClient
+from ..apps.iperf import IperfServerApp
 from ..cc import CC_ALGORITHMS, CongestionOps, MasterModule
 from ..cpu import CostModel, EXECUTORS
 from ..devices import CpuConfig, DeviceProfile, PIXEL_4, build_device
 from ..kernel import resolve_kernel
 from ..metrics.collector import StatAccumulator
+from ..metrics.fairness import jain_fairness_index
 from ..metrics.summary import RunSet
 from ..netsim import ETHERNET_LAN, MediumProfile, NetemConfig, Testbed
 from ..obs.probes import ProbeContext, ProbeSet
@@ -27,13 +29,15 @@ from ..obs.series import TimeSeries
 from ..sim import EventLoop, NULL_TRACER, PeriodicTimer, RngStreams, Tracer
 from ..tcp.connection import SocketConfig
 from ..tcp.pacing import PacingMode
-from ..tcp.stack import MobileTcpStack
+from ..tcp.stack import FlowIdAllocator, MobileTcpStack
 from ..units import MSEC, mbps, seconds, to_mbps
+from .flows import FlowSpec, resolve_flows
 
 __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "ReplicatedResult",
+    "FlowSpec",
     "run_experiment",
     "run_replicated",
     "make_cc_factory",
@@ -77,10 +81,34 @@ class ExperimentSpec:
     #: :data:`repro.obs.probes.PROBES`); results land in
     #: :attr:`ExperimentResult.timeseries`
     probes: Tuple[str, ...] = ()
+    #: heterogeneous sender hosts (see :class:`repro.core.flows.FlowSpec`);
+    #: empty = the legacy shape (``connections`` flows under ``cc``)
+    flows: Tuple[FlowSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.flows, tuple):
+            object.__setattr__(self, "flows", tuple(self.flows))
+        for flow in self.flows:
+            if not isinstance(flow, FlowSpec):
+                raise ValueError(
+                    f"flows entries must be FlowSpec, got {type(flow).__name__}"
+                )
+        if self.flows and self.connections != 1:
+            raise ValueError(
+                "a spec uses either 'flows' or 'connections', not both "
+                "(leave connections at its default of 1)"
+            )
 
     def label(self) -> str:
         """Compact human-readable identifier for reports."""
-        parts = [self.cc, f"{self.connections}c", self.cpu_config, self.medium.name]
+        if self.flows:
+            ccs = "+".join(dict.fromkeys(f.cc for f in self.flows))
+            total = sum(f.count for f in self.flows)
+            shape = f"{len(self.flows)}h{total}f"
+            parts = [ccs, shape, self.cpu_config, self.medium.name]
+        else:
+            parts = [self.cc, f"{self.connections}c", self.cpu_config,
+                     self.medium.name]
         if self.pacing_mode != PacingMode.AUTO:
             parts.append(f"pacing={self.pacing_mode}")
         if self.pacing_stride != 1.0:
@@ -125,6 +153,15 @@ class ExperimentResult:
     mean_memory_bytes: float
     mean_cwnd_segments: float
     events_processed: int
+    #: flows that ran (static + churn-spawned), i.e. len(per_flow_goodput_mbps)
+    flow_count: int = 1
+    #: finite transfers that acknowledged all their bytes
+    flows_completed: int = 0
+    #: Jain index over per-flow goodput in the window (1.0 = equal shares)
+    jain_fairness: float = 1.0
+    #: flow-completion-time summary over completed finite transfers, ms
+    fct_mean_ms: float = 0.0
+    fct_p95_ms: float = 0.0
     #: probe output: series name -> :class:`~repro.obs.series.TimeSeries`
     #: (empty unless the spec selected probes)
     timeseries: Dict[str, TimeSeries] = field(default_factory=dict)
@@ -134,13 +171,20 @@ class ExperimentResult:
 
         Derived from the dataclass itself: every numeric field is a
         metric (so new fields aggregate automatically); the spec and
-        per-flow list are skipped.
+        per-flow list are skipped. Per-flow goodput *shares* are emitted
+        as ``goodput_share_f<id>`` entries (flow ids follow creation
+        order) whenever anything was delivered, so fairness outcomes ride
+        through :class:`~repro.metrics.summary.RunSet` aggregation.
         """
         out: Dict[str, float] = {}
         for f in fields(self):
             value = getattr(self, f.name)
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 out[f.name] = float(value)
+        total = sum(self.per_flow_goodput_mbps)
+        if total > 0.0:
+            for index, goodput in enumerate(self.per_flow_goodput_mbps):
+                out[f"goodput_share_f{index + 1}"] = goodput / total
         return out
 
 
@@ -177,9 +221,15 @@ class ReplicatedResult:
         return self.stats.mean(name)
 
 
-def make_cc_factory(spec: ExperimentSpec) -> Callable[[], CongestionOps]:
-    """Resolve the spec's CC name + master-module knobs to a factory."""
-    base_factory = CC_ALGORITHMS.get(spec.cc)
+def make_cc_factory(
+    spec: ExperimentSpec, cc: Optional[str] = None
+) -> Callable[[], CongestionOps]:
+    """Resolve a CC name + the spec's master-module knobs to a factory.
+
+    *cc* overrides the spec-level algorithm (per-flow CC in multi-flow
+    experiments); the §5 master-module knobs always come from the spec.
+    """
+    base_factory = CC_ALGORITHMS.get(cc if cc is not None else spec.cc)
     needs_master = (
         spec.disable_model
         or spec.fixed_cwnd_segments is not None
@@ -235,8 +285,12 @@ def run_experiment(
     if profiler is not None:
         loop.set_profiler(profiler)
 
-    device = build_device(loop, spec.device, spec.cpu_config, tracer=tracer)
-    costs = spec.costs if spec.costs is not None else device.cost_model
+    # One sender host per flow entry. Host 0 is built exactly the way the
+    # single-host path always was (same construction order, component
+    # names, and RNG streams), so legacy specs — the implicit one-entry
+    # plan of resolve_flows — reproduce archived results byte for byte.
+    flow_plan = resolve_flows(spec)
+    devices = [build_device(loop, spec.device, spec.cpu_config, tracer=tracer)]
     testbed = Testbed(
         loop,
         spec.medium,
@@ -245,20 +299,57 @@ def run_experiment(
         phone_qdisc_segments=spec.phone_qdisc_segments,
         tracer=tracer,
     )
-    executor = EXECUTORS.get(spec.executor)(device.cpu)
-    stack = MobileTcpStack(loop, executor, costs, testbed, tracer=tracer)
+    if flow_plan[0].netem is not None:
+        testbed.set_port_netem(0, flow_plan[0].netem)
+    for host_flow in flow_plan[1:]:
+        devices.append(
+            build_device(loop, spec.device, spec.cpu_config, tracer=tracer)
+        )
+        testbed.add_sender_port(netem=host_flow.netem)
+
+    flow_ids = FlowIdAllocator()
+    stacks = []
+    for host_index, device in enumerate(devices):
+        costs = spec.costs if spec.costs is not None else device.cost_model
+        executor = EXECUTORS.get(spec.executor)(device.cpu)
+        stacks.append(
+            MobileTcpStack(
+                loop, executor, costs, testbed, tracer=tracer,
+                port=testbed.ports[host_index], flow_ids=flow_ids,
+            )
+        )
+    device, stack = devices[0], stacks[0]
     server = IperfServerApp(loop, testbed)
     socket_config = SocketConfig(
         pacing_mode=spec.pacing_mode,
         pacing_stride=spec.pacing_stride,
     )
-    client = IperfClientApp(
-        loop,
-        stack,
-        make_cc_factory(spec),
-        parallel=spec.connections,
-        socket_config=socket_config,
-    )
+    client = FlowClient(loop, socket_config=socket_config)
+    for host_index, host_flow in enumerate(flow_plan):
+        cc_factory = make_cc_factory(spec, cc=host_flow.cc)
+        if host_flow.count > 0:
+            client.add_flow_group(
+                stacks[host_index],
+                cc_factory,
+                count=host_flow.count,
+                start_s=host_flow.start_s,
+                stop_s=host_flow.stop_s,
+                transfer_bytes=host_flow.transfer_bytes,
+                label=host_flow.cc,
+            )
+        if host_flow.arrival_rate_hz > 0:
+            client.add_churn_process(
+                stacks[host_index],
+                cc_factory,
+                rng.stream(f"flow-arrivals-{host_index}"),
+                arrival_rate_hz=host_flow.arrival_rate_hz,
+                mean_transfer_bytes=host_flow.mean_transfer_bytes,
+                start_s=host_flow.start_s,
+                stop_s=host_flow.stop_s,
+                horizon_s=spec.duration_s,
+                max_arrivals=host_flow.max_arrivals,
+                label=host_flow.cc,
+            )
 
     warmup_ns = seconds(spec.warmup_s)
     duration_ns = seconds(spec.duration_s)
@@ -271,7 +362,7 @@ def run_experiment(
     def sample_memory() -> None:
         if loop.now < warmup_ns:
             return
-        backlog = testbed.phone_qdisc.backlog_segments * mss
+        backlog = testbed.phone_backlog_segments * mss
         inflight = sum(
             c.scoreboard.packets_out * mss for c in client.connections
         )
@@ -283,7 +374,10 @@ def run_experiment(
     if spec.probes:
         probe_set = ProbeSet(
             spec.probes,
-            ProbeContext(loop, spec, client, server, testbed, device, stack),
+            ProbeContext(
+                loop, spec, client, server, testbed, device, stack,
+                devices=devices, stacks=stacks,
+            ),
         )
 
     # Teardown runs in the finally block so that an exception anywhere in
@@ -295,7 +389,8 @@ def run_experiment(
         memory_sampler.start()
         if probe_set is not None:
             probe_set.start()
-        device.start()
+        for host_device in devices:
+            host_device.start()
         client.start()
         loop.run(until=duration_ns)
 
@@ -306,6 +401,9 @@ def run_experiment(
         ]
         rtt = client.rtt_stats
         pacing_periods = sum(c.pacer.periods for c in client.connections)
+        fct_stats = StatAccumulator(keep=True)
+        for completion_ns in client.completion_times_ns():
+            fct_stats.add(completion_ns / 1e6)
 
         return ExperimentResult(
             spec=spec,
@@ -317,17 +415,24 @@ def run_experiment(
             rtt_min_ms=rtt.min_value or 0.0,
             retransmitted_segments=client.retransmitted_segments,
             rto_count=client.rto_count,
-            cpu_busy_fraction=device.cpu_busy_fraction(duration_ns),
+            cpu_busy_fraction=sum(
+                d.cpu_busy_fraction(duration_ns) for d in devices
+            ) / len(devices),
             mean_skb_bytes=client.mean_pacer_period_bytes(),
             mean_idle_ms=client.mean_pacer_idle_ns() / 1e6,
             pacing_periods=pacing_periods,
             router_dropped_segments=testbed.router_dropped_segments,
             phone_dropped_segments=testbed.phone_dropped_segments,
-            peak_qdisc_segments=testbed.phone_qdisc.max_backlog_segments,
+            peak_qdisc_segments=testbed.peak_phone_qdisc_segments,
             peak_memory_bytes=int(memory_stats.max_value or 0),
             mean_memory_bytes=memory_stats.mean,
             mean_cwnd_segments=client.mean_cwnd_segments,
             events_processed=loop.events_processed,
+            flow_count=len(client.connections),
+            flows_completed=client.flows_completed,
+            jain_fairness=jain_fairness_index(per_flow),
+            fct_mean_ms=fct_stats.mean,
+            fct_p95_ms=fct_stats.percentile(95) if fct_stats.count else 0.0,
             timeseries=probe_set.timeseries if probe_set is not None else {},
         )
     finally:
@@ -336,7 +441,8 @@ def run_experiment(
         if probe_set is not None:
             probe_set.stop()
         client.stop()
-        device.stop()
+        for host_device in devices:
+            host_device.stop()
         testbed.stop_processes()
 
 

@@ -45,10 +45,13 @@ from ..devices import DEVICES, DeviceProfile
 from ..netsim import MEDIA, MediumProfile, NetemConfig
 from ..registry import Registry
 from .experiment import ExperimentSpec
+from .flows import FlowSpec
 
 __all__ = [
     "spec_to_dict",
     "spec_from_dict",
+    "flow_to_dict",
+    "flow_from_dict",
     "canonical_spec_json",
     "spec_digest",
     "expand_scenario",
@@ -114,6 +117,35 @@ def _profile_from_ref(registry: Registry, cls, ref, what: str):
     )
 
 
+def flow_to_dict(flow: FlowSpec) -> Dict[str, Any]:
+    """Serialize one :class:`FlowSpec` to a plain JSON-compatible dict."""
+    out: Dict[str, Any] = {}
+    for f in fields(FlowSpec):
+        value = getattr(flow, f.name)
+        if f.name == "netem":
+            out[f.name] = None if value is None else _dataclass_to_dict(value)
+        else:
+            out[f.name] = value
+    return out
+
+
+def flow_from_dict(data: Dict[str, Any]) -> FlowSpec:
+    """Build a :class:`FlowSpec` from a (possibly partial) dict.
+
+    Missing keys take the flow's defaults; unknown keys raise
+    ``ValueError`` naming the valid ones.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"flow must be a mapping, got {type(data).__name__}")
+    _reject_unknown(data, _field_names(FlowSpec), "flow")
+    kwargs = dict(data)
+    if kwargs.get("netem") is not None:
+        kwargs["netem"] = _dataclass_from_dict(
+            NetemConfig, kwargs["netem"], "flow netem"
+        )
+    return FlowSpec(**kwargs)
+
+
 def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
     """Serialize *spec* to a plain JSON-compatible dict (all fields).
 
@@ -130,6 +162,8 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
             out[f.name] = None if value is None else _dataclass_to_dict(value)
         elif f.name == "probes":
             out[f.name] = list(value)
+        elif f.name == "flows":
+            out[f.name] = [flow_to_dict(flow) for flow in value]
         else:
             out[f.name] = value
     return out
@@ -172,6 +206,11 @@ def spec_from_dict(data: Dict[str, Any]) -> ExperimentSpec:
         ):
             raise ValueError("probes must be a list of probe names")
         kwargs["probes"] = tuple(probes)
+    if "flows" in kwargs:
+        flows = kwargs["flows"]
+        if not isinstance(flows, (list, tuple)):
+            raise ValueError("flows must be a list of flow mappings")
+        kwargs["flows"] = tuple(flow_from_dict(flow) for flow in flows)
     return ExperimentSpec(**kwargs)
 
 

@@ -2,12 +2,15 @@
 aggregation, and text rendering of tables/figures."""
 
 from .collector import IntervalCounter, StatAccumulator
+from .fairness import goodput_shares, jain_fairness_index
 from .report import render_bars, render_series, render_table
 from .summary import MetricSummary, RunSet
 
 __all__ = [
     "IntervalCounter",
     "StatAccumulator",
+    "jain_fairness_index",
+    "goodput_shares",
     "MetricSummary",
     "RunSet",
     "render_table",

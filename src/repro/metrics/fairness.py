@@ -1,0 +1,42 @@
+"""Fairness metrics for multi-flow experiments.
+
+Jain's fairness index over per-flow goodputs is the standard scalar for
+"how evenly did the flows share the bottleneck": 1.0 when all flows get
+equal throughput, approaching ``1/n`` when one of *n* flows takes
+everything. The share vector itself is reported alongside so asymmetric
+outcomes (BBR-vs-Cubic, RTT unfairness) stay inspectable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["jain_fairness_index", "goodput_shares"]
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's index ``(Σx)² / (n·Σx²)`` over the positive entries.
+
+    Flows with zero goodput in the measurement window (not yet started,
+    already finished, or pure churn outside the window) are excluded —
+    they describe lifetime, not contention. With zero or one active flow
+    there is nothing to share unevenly, so the index is 1.0.
+    """
+    active = [float(v) for v in values if v > 0.0]
+    if len(active) <= 1:
+        return 1.0
+    total = sum(active)
+    squares = sum(v * v for v in active)
+    return (total * total) / (len(active) * squares)
+
+
+def goodput_shares(values: Sequence[float]) -> List[float]:
+    """Each flow's fraction of the aggregate goodput (zeros stay zero).
+
+    Returns an empty list when nothing was delivered at all, so callers
+    can distinguish "no traffic" from "equal shares".
+    """
+    total = sum(float(v) for v in values)
+    if total <= 0.0:
+        return []
+    return [float(v) / total for v in values]

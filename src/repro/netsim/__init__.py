@@ -20,6 +20,7 @@ from .shaper import NetemConfig, NetemImpairment
 from .testbed import (
     DEFAULT_PHONE_QDISC_SEGMENTS,
     DEFAULT_ROUTER_BUFFER_SEGMENTS,
+    SenderPort,
     Testbed,
 )
 
@@ -40,6 +41,7 @@ __all__ = [
     "NetemConfig",
     "NetemImpairment",
     "Testbed",
+    "SenderPort",
     "DEFAULT_PHONE_QDISC_SEGMENTS",
     "DEFAULT_ROUTER_BUFFER_SEGMENTS",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from ..registry import Registry
 from ..sim import EventLoop, NULL_TRACER, PeriodicTimer, Tracer
@@ -136,15 +137,19 @@ def make_access_link(
     direction: str,
     rng: random.Random,
     tracer: Tracer = NULL_TRACER,
+    name: Optional[str] = None,
 ) -> Link:
     """Build the uplink or downlink access link for *profile*.
 
-    *direction* is ``"up"`` (phone to router) or ``"down"``.
+    *direction* is ``"up"`` (phone to router) or ``"down"``. *name*
+    overrides the default link name (extra sender ports need distinct
+    ones); ``None`` keeps the legacy ``"<medium>-<direction>link"``.
     """
     if direction not in ("up", "down"):
         raise ValueError("direction must be 'up' or 'down'")
     rate = profile.uplink_bps if direction == "up" else profile.downlink_bps
-    name = f"{profile.name}-{direction}link"
+    if name is None:
+        name = f"{profile.name}-{direction}link"
     if profile.rate_sigma > 0.0:
         return VariableRateLink(
             loop,

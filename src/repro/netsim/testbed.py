@@ -1,19 +1,26 @@
-"""The paper's testbed topology (Figure 1).
+"""The paper's testbed topology (Figure 1), generalized to many senders.
 
 ::
 
     [phone / iperf client] --access medium--> [OpenWRT router] --Ethernet--> [iperf server]
 
-Data flows uplink (phone to server); ACKs flow back. The phone side has a
-transmit qdisc (droptail, generous by default); the router's server-facing
-port carries the optional ``tc`` impairments (rate limit, delay, loss,
-buffer depth) of :class:`~repro.netsim.shaper.NetemConfig`.
+Data flows uplink (phone to server); ACKs flow back. Each sender host
+attaches through a :class:`SenderPort` — its own transmit qdisc
+(droptail, generous by default), access uplink, optional per-port netem
+impairment, and a dedicated access downlink for the return path. All
+ports converge on the shared router, whose server-facing port carries the
+optional ``tc`` impairments (rate limit, delay, loss, buffer depth) of
+:class:`~repro.netsim.shaper.NetemConfig` — that queue is the contention
+point multi-flow experiments study.
+
+The single-sender topology of the source paper is simply port 0, built
+with exactly the original component names and RNG streams so legacy specs
+reproduce their archived results byte for byte.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..sim import EventLoop, RngStreams, Tracer, NULL_TRACER
 from ..units import gbps, microseconds
@@ -23,7 +30,12 @@ from .packet import Packet
 from .queue import DropTailQueue
 from .shaper import NetemConfig, NetemImpairment
 
-__all__ = ["Testbed", "DEFAULT_PHONE_QDISC_SEGMENTS", "DEFAULT_ROUTER_BUFFER_SEGMENTS"]
+__all__ = [
+    "Testbed",
+    "SenderPort",
+    "DEFAULT_PHONE_QDISC_SEGMENTS",
+    "DEFAULT_ROUTER_BUFFER_SEGMENTS",
+]
 
 #: Default phone transmit qdisc depth in MSS segments (pfifo-like).
 DEFAULT_PHONE_QDISC_SEGMENTS = 1000
@@ -32,6 +44,38 @@ DEFAULT_PHONE_QDISC_SEGMENTS = 1000
 DEFAULT_ROUTER_BUFFER_SEGMENTS = 2000
 
 PacketSink = Callable[[Packet], None]
+
+
+class SenderPort:
+    """One phone-side attachment point on the shared bottleneck.
+
+    Owns the host's transmit qdisc, its access uplink (whose sink is the
+    router, possibly through a per-port netem impairment), and the access
+    downlink ACKs return on. ``receiver`` is the host stack's RX entry.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        uplink: Link,
+        qdisc: DropTailQueue,
+        downlink: Link,
+    ):
+        self.index = index
+        self.uplink = uplink
+        self.qdisc = qdisc
+        self.downlink = downlink
+        self.receiver: Optional[PacketSink] = None
+
+    def send(self, packet: Packet) -> None:
+        """Host NIC entry point: enqueue a data packet on the qdisc."""
+        self.qdisc.enqueue(packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Downlink exit point: hand an arriving packet to the host."""
+        if self.receiver is None:
+            raise RuntimeError("no phone receiver attached to testbed")
+        self.receiver(packet)
 
 
 class Testbed:
@@ -43,6 +87,11 @@ class Testbed:
     * ``on_server_receive`` — called with packets arriving at the server,
     * :meth:`server_send` — server hands an ACK to the return path,
     * ``on_phone_receive`` — called with ACKs arriving at the phone.
+
+    The legacy attributes (``uplink``, ``phone_qdisc``, ``downlink``,
+    ``on_phone_receive``, :meth:`phone_send`) address port 0; additional
+    sender hosts attach via :meth:`add_sender_port` and route their ACKs
+    by flow id (see :meth:`register_flow`).
     """
 
     def __init__(
@@ -58,10 +107,11 @@ class Testbed:
         self.medium = medium
         self.netem = netem or NetemConfig()
         rngs = rng or RngStreams(0)
+        self._rngs = rngs
         self._tracer = tracer
+        self._phone_qdisc_segments = phone_qdisc_segments
 
         self.on_server_receive: Optional[PacketSink] = None
-        self.on_phone_receive: Optional[PacketSink] = None
 
         # ---- uplink data path: phone qdisc -> access up -> router -> server
         self.uplink = make_access_link(
@@ -98,10 +148,79 @@ class Testbed:
         self.server_router_link.connect(self.downlink.send)
         self.downlink.connect(self._deliver_to_phone)
 
+        #: all sender attachment points; port 0 is the legacy phone
+        self.ports: List[SenderPort] = [
+            SenderPort(0, self.uplink, self.phone_qdisc, self.downlink)
+        ]
+        #: flow id -> owning port, for return-path (ACK) routing
+        self._flow_ports: Dict[int, SenderPort] = {}
+
+    # -- multi-sender topology -------------------------------------------------
+
+    def add_sender_port(self, netem: Optional[NetemConfig] = None) -> SenderPort:
+        """Attach another sender host to the shared bottleneck.
+
+        The new port mirrors port 0 — its own qdisc, access uplink and
+        downlink with independent RNG streams — and feeds the same router
+        queue. *netem* adds a per-port impairment (extra one-way delay /
+        loss) on the data path between this host's uplink and the router;
+        rate and buffer remain properties of the shared bottleneck.
+        """
+        index = len(self.ports)
+        uplink = make_access_link(
+            self.loop, self.medium, "up", self._rngs.stream(f"uplink-{index}"),
+            tracer=self._tracer, name=f"{self.medium.name}-uplink-{index}",
+        )
+        qdisc = DropTailQueue(
+            self.loop, uplink, capacity_segments=self._phone_qdisc_segments,
+            name=f"phone-qdisc-{index}", tracer=self._tracer,
+        )
+        sink: PacketSink = self._uplink_impairment
+        if netem is not None:
+            sink = NetemImpairment(
+                self.loop, netem, self._uplink_impairment,
+                self._rngs.stream(f"netem-{index}"),
+            )
+        uplink.connect(sink)
+        downlink = make_access_link(
+            self.loop, self.medium, "down", self._rngs.stream(f"downlink-{index}"),
+            tracer=self._tracer, name=f"{self.medium.name}-downlink-{index}",
+        )
+        port = SenderPort(index, uplink, qdisc, downlink)
+        downlink.connect(port.deliver)
+        self.ports.append(port)
+        # ACKs must now be demultiplexed per flow instead of going
+        # straight to port 0's downlink. Single-port testbeds keep the
+        # direct wiring (and its exact event sequence).
+        self.server_router_link.connect(self._route_downlink)
+        return port
+
+    def set_port_netem(self, index: int, netem: NetemConfig) -> None:
+        """Insert a per-port impairment on an existing port's data path."""
+        port = self.ports[index]
+        impairment = NetemImpairment(
+            self.loop, netem, self._uplink_impairment,
+            self._rngs.stream(f"netem-{index}"),
+        )
+        port.uplink.connect(impairment)
+
+    def register_flow(self, flow_id: int, port: SenderPort) -> None:
+        """Record which port owns *flow_id* (return-path routing)."""
+        self._flow_ports[flow_id] = port
+
     # -- host-facing API -----------------------------------------------------
 
+    @property
+    def on_phone_receive(self) -> Optional[PacketSink]:
+        """Port 0's RX entry point (legacy single-sender interface)."""
+        return self.ports[0].receiver
+
+    @on_phone_receive.setter
+    def on_phone_receive(self, sink: Optional[PacketSink]) -> None:
+        self.ports[0].receiver = sink
+
     def phone_send(self, packet: Packet) -> None:
-        """Phone NIC entry point: enqueue a data packet on the qdisc."""
+        """Phone NIC entry point: enqueue a data packet on port 0's qdisc."""
         self.phone_qdisc.enqueue(packet)
 
     def server_send(self, packet: Packet) -> None:
@@ -117,15 +236,26 @@ class Testbed:
 
     @property
     def phone_dropped_segments(self) -> int:
-        """Segments tail-dropped at the phone's own qdisc."""
-        return self.phone_qdisc.dropped_segments
+        """Segments tail-dropped at the sender hosts' own qdiscs."""
+        return sum(port.qdisc.dropped_segments for port in self.ports)
+
+    @property
+    def phone_backlog_segments(self) -> int:
+        """Current backlog summed over every sender qdisc."""
+        return sum(port.qdisc.backlog_segments for port in self.ports)
+
+    @property
+    def peak_phone_qdisc_segments(self) -> int:
+        """Deepest backlog any sender qdisc reached."""
+        return max(port.qdisc.max_backlog_segments for port in self.ports)
 
     def stop_processes(self) -> None:
         """Stop periodic media processes so the event loop can drain."""
-        for link in (self.uplink, self.downlink):
-            stop = getattr(link, "stop", None)
-            if stop is not None:
-                stop()
+        for port in self.ports:
+            for link in (port.uplink, port.downlink):
+                stop = getattr(link, "stop", None)
+                if stop is not None:
+                    stop()
 
     # -- internals -------------------------------------------------------------
 
@@ -135,6 +265,8 @@ class Testbed:
         self.on_server_receive(packet)
 
     def _deliver_to_phone(self, packet: Packet) -> None:
-        if self.on_phone_receive is None:
-            raise RuntimeError("no phone receiver attached to testbed")
-        self.on_phone_receive(packet)
+        self.ports[0].deliver(packet)
+
+    def _route_downlink(self, packet: Packet) -> None:
+        port = self._flow_ports.get(packet.flow_id)
+        (port if port is not None else self.ports[0]).downlink.send(packet)

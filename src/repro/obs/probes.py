@@ -45,7 +45,18 @@ class ProbeContext:
     which becomes ``ExperimentResult.timeseries``.
     """
 
-    def __init__(self, loop: EventLoop, spec, client, server, testbed, device, stack):
+    def __init__(
+        self,
+        loop: EventLoop,
+        spec,
+        client,
+        server,
+        testbed,
+        device,
+        stack,
+        devices: Optional[Sequence] = None,
+        stacks: Optional[Sequence] = None,
+    ):
         self.loop = loop
         self.spec = spec
         self.client = client
@@ -53,6 +64,10 @@ class ProbeContext:
         self.testbed = testbed
         self.device = device
         self.stack = stack
+        #: all sender hosts (multi-flow experiments); [device]/[stack]
+        #: for the single-host shape
+        self.devices = list(devices) if devices is not None else [device]
+        self.stacks = list(stacks) if stacks is not None else [stack]
         self.timeseries: Dict[str, TimeSeries] = {}
 
     def series(self, name: str, unit: str = "", labelled: bool = False) -> TimeSeries:
@@ -122,7 +137,8 @@ def _cwnd_probe(ctx: ProbeContext) -> Sampler:
     conns = ctx.client.connections
 
     def sample(now: int) -> None:
-        series.append(now, sum(c.cwnd for c in conns) / len(conns))
+        n = len(conns)
+        series.append(now, sum(c.cwnd for c in conns) / n if n else 0.0)
 
     return sample
 
@@ -146,7 +162,9 @@ def _pacing_rate_probe(ctx: ProbeContext) -> Sampler:
     conns = ctx.client.connections
 
     def sample(now: int) -> None:
-        series.append(now, sum(c.pacer.rate_bps for c in conns) / len(conns) / 1e6)
+        n = len(conns)
+        rate = sum(c.pacer.rate_bps for c in conns) / n if n else 0.0
+        series.append(now, rate / 1e6)
 
     return sample
 
@@ -210,10 +228,16 @@ def _bbr_state_probe(ctx: ProbeContext) -> Sampler:
     model underneath.
     """
     series = ctx.series("bbr_state", "pacing_gain", labelled=True)
-    cc = ctx.client.connections[0].cc
-    cc = getattr(cc, "inner", cc)
+    conns = ctx.client.connections
 
     def sample(now: int) -> None:
+        # Resolved per tick: churn-only experiments have no connection
+        # until the first arrival.
+        if not conns:
+            series.append(now, 0.0, label="none")
+            return
+        cc = conns[0].cc
+        cc = getattr(cc, "inner", cc)
         series.append(
             now,
             float(getattr(cc, "pacing_gain", 0.0)),
@@ -284,13 +308,82 @@ def _softirq_probe(ctx: ProbeContext) -> Sampler:
 
 @probe("qdisc")
 def _qdisc_probe(ctx: ProbeContext) -> Sampler:
-    """Phone-qdisc and router-buffer backlogs, in segments."""
+    """Phone-qdisc and router-buffer backlogs, in segments.
+
+    The phone series sums every sender port's qdisc (identical to the
+    legacy single-qdisc reading when there is one host).
+    """
     phone = ctx.series("qdisc.phone", "segments")
     router = ctx.series("qdisc.router", "segments")
     testbed = ctx.testbed
 
     def sample(now: int) -> None:
-        phone.append(now, float(testbed.phone_qdisc.backlog_segments))
+        phone.append(now, float(testbed.phone_backlog_segments))
         router.append(now, float(testbed.router_queue.backlog_segments))
+
+    return sample
+
+
+# --------------------------------------------------------------------------
+# Per-flow probes (series keyed by flow id)
+# --------------------------------------------------------------------------
+
+
+@probe("flow_goodput")
+def _flow_goodput_probe(ctx: ProbeContext) -> Sampler:
+    """Per-flow server goodput over the last period, Mbps.
+
+    One ``flow_goodput.f<id>`` series per flow. Flows created at setup
+    are tracked from the first tick; churn-spawned flows appear lazily
+    as they arrive. The discovery tick anchors the rate window at 0.
+    """
+    server = ctx.server
+    client = ctx.client
+    # flow id -> [series, window start, byte total at window start]
+    known: Dict[int, list] = {}
+
+    def sample(now: int) -> None:
+        flow_ids = {conn.flow_id for conn in client.connections}
+        flow_ids.update(server.per_flow)
+        for flow_id in sorted(flow_ids):
+            counter = server.per_flow.get(flow_id)
+            total = 0 if counter is None else counter.total
+            entry = known.get(flow_id)
+            if entry is None:
+                ts = ctx.series(f"flow_goodput.f{flow_id}", "Mbps")
+                known[flow_id] = [ts, now, total]
+                ts.append(now, 0.0)
+                continue
+            ts, t0, bytes0 = entry
+            dt = now - t0
+            rate_mbps = (
+                (total - bytes0) * 8 * SEC / dt / 1e6 if dt > 0 else 0.0
+            )
+            entry[1], entry[2] = now, total
+            ts.append(now, rate_mbps)
+
+    return sample
+
+
+@probe("flow_cwnd")
+def _flow_cwnd_probe(ctx: ProbeContext) -> Sampler:
+    """Per-flow congestion window, one ``flow_cwnd.f<id>`` series each.
+
+    Closed flows (completed transfers, scheduled stops) drop out of
+    their series rather than flat-lining at the final cwnd.
+    """
+    conns = ctx.client.connections
+    known: Dict[int, TimeSeries] = {}
+
+    def sample(now: int) -> None:
+        for conn in conns:
+            if conn.closed:
+                continue
+            ts = known.get(conn.flow_id)
+            if ts is None:
+                ts = known[conn.flow_id] = ctx.series(
+                    f"flow_cwnd.f{conn.flow_id}", "segments"
+                )
+            ts.append(now, float(conn.cwnd))
 
     return sample

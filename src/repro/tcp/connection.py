@@ -179,6 +179,10 @@ class TcpSender:
         self.recovery_episodes = 0
         self.on_rtt_sample: Optional[Callable[[int], None]] = None
         self.on_first_byte_acked: Optional[Callable[[], None]] = None
+        #: finite transfers: fire ``on_complete`` once everything up to
+        #: this byte offset is cumulatively acknowledged
+        self.complete_at_bytes: Optional[int] = None
+        self.on_complete: Optional[Callable[[], None]] = None
 
         self.cc.init(self)
         self._update_rates()
@@ -256,11 +260,23 @@ class TcpSender:
         self._try_send()
 
     def close(self) -> None:
-        """Stop transmitting and cancel timers."""
+        """Stop transmitting and cancel timers (idempotent).
+
+        Flows with scheduled lifetimes can be closed by a stop timer, by
+        transfer completion, and again by end-of-run teardown; only the
+        first close releases the CC module and cancels timers.
+        """
+        if self._closed:
+            return
         self._closed = True
         self._pacing_timer.cancel()
         self._rto_timer.cancel()
         self.cc.release(self)
+
+    @property
+    def closed(self) -> bool:
+        """True once the connection was closed (no further transmission)."""
+        return self._closed
 
     # -- sendmsg copy-ahead pipeline ---------------------------------------------
 
@@ -581,6 +597,15 @@ class TcpSender:
         self._update_rates()
         self._manage_rto_after_ack()
         self._try_send()
+        if (
+            self.on_complete is not None
+            and self.complete_at_bytes is not None
+            and self.scoreboard.snd_una >= self.complete_at_bytes
+        ):
+            # Fire exactly once; the callback typically closes us, so it
+            # runs after this ACK's send/RTO bookkeeping is finished.
+            callback, self.on_complete = self.on_complete, None
+            callback()
 
     def _update_recovery_state(self, ack_seq: int, newly_lost: int) -> None:
         if self.state == OPEN:

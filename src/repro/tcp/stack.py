@@ -17,12 +17,31 @@ from ..cc.base import CongestionOps
 from ..cpu.costs import CostModel
 from ..cpu.softirq import StackExecutor
 from ..netsim.packet import PACKET_POOL, Packet
-from ..netsim.testbed import Testbed
+from ..netsim.testbed import SenderPort, Testbed
 from ..sim import EventLoop, Tracer, NULL_TRACER
 from .connection import SocketConfig, TcpSender
 from .receiver import TcpReceiverEndpoint
 
-__all__ = ["MobileTcpStack", "ServerHost"]
+__all__ = ["FlowIdAllocator", "MobileTcpStack", "ServerHost"]
+
+
+class FlowIdAllocator:
+    """Monotonic flow-id source shared by every stack in an experiment.
+
+    Flow ids are globally unique across sender hosts: the server keys its
+    receiver endpoints by flow id, and the testbed routes return-path
+    packets by it. Ids follow creation order, so per-flow metrics stay
+    index-stable regardless of how flows are spread over hosts.
+    """
+
+    def __init__(self, first: int = 1):
+        self._next = int(first)
+
+    def allocate(self) -> int:
+        """Hand out the next flow id."""
+        flow_id = self._next
+        self._next += 1
+        return flow_id
 
 
 class MobileTcpStack:
@@ -40,15 +59,21 @@ class MobileTcpStack:
         costs: CostModel,
         testbed: Testbed,
         tracer: Tracer = NULL_TRACER,
+        port: Optional[SenderPort] = None,
+        flow_ids: Optional[FlowIdAllocator] = None,
     ):
         self.loop = loop
         self.executor = executor
         self.costs = costs
         self.testbed = testbed
         self.tracer = tracer
+        #: the testbed attachment point this host transmits/receives on
+        #: (port 0 — the legacy phone — unless told otherwise)
+        self.port = port if port is not None else testbed.ports[0]
+        #: flow-id source; shared across stacks in multi-host experiments
+        self.flow_ids = flow_ids if flow_ids is not None else FlowIdAllocator()
         self.connections: Dict[int, TcpSender] = {}
-        self._next_flow_id = 1
-        testbed.on_phone_receive = self._on_receive
+        self.port.receiver = self._on_receive
         # stats
         self.acks_received = 0
         self.packets_sent = 0
@@ -62,10 +87,10 @@ class MobileTcpStack:
         source: Optional[object] = None,
     ) -> TcpSender:
         """Open a new uplink connection using congestion control *cc*."""
-        flow_id = self._next_flow_id
-        self._next_flow_id += 1
+        flow_id = self.flow_ids.allocate()
         sender = TcpSender(flow_id, self, cc, config=config, source=source)
         self.connections[flow_id] = sender
+        self.testbed.register_flow(flow_id, self.port)
         return sender
 
     def close_all(self) -> None:
@@ -95,7 +120,7 @@ class MobileTcpStack:
         if self.tracer.enabled:
             self.tracer.emit(self.loop.now, f"flow-{packet.flow_id}", "send",
                              segs=packet.segments, bytes=packet.wire_bytes)
-        self.testbed.phone_send(packet)
+        self.port.send(packet)
 
     # -- receive path -----------------------------------------------------------------
 

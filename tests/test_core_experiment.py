@@ -164,12 +164,12 @@ def test_memory_proxy_reported():
 def test_teardown_runs_even_when_metrics_extraction_fails(monkeypatch):
     """A metrics exception must not leak live timers (worker reuse)."""
     import repro.core.experiment as exp_mod
-    from repro.apps.iperf import IperfClientApp
+    from repro.apps.flows import FlowClient
 
     stops = []
-    original_stop = IperfClientApp.stop
+    original_stop = FlowClient.stop
     monkeypatch.setattr(
-        IperfClientApp, "stop",
+        FlowClient, "stop",
         lambda self: (stops.append(True), original_stop(self)),
     )
 

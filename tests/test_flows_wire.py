@@ -1,0 +1,182 @@
+"""Wire-format tests for first-class flows: FlowSpec round trips,
+legacy (pre-``flows``) spec back-compat, and validation."""
+
+import random
+
+import pytest
+
+from repro import (
+    ExperimentSpec,
+    FlowSpec,
+    NetemConfig,
+    canonical_spec_json,
+    flow_from_dict,
+    flow_to_dict,
+    resolve_flows,
+    spec_digest,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+# ---------------------------------------------------------------------------
+# FlowSpec round trips
+
+
+def _flows_roundtrip(spec: ExperimentSpec) -> ExperimentSpec:
+    return spec_from_dict(spec_to_dict(spec))
+
+
+def test_flow_dict_roundtrip_defaults():
+    flow = FlowSpec()
+    assert flow_from_dict(flow_to_dict(flow)) == flow
+
+
+def test_flow_dict_roundtrip_all_fields():
+    flow = FlowSpec(
+        cc="cubic", count=3, start_s=0.5, stop_s=2.0,
+        transfer_bytes=1_000_000,
+        netem=NetemConfig(rate_bps=1e8, extra_delay_ns=20_000_000),
+    )
+    assert flow_from_dict(flow_to_dict(flow)) == flow
+
+
+def test_flow_dict_roundtrip_churn():
+    flow = FlowSpec(cc="bbr", count=0, arrival_rate_hz=4.0,
+                    mean_transfer_bytes=250_000, max_arrivals=10)
+    assert flow_from_dict(flow_to_dict(flow)) == flow
+
+
+def test_flow_partial_dict_takes_defaults():
+    flow = flow_from_dict({"cc": "cubic"})
+    assert flow == FlowSpec(cc="cubic")
+
+
+def test_flow_unknown_key_rejected_with_choices():
+    with pytest.raises(ValueError, match="warp_factor"):
+        flow_from_dict({"warp_factor": 9})
+
+
+def test_spec_with_flows_roundtrips_exactly():
+    spec = ExperimentSpec(
+        duration_s=1.0, warmup_s=0.2,
+        flows=(FlowSpec(cc="bbr"),
+               FlowSpec(cc="cubic", netem=NetemConfig(extra_delay_ns=10**7))),
+    )
+    back = _flows_roundtrip(spec)
+    assert back == spec
+    assert spec_digest(back) == spec_digest(spec)
+
+
+def test_spec_flows_property_style_roundtrip():
+    """Seeded sampling over the flow field space: every sampled spec
+    must survive the wire round trip exactly and keep its digest."""
+    rng = random.Random(20260808)
+    ccs = ("bbr", "cubic", "bbr2", "reno")
+    for _ in range(50):
+        flows = []
+        for _ in range(rng.randint(1, 4)):
+            kwargs = {"cc": rng.choice(ccs)}
+            if rng.random() < 0.5:
+                kwargs["count"] = rng.randint(1, 5)
+            if rng.random() < 0.3:
+                kwargs["start_s"] = round(rng.uniform(0.0, 0.5), 3)
+                if rng.random() < 0.5:
+                    kwargs["stop_s"] = kwargs["start_s"] + 0.5
+            if rng.random() < 0.3:
+                kwargs["transfer_bytes"] = rng.randint(1, 10) * 100_000
+            if rng.random() < 0.3:
+                kwargs["netem"] = NetemConfig(
+                    extra_delay_ns=rng.randint(0, 50) * 10**6)
+            if rng.random() < 0.2:
+                kwargs["count"] = 0
+                kwargs["arrival_rate_hz"] = round(rng.uniform(0.5, 10.0), 2)
+                kwargs["mean_transfer_bytes"] = rng.randint(1, 10) * 50_000
+                kwargs.pop("transfer_bytes", None)
+            flows.append(FlowSpec(**kwargs))
+        spec = ExperimentSpec(duration_s=1.0, warmup_s=0.2,
+                              flows=tuple(flows))
+        back = _flows_roundtrip(spec)
+        assert back == spec
+        assert spec_digest(back) == spec_digest(spec)
+
+
+# ---------------------------------------------------------------------------
+# Legacy back-compat
+
+
+def test_legacy_dict_without_flows_loads():
+    """Pre-flows JSON (no ``flows`` key) must keep loading, with the
+    empty flows default standing in for the legacy connections count."""
+    legacy = {"cc": "cubic", "connections": 4,
+              "duration_s": 1.0, "warmup_s": 0.2}
+    spec = spec_from_dict(legacy)
+    assert spec.flows == ()
+    assert spec.connections == 4
+    plan = resolve_flows(spec)
+    assert len(plan) == 1
+    assert plan[0].cc == "cubic" and plan[0].count == 4
+
+
+def test_legacy_spec_digest_unchanged_by_roundtrip():
+    spec = ExperimentSpec(cc="bbr", connections=2,
+                          duration_s=1.0, warmup_s=0.2)
+    assert _flows_roundtrip(spec) == spec
+    assert spec_digest(_flows_roundtrip(spec)) == spec_digest(spec)
+
+
+def test_legacy_and_explicit_flows_have_distinct_digests():
+    """``connections=2`` and the equivalent explicit flow list are the
+    same experiment but different wire documents — distinct cache keys,
+    so archived legacy results are never served for flow specs."""
+    legacy = ExperimentSpec(cc="bbr", connections=2,
+                            duration_s=1.0, warmup_s=0.2)
+    explicit = ExperimentSpec(duration_s=1.0, warmup_s=0.2,
+                              flows=(FlowSpec(cc="bbr", count=2),))
+    assert resolve_flows(legacy) == resolve_flows(explicit)
+    assert spec_digest(legacy) != spec_digest(explicit)
+
+
+def test_flows_serialize_into_canonical_json():
+    spec = ExperimentSpec(duration_s=1.0, warmup_s=0.2,
+                          flows=(FlowSpec(cc="cubic"),))
+    assert '"flows":[{' in canonical_spec_json(spec)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+
+
+def test_flows_must_be_flowspecs():
+    with pytest.raises(ValueError):
+        ExperimentSpec(flows=({"cc": "bbr"},))
+
+
+def test_flows_conflict_with_connections():
+    with pytest.raises(ValueError):
+        ExperimentSpec(connections=3, flows=(FlowSpec(cc="bbr"),))
+
+
+def test_zero_count_requires_churn():
+    with pytest.raises(ValueError):
+        FlowSpec(cc="bbr", count=0)
+
+
+def test_stop_must_follow_start():
+    with pytest.raises(ValueError):
+        FlowSpec(cc="bbr", start_s=1.0, stop_s=0.5)
+
+
+def test_transfer_bytes_must_be_positive():
+    with pytest.raises(ValueError):
+        FlowSpec(cc="bbr", transfer_bytes=0)
+
+
+def test_churn_requires_mean_transfer_bytes():
+    with pytest.raises(ValueError):
+        FlowSpec(cc="bbr", count=0, arrival_rate_hz=2.0)
+
+
+def test_flow_list_in_spec_dict_must_be_list():
+    with pytest.raises(ValueError, match="flows"):
+        spec_from_dict({"flows": "bbr"})

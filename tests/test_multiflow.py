@@ -1,0 +1,204 @@
+"""End-to-end tests for heterogeneous multi-flow experiments: legacy
+equivalence, fairness metrics, byte-limited transfers, flow churn, and
+serial/parallel/cached determinism."""
+
+import pytest
+
+from repro import (
+    ExperimentSpec,
+    FlowSpec,
+    NetemConfig,
+    ResultCache,
+    goodput_shares,
+    jain_fairness_index,
+    run_experiment,
+    run_grid_report,
+)
+
+
+def quick(**kw):
+    defaults = dict(duration_s=1.0, warmup_s=0.2)
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Fairness helpers
+
+
+def test_jain_equal_flows_is_one():
+    assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_jain_single_active_flow_is_one():
+    assert jain_fairness_index([7.5]) == 1.0
+    assert jain_fairness_index([7.5, 0.0, 0.0]) == 1.0
+
+
+def test_jain_skewed_flows_below_one():
+    idx = jain_fairness_index([9.0, 1.0])
+    assert 0.5 < idx < 1.0
+    assert idx == pytest.approx(100 / (2 * 82))
+
+
+def test_goodput_shares_sum_to_one():
+    shares = goodput_shares([3.0, 1.0])
+    assert shares == pytest.approx([0.75, 0.25])
+    assert goodput_shares([]) == []
+    assert goodput_shares([0.0, 0.0]) == []
+
+
+# ---------------------------------------------------------------------------
+# Legacy equivalence: connections=N through the flow path
+
+
+def test_explicit_flows_match_legacy_connections():
+    """``flows=(FlowSpec(cc, count=3),)`` is the same experiment as the
+    legacy ``connections=3`` — every scalar metric must agree exactly."""
+    legacy = run_experiment(quick(cc="bbr", connections=3, seed=7))
+    explicit = run_experiment(
+        quick(seed=7, flows=(FlowSpec(cc="bbr", count=3),)))
+    assert legacy.scalar_metrics() == explicit.scalar_metrics()
+
+
+def test_single_flow_reports_perfect_fairness():
+    result = run_experiment(quick(cc="cubic", connections=1))
+    assert result.flow_count == 1
+    assert result.jain_fairness == 1.0
+    assert result.scalar_metrics()["goodput_share_f1"] == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous flows
+
+
+def test_bbr_vs_cubic_two_flows():
+    result = run_experiment(quick(
+        duration_s=1.5, warmup_s=0.3,
+        netem=NetemConfig(rate_bps=2e8),
+        flows=(FlowSpec(cc="bbr"), FlowSpec(cc="cubic")),
+    ))
+    assert result.flow_count == 2
+    assert len(result.per_flow_goodput_mbps) == 2
+    assert all(g > 0 for g in result.per_flow_goodput_mbps)
+    metrics = result.scalar_metrics()
+    shares = [metrics["goodput_share_f1"], metrics["goodput_share_f2"]]
+    assert sum(shares) == pytest.approx(1.0)
+    assert 0.0 < metrics["jain_fairness"] <= 1.0
+    assert metrics["jain_fairness"] == pytest.approx(
+        jain_fairness_index(result.per_flow_goodput_mbps))
+
+
+def test_per_flow_netem_slows_the_impaired_flow():
+    result = run_experiment(quick(
+        duration_s=1.5, warmup_s=0.3, netem=NetemConfig(rate_bps=2e8),
+        flows=(FlowSpec(cc="cubic"),
+               FlowSpec(cc="cubic",
+                        netem=NetemConfig(extra_delay_ns=40_000_000))),
+    ))
+    f1, f2 = result.per_flow_goodput_mbps
+    assert f2 < f1, "the 40ms-RTT flow must lose to the short-RTT flow"
+    assert result.jain_fairness < 1.0
+
+
+def test_deterministic_multiflow_same_seed():
+    spec = quick(seed=3, flows=(FlowSpec(cc="bbr"), FlowSpec(cc="cubic")))
+    a, b = run_experiment(spec), run_experiment(spec)
+    assert a.scalar_metrics() == b.scalar_metrics()
+
+
+# ---------------------------------------------------------------------------
+# Flow lifetimes
+
+
+def test_byte_limited_flow_completes_with_fct():
+    result = run_experiment(quick(
+        flows=(FlowSpec(cc="cubic", transfer_bytes=200_000),)))
+    assert result.flows_completed == 1
+    assert result.fct_mean_ms > 0
+    assert result.fct_p95_ms >= result.fct_mean_ms
+
+
+def test_stopped_flow_gets_smaller_share():
+    result = run_experiment(quick(
+        duration_s=1.5, warmup_s=0.1,
+        flows=(FlowSpec(cc="cubic"),
+               FlowSpec(cc="cubic", stop_s=0.4)),
+    ))
+    metrics = result.scalar_metrics()
+    assert metrics["goodput_share_f2"] < metrics["goodput_share_f1"]
+
+
+def test_delayed_start_flow():
+    result = run_experiment(quick(
+        duration_s=1.5, warmup_s=0.1,
+        flows=(FlowSpec(cc="cubic"),
+               FlowSpec(cc="cubic", start_s=0.8)),
+    ))
+    f1, f2 = result.per_flow_goodput_mbps
+    assert f2 < f1
+
+
+# ---------------------------------------------------------------------------
+# Churn
+
+
+CHURN_SPEC = dict(
+    duration_s=1.2, warmup_s=0.2, netem=NetemConfig(rate_bps=1e8),
+    flows=(FlowSpec(cc="bbr"),
+           FlowSpec(cc="cubic", count=0, arrival_rate_hz=5.0,
+                    mean_transfer_bytes=300_000, start_s=0.2)),
+)
+
+
+def test_churn_spawns_flows():
+    result = run_experiment(quick(**CHURN_SPEC))
+    assert result.flow_count > 1
+    assert result.flows_completed >= 1
+    assert result.fct_mean_ms > 0
+
+
+def test_churn_identical_serial_parallel_cached(tmp_path):
+    """The churn schedule is pre-drawn from a named RNG stream, so the
+    same spec must produce bit-identical metrics under serial execution,
+    a process pool, and a cache round trip."""
+    specs = [quick(seed=s, **CHURN_SPEC) for s in (1, 2)]
+    serial = run_grid_report(specs, jobs=1, cache=False)
+    parallel = run_grid_report(specs, jobs=2, cache=False)
+
+    cache = ResultCache(root=str(tmp_path))
+    cold = run_grid_report(specs, jobs=1, cache=cache)
+    warm = run_grid_report(specs, jobs=2, cache=cache)
+    assert (warm.cache_hits, warm.cache_misses) == (len(specs), 0)
+
+    baseline = [r.scalar_metrics() for r in serial.results]
+    for report in (parallel, cold, warm):
+        assert [r.scalar_metrics() for r in report.results] == baseline
+
+
+def test_max_arrivals_caps_churn():
+    capped = run_experiment(quick(
+        duration_s=1.2, warmup_s=0.2,
+        flows=(FlowSpec(cc="cubic", count=0, arrival_rate_hz=20.0,
+                        mean_transfer_bytes=100_000, max_arrivals=3),)))
+    assert capped.flow_count == 3
+
+
+# ---------------------------------------------------------------------------
+# Per-flow probes
+
+
+def test_per_flow_probes_emit_flow_keyed_series():
+    result = run_experiment(quick(
+        probes=("flow_goodput", "flow_cwnd"),
+        flows=(FlowSpec(cc="bbr"), FlowSpec(cc="cubic")),
+    ))
+    for flow_id in (1, 2):
+        goodput = result.timeseries[f"flow_goodput.f{flow_id}"]
+        assert goodput.t_ns and len(goodput.values) == len(goodput.t_ns)
+        assert f"flow_cwnd.f{flow_id}" in result.timeseries
+    per_flow_sum = sum(result.per_flow_goodput_mbps)
+    peak = max(v for fid in (1, 2)
+               for v in result.timeseries[f"flow_goodput.f{fid}"].values)
+    assert peak > 0
+    assert per_flow_sum > 0
