@@ -34,6 +34,15 @@ repo's numbers on the machine that first established it — so the
 ``current`` block always has something fixed to be compared against.
 Future perf PRs should rerun this harness and keep ``current`` moving.
 
+Every invocation also appends one compact trajectory entry (per-point
+events/sec, kernel, quick flag, CPU count, git head) to
+``benchmarks/results/BENCH_history.jsonl`` (``--no-history`` skips it;
+``repro perf trend`` renders the file). ``--check-regression`` gates
+against the **median of comparable history entries** — same kernel,
+quick mode, and CPU count — so a sustained slide trips it even when each
+step stays inside the budget; with no comparable history it falls back
+to the frozen baseline, exactly the old behavior.
+
 ``--quick`` shortens simulated durations for CI smoke use; quick numbers
 are noisier and are not written unless ``--write`` is also given.
 """
@@ -64,12 +73,14 @@ from repro import (
 )
 from repro.kernel import KERNEL_ENV_VAR
 from repro.netsim.packet import PACKET_POOL
+from repro.obs import perf_trend
 from repro.sim import EventLoop, Timer
 
 SCENARIO_DIR = os.path.join(os.path.dirname(__file__), "scenarios")
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_runner.json")
+HISTORY_PATH = os.path.join(RESULTS_DIR, perf_trend.HISTORY_FILENAME)
 
 #: best-of repetitions per single-run point
 REPEATS = 5
@@ -362,11 +373,18 @@ def main(argv=None) -> int:
     parser.add_argument("--check-regression", type=float, default=None,
                         metavar="PCT",
                         help="exit 1 if any point's events/sec falls more "
-                             "than PCT%% below the committed baseline")
+                             "than PCT%% below the reference (the median of "
+                             "comparable history entries, or the committed "
+                             "baseline when there are none)")
     parser.add_argument("--output", default=BENCH_PATH, metavar="PATH",
                         help="where to write the results JSON (CI points "
                              "this elsewhere to keep the committed "
                              "BENCH_runner.json pristine)")
+    parser.add_argument("--history", default=HISTORY_PATH, metavar="PATH",
+                        help="trajectory JSONL to append to and gate "
+                             "against (render with 'repro perf trend')")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this run to the history file")
     args = parser.parse_args(argv)
 
     duration_s, warmup_s = (0.8, 0.2) if args.quick else (2.0, 0.5)
@@ -443,19 +461,64 @@ def main(argv=None) -> int:
             f.write("\n")
         print(f"wrote {args.output}")
 
-    regressed = []
+    # The gate reads history *before* this run is appended: the newest
+    # entry under test is the run we just measured, never its own
+    # reference.
+    prior = perf_trend.comparable_entries(
+        perf_trend.load_history(args.history),
+        kernel=active_kernel.name, quick=args.quick,
+    )
+
+    if not args.no_history:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        head = perf_trend.git_head(repo_root)
+        micro_rates = {
+            "timer_wheel_rearms_per_sec": churn["wheel"]["rearms_per_sec"],
+            "flow_churn_events_per_sec": flow_churn["events_per_sec"],
+        }
+        appended = perf_trend.append_history(
+            args.history,
+            perf_trend.history_record(
+                {name: c["events_per_sec"] for name, c in current.items()},
+                kernel=active_kernel.name, quick=args.quick,
+                microbench=micro_rates, head=head,
+            ),
+        )
+        if current_compiled is not None:
+            perf_trend.append_history(
+                args.history,
+                perf_trend.history_record(
+                    {name: c["events_per_sec"]
+                     for name, c in current_compiled.items()},
+                    kernel="compiled", quick=args.quick, head=head,
+                ),
+            )
+        if appended:
+            print(f"appended history entry to {args.history}")
+
     for name, cur in current.items():
         base = baseline.get(name)
         if base:
             gain = cur["events_per_sec"] / base["events_per_sec"] - 1
             print(f"  {name}: events/sec {gain:+.1%} vs baseline")
-            if args.check_regression is not None and \
-                    gain < -args.check_regression / 100.0:
-                regressed.append((name, gain))
+    if args.check_regression is None:
+        return 0
+    if prior:
+        gate = perf_trend.median_baseline(prior)
+        source = f"median of {len(prior)} comparable history entries"
+    else:
+        gate = {name: base["events_per_sec"]
+                for name, base in baseline.items()}
+        source = "frozen baseline (no comparable history)"
+    print(f"  regression gate: {source}")
+    regressed = perf_trend.check_trend(
+        {name: cur["events_per_sec"] for name, cur in current.items()},
+        gate, args.check_regression,
+    )
     if regressed:
         for name, gain in regressed:
             print(f"REGRESSION: {name} events/sec {gain:+.1%} exceeds "
-                  f"the -{args.check_regression:g}% budget")
+                  f"the -{args.check_regression:g}% budget vs the {source}")
         return 1
     return 0
 

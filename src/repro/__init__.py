@@ -58,15 +58,20 @@ from .cpu import EXECUTORS
 from .devices import CPU_CONFIGS, DEVICES, PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
 from .netsim import ETHERNET_LAN, LTE_CELLULAR, MEDIA, WIFI_LAN, NetemConfig
 from .obs import (
+    GridMonitor,
     PROBES,
     ProbeSet,
+    RunLedger,
     SimProfiler,
     TimeSeries,
+    diff_records,
     export_chrome_trace,
     export_jsonl,
     load_jsonl,
+    resolve_ledger,
     validate_chrome_trace,
     validate_jsonl,
+    validate_openmetrics,
 )
 from .sim import Tracer
 from .registry import (
@@ -153,6 +158,11 @@ __all__ = [
     "SimProfiler",
     "TimeSeries",
     "Tracer",
+    "RunLedger",
+    "resolve_ledger",
+    "diff_records",
+    "GridMonitor",
+    "validate_openmetrics",
     "export_jsonl",
     "load_jsonl",
     "validate_jsonl",

@@ -73,6 +73,11 @@ _DISABLED_VALUES = ("0", "off", "no", "false")
 #: the "versions of one codebase" scale while keeping paths short)
 _FINGERPRINT_DIRLEN = 16
 
+#: subdirectories of the cache root that belong to other subsystems and
+#: must never be scanned, counted, or cleared as cache versions (the run
+#: ledger of :mod:`repro.obs.ledger` lives beside the cache by default)
+_RESERVED_SUBDIRS = ("ledger",)
+
 #: result fields that need structured (non-scalar) serialization
 _RESULT_SPECIAL_FIELDS = ("spec", "per_flow_goodput_mbps", "timeseries")
 
@@ -308,7 +313,8 @@ class ResultCache:
         return [
             os.path.join(self.root, name)
             for name in names
-            if os.path.isdir(os.path.join(self.root, name))
+            if name not in _RESERVED_SUBDIRS
+            and os.path.isdir(os.path.join(self.root, name))
         ]
 
     def _entries(self, version_dir: str) -> List[str]:

@@ -8,9 +8,13 @@ Examples::
         --stride 5 --medium wifi --json
     python -m repro grid --scenario benchmarks/scenarios/smoke_2point.json
     python -m repro grid --scenario benchmarks/scenarios/fig8_stride_sweep.json
+    python -m repro grid --scenario benchmarks/scenarios/fig4_grid.json --live
     python -m repro compare --connections 20 --config low-end
-    python -m repro sweep-strides --config default --connections 20
+    python -m repro sweep-strides --config default --connections 20 --status
     python -m repro cache stats
+    python -m repro runs list
+    python -m repro runs diff 68a1b2c3 68a1d4e5
+    python -m repro perf trend
     python -m repro list
 
 ``run`` executes one experiment (optionally replicated), ``grid``
@@ -25,6 +29,15 @@ algorithm or medium is immediately addressable here.
 Experiment commands consult the result cache transparently: repeated
 runs of an unchanged grid are served from disk (the timing line reports
 ``cache hits=... misses=...``); ``--no-cache`` forces recomputation.
+Every experiment/grid invocation also appends a manifest record to the
+run ledger (:mod:`repro.obs.ledger`; ``REPRO_LEDGER=off`` disables it);
+``runs`` lists, shows, diffs, and prunes those records, and ``perf
+trend`` renders the harness history in
+``benchmarks/results/BENCH_history.jsonl``. ``grid --live`` (or
+sweep-strides ``--status``) renders an in-place progress line — points
+done, chunks, cache hits, events/sec per worker, ETA — from the worker
+heartbeat stream (:mod:`repro.obs.live`); ``--metrics-out`` exports the
+final telemetry as OpenMetrics text.
 """
 
 from __future__ import annotations
@@ -44,6 +57,7 @@ from . import (
     CpuConfig,
     DEVICES,
     ExperimentSpec,
+    GridMonitor,
     KERNELS,
     MEDIA,
     NetemConfig,
@@ -51,10 +65,12 @@ from . import (
     PacingMode,
     ReplicatedResult,
     ResultCache,
+    RunLedger,
     SimProfiler,
     TimeSeries,
     Tracer,
     all_registries,
+    diff_records,
     expand_scenario,
     export_chrome_trace,
     export_jsonl,
@@ -172,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_CHUNK, then auto-sized from the grid)")
     grid_p.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
+    grid_p.add_argument("--live", action="store_true",
+                        help="render a live progress line on stderr: points "
+                             "done, chunks, cache hits, events/sec, ETA")
+    grid_p.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the final grid telemetry as OpenMetrics "
+                             "text")
+    grid_p.add_argument("--progress-out", metavar="FILE", default=None,
+                        help="write the raw worker progress events as JSONL")
 
     cmp_p = sub.add_parser("compare", help="BBR vs Cubic on one setting")
     add_common(cmp_p)
@@ -181,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sweep_p)
     sweep_p.add_argument("--strides", type=float, nargs="+",
                          default=[1, 2, 5, 10, 20, 50])
+    sweep_p.add_argument("--status", dest="live", action="store_true",
+                         help="render a live progress line on stderr while "
+                              "the sweep runs")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache")
@@ -196,6 +223,59 @@ def build_parser() -> argparse.ArgumentParser:
                                     "versions (keep the current ones)")
     cache_sub.add_parser(
         "path", help="print the cache directory ($REPRO_CACHE_DIR overrides)")
+
+    runs_p = sub.add_parser(
+        "runs", help="inspect the run ledger (the append-only history of "
+                     "every experiment/grid invocation)")
+    runs_sub = runs_p.add_subparsers(dest="runs_command", required=True)
+    runs_list_p = runs_sub.add_parser(
+        "list", help="most recent ledger records")
+    runs_list_p.add_argument("--limit", type=int, default=20,
+                             help="records to show, newest last")
+    runs_list_p.add_argument("--kind", choices=("run", "grid"), default=None,
+                             help="only this record kind")
+    runs_list_p.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
+    runs_show_p = runs_sub.add_parser(
+        "show", help="print one ledger record as JSON")
+    runs_show_p.add_argument("run_id", metavar="ID",
+                             help="record id (any unique prefix)")
+    runs_diff_p = runs_sub.add_parser(
+        "diff", help="compare two records' metrics by spec digest "
+                     "(exit 0 within --tol, 1 beyond, 2 nothing shared)")
+    runs_diff_p.add_argument("run_a", metavar="ID_A")
+    runs_diff_p.add_argument("run_b", metavar="ID_B")
+    runs_diff_p.add_argument("--tol", type=float, default=0.0,
+                             help="relative tolerance per metric "
+                                  "(default 0: bit-exact)")
+    runs_diff_p.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
+    runs_prune_p = runs_sub.add_parser(
+        "prune", help="drop all but the newest records (and orphaned "
+                      "spec refs)")
+    runs_prune_p.add_argument("--keep", type=int, default=100,
+                              help="records to keep")
+    runs_sub.add_parser(
+        "path", help="print the ledger file ($REPRO_LEDGER_DIR overrides)")
+
+    perf_p = sub.add_parser(
+        "perf", help="performance-trajectory tooling over the harness "
+                     "history")
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+    trend_p = perf_sub.add_parser(
+        "trend", help="render the events/sec trajectory from "
+                      "BENCH_history.jsonl")
+    trend_p.add_argument("--history", metavar="FILE",
+                         default=os.path.join("benchmarks", "results",
+                                              "BENCH_history.jsonl"),
+                         help="history JSONL written by the perf harness")
+    trend_p.add_argument("--check-regression", type=float, default=None,
+                         metavar="PCT",
+                         help="exit 1 when the newest entry sits more than "
+                              "PCT%% below the median of earlier comparable "
+                              "entries")
+    trend_p.add_argument("--json", action="store_true",
+                         help="emit the raw history as JSON")
 
     report_p = sub.add_parser(
         "report", help="render probe time series saved by 'run --series-out'")
@@ -298,18 +378,55 @@ def _cache_suffix(report) -> str:
     return suffix
 
 
+def _make_monitor(args, total_points: int) -> Optional[GridMonitor]:
+    """A grid monitor when --live/--status or a telemetry export asks.
+
+    ``--metrics-out``/``--progress-out`` without ``--live`` still need
+    the monitor collecting events — just with no stream to render to.
+    """
+    live = getattr(args, "live", False)
+    exports = getattr(args, "metrics_out", None) or \
+        getattr(args, "progress_out", None)
+    if not live and not exports:
+        return None
+    return GridMonitor(total_points, stream=sys.stderr if live else None)
+
+
+def _export_monitor(args, monitor: Optional[GridMonitor]) -> None:
+    """Write the OpenMetrics / progress-JSONL exports when requested."""
+    if monitor is None:
+        return
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        monitor.write_openmetrics(metrics_out)
+        sys.stderr.write(f"wrote OpenMetrics grid telemetry to "
+                         f"{metrics_out}\n")
+    progress_out = getattr(args, "progress_out", None)
+    if progress_out:
+        count = monitor.write_jsonl(progress_out)
+        sys.stderr.write(f"wrote {count} progress events to "
+                         f"{progress_out}\n")
+
+
 def _run_specs(args, specs):
     """Run replicated specs through the parallel runner, with timing."""
     jobs = resolve_jobs(args.jobs)
     cache = False if getattr(args, "no_cache", False) else None
+    monitor = _make_monitor(args, len(specs) * args.runs)
     start = time.perf_counter()
     aggs, report = run_replicated_grid_report(
         specs, runs=args.runs, jobs=jobs, cache=cache,
-        chunk=getattr(args, "chunk", None),
+        chunk=getattr(args, "chunk", None), monitor=monitor,
     )
     wall = time.perf_counter() - start
+    _export_monitor(args, monitor)
+    for notice in report.notices:
+        sys.stderr.write(f"note: {notice}\n")
     line = _timing_line(aggs, jobs, wall, events=report.total_events)
-    return aggs, line + _cache_suffix(report)
+    suffix = _cache_suffix(report)
+    if report.run_id:
+        suffix += f" run={report.run_id}"
+    return aggs, line + suffix
 
 
 def _resolve_probes(names: Optional[List[str]]) -> tuple:
@@ -323,10 +440,17 @@ def _resolve_probes(names: Optional[List[str]]) -> tuple:
     return tuple(dict.fromkeys(names))
 
 
-def _write_series(timeseries: Dict[str, TimeSeries], path: str) -> None:
+def _write_series(timeseries: Dict[str, TimeSeries], path: str,
+                  meta: Optional[dict] = None) -> None:
+    doc: Dict[str, object] = {name: ts.to_dict()
+                              for name, ts in timeseries.items()}
+    if meta:
+        # Run-level annotations (dropped trace records, kernel-fallback
+        # notices) ride along under a key no probe can claim; 'repro
+        # report' surfaces them instead of parsing them as a series.
+        doc["_meta"] = meta
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump({name: ts.to_dict() for name, ts in timeseries.items()},
-                  fh, indent=2)
+        json.dump(doc, fh, indent=2)
         fh.write("\n")
 
 
@@ -353,8 +477,19 @@ def _instrumented_run(args, spec, out):
     stats = RunSet()
     stats.add_run(result.scalar_metrics())
     agg = ReplicatedResult(spec=spec, runs=[result], stats=stats)
+    notices: List[str] = []
+    requested_kernel = os.environ.get(KERNEL_ENV_VAR) or "pure"
+    if requested_kernel != "pure":
+        notices.append(
+            f"instrumented run: pure kernel used instead of "
+            f"{requested_kernel!r}"
+        )
     if tracer is not None:
         if tracer.dropped_records:
+            notices.append(
+                f"trace ring buffer dropped {tracer.dropped_records} "
+                "oldest records"
+            )
             sys.stderr.write(
                 f"note: trace ring buffer dropped {tracer.dropped_records} "
                 "oldest records (raise Tracer(max_records=...) to keep more)\n"
@@ -368,7 +503,11 @@ def _instrumented_run(args, spec, out):
             sys.stderr.write(f"wrote {count} Chrome trace events to "
                              f"{args.chrome_trace} (open in Perfetto)\n")
     timing = _timing_line([agg], jobs=1, wall_s=wall)
-    return agg, timing, profiler
+    meta = {
+        "notices": notices,
+        "dropped_trace_records": tracer.dropped_records if tracer else 0,
+    } if notices else None
+    return agg, timing, profiler, meta
 
 
 def _cmd_run(args, out) -> int:
@@ -396,15 +535,17 @@ def _cmd_run(args, out) -> int:
     if probes:
         spec = replace(spec, probes=probes)
     profiler = None
+    series_meta = None
     if args.trace_out or args.chrome_trace or args.profile:
-        agg, timing, profiler = _instrumented_run(args, spec, out)
+        agg, timing, profiler, series_meta = _instrumented_run(args, spec, out)
     else:
         (agg,), timing = _run_specs(args, [spec])
     _emit([_result_dict(agg)], args.json, out)
     if not args.json:
         out.write(timing + "\n")
     if probes and args.series_out:
-        _write_series(agg.runs[0].timeseries, args.series_out)
+        _write_series(agg.runs[0].timeseries, args.series_out,
+                      meta=series_meta)
         sys.stderr.write(f"wrote {len(agg.runs[0].timeseries)} time series "
                          f"to {args.series_out}\n")
     if profiler is not None:
@@ -419,6 +560,10 @@ def _cmd_report(args, out) -> int:
         sys.stderr.write(f"error: {args.series_file!r} is not a series "
                          "JSON object (expected 'run --series-out' output)\n")
         return 2
+    meta = doc.pop("_meta", None)
+    if isinstance(meta, dict):
+        for notice in meta.get("notices") or []:
+            sys.stderr.write(f"note: {notice}\n")
     wanted = args.probe
     series = {}
     for name, payload in doc.items():
@@ -527,6 +672,158 @@ def _cmd_cache(args, out) -> int:
     return 0
 
 
+def _when(ts) -> str:
+    """Record timestamp as local wall-clock text ('-' when absent)."""
+    try:
+        return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(float(ts)))
+    except (TypeError, ValueError, OverflowError, OSError):
+        return "-"
+
+
+def _runs_list_row(record: dict) -> dict:
+    """One 'repro runs list' table row from a ledger record."""
+    kind = record.get("kind", "?")
+    if kind == "grid":
+        points = record.get("points", [])
+        count = len(points)
+        first = points[0].get("label", "") if points else ""
+        label = f"{first} (+{count - 1})" if count > 1 else first
+    else:
+        count = 1
+        label = record.get("label", "")
+    cache = record.get("cache") or {}
+    if cache.get("used"):
+        cache_col = f"{cache.get('hits', 0)}h/{cache.get('misses', 0)}m"
+    else:
+        cache_col = "-"
+    row = {
+        "id": str(record.get("id", ""))[:16],
+        "when": _when(record.get("ts")),
+        "kind": kind,
+        "points": count,
+        "kernel": record.get("kernel", "?"),
+        "cache": cache_col,
+        "events/sec": f"{record.get('events_per_sec', 0):,.0f}",
+        "label": label,
+    }
+    errors = record.get("errors", 0)
+    if errors:
+        row["label"] += f" [{errors} errors]"
+    return row
+
+
+def _cmd_runs(args, out) -> int:
+    # Constructed directly (not via resolve_ledger) so reads work even
+    # under REPRO_LEDGER=off — the kill-switch gates writes, not
+    # inspection, mirroring how 'repro cache stats' always works.
+    ledger = RunLedger()
+    if args.runs_command == "path":
+        out.write(ledger.path + "\n")
+        return 0
+    if args.runs_command == "list":
+        records = ledger.records(limit=args.limit, kind=args.kind)
+        if args.json:
+            json.dump(records, out, indent=2)
+            out.write("\n")
+            return 0
+        if not records:
+            out.write(f"no ledger records under {ledger.path}\n")
+            return 0
+        rows = [_runs_list_row(r) for r in records]
+        headers = list(rows[0])
+        out.write(render_table(
+            headers, [[row[h] for h in headers] for row in rows]) + "\n")
+        return 0
+    if args.runs_command == "prune":
+        if args.keep < 0:
+            sys.stderr.write(f"error: --keep must be >= 0, got {args.keep}\n")
+            return 2
+        removed = ledger.prune(keep=args.keep)
+        out.write(f"removed {removed} ledger records "
+                  f"(kept newest {args.keep}) under {ledger.root}\n")
+        return 0
+    if args.runs_command == "show":
+        try:
+            record = ledger.find(args.run_id)
+        except (KeyError, ValueError) as exc:
+            sys.stderr.write(f"error: {exc}\n")
+            return 2
+        json.dump(record, out, indent=2)
+        out.write("\n")
+        return 0
+    assert args.runs_command == "diff"
+    try:
+        rec_a = ledger.find(args.run_a)
+        rec_b = ledger.find(args.run_b)
+    except (KeyError, ValueError) as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+    rows, code = diff_records(rec_a, rec_b, tol=args.tol)
+    if args.json:
+        json.dump({"differing": rows, "exit_code": code}, out, indent=2)
+        out.write("\n")
+        return code
+    if code == 2:
+        sys.stderr.write(
+            f"error: records {rec_a.get('id')} and {rec_b.get('id')} "
+            "share no spec digests (nothing comparable)\n")
+        return code
+    if not rows:
+        out.write(f"records match (all shared metrics within "
+                  f"tol={args.tol:g})\n")
+        return code
+    table_rows = [[r["digest"][:12], r["metric"],
+                   "-" if r["a"] is None else f"{r['a']:g}",
+                   "-" if r["b"] is None else f"{r['b']:g}",
+                   "-" if r["delta"] is None else f"{r['delta']:+g}"]
+                  for r in rows]
+    out.write(render_table(["digest", "metric", "a", "b", "delta"],
+                           table_rows) + "\n")
+    out.write(f"{len(rows)} metric(s) differ beyond tol={args.tol:g}\n")
+    return code
+
+
+def _cmd_perf(args, out) -> int:
+    from .obs import perf_trend
+
+    history = perf_trend.load_history(args.history)
+    if not history:
+        sys.stderr.write(
+            f"error: no history entries in {args.history!r} "
+            "(benchmarks/perf_harness.py appends one per invocation)\n")
+        return 2
+    if args.json:
+        json.dump(history, out, indent=2)
+        out.write("\n")
+    else:
+        out.write(perf_trend.render_trend(history) + "\n")
+    if args.check_regression is None:
+        return 0
+    latest = history[-1]
+    prior = perf_trend.comparable_entries(
+        history[:-1], kernel=latest.get("kernel"),
+        quick=bool(latest.get("quick")), cpu_count=latest.get("cpu_count"))
+    if not prior:
+        out.write("# regression gate: no earlier comparable entries "
+                  "(kernel/quick/cpus must match); nothing to gate\n")
+        return 0
+    baseline = perf_trend.median_baseline(prior)
+    current = {name: float(value)
+               for name, value in latest.get("events_per_sec", {}).items()}
+    regressed = perf_trend.check_trend(current, baseline,
+                                       args.check_regression)
+    if regressed:
+        for name, gain in regressed:
+            out.write(f"# REGRESSION {name}: {gain:+.1%} vs the median of "
+                      f"{len(prior)} comparable entries "
+                      f"(budget -{args.check_regression:g}%)\n")
+        return 1
+    out.write(f"# regression gate: ok — {len(current)} point(s) within "
+              f"{args.check_regression:g}% of the {len(prior)}-entry "
+              "median\n")
+    return 0
+
+
 def _cmd_compare(args, out) -> int:
     specs = [
         _spec_from_args(args, cc=cc, pacing_stride=args.stride)
@@ -546,11 +843,13 @@ def _cmd_compare(args, out) -> int:
 def _cmd_sweep(args, out) -> int:
     spec = _spec_from_args(args, cc="bbr")
     jobs = resolve_jobs(args.jobs)
+    monitor = _make_monitor(args, len(args.strides) * args.runs)
     start = time.perf_counter()
     results = sweep_strides(spec, strides=args.strides, runs=args.runs,
                             jobs=jobs, cache=False if args.no_cache else None,
-                            chunk=args.chunk)
+                            chunk=args.chunk, monitor=monitor)
     wall = time.perf_counter() - start
+    _export_monitor(args, monitor)
     rows = []
     for stride in args.strides:
         agg = results[float(stride)]
@@ -588,6 +887,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_report(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
+    if args.command == "runs":
+        return _cmd_runs(args, out)
+    if args.command == "perf":
+        return _cmd_perf(args, out)
     if args.command == "list":
         return _cmd_list(args, out)
     raise AssertionError("unreachable")

@@ -11,8 +11,9 @@ way the paper averages over 10 iperf runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, fields, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..apps.flows import FlowClient
 from ..apps.iperf import IperfServerApp
@@ -24,6 +25,7 @@ from ..metrics.collector import StatAccumulator
 from ..metrics.fairness import jain_fairness_index
 from ..metrics.summary import RunSet
 from ..netsim import ETHERNET_LAN, MediumProfile, NetemConfig, Testbed
+from ..obs.ledger import RunLedger, resolve_ledger
 from ..obs.probes import ProbeContext, ProbeSet
 from ..obs.series import TimeSeries
 from ..sim import EventLoop, NULL_TRACER, PeriodicTimer, RngStreams, Tracer
@@ -258,6 +260,7 @@ def run_experiment(
     spec: ExperimentSpec,
     tracer: Optional[Tracer] = None,
     profiler=None,
+    ledger: Union[None, bool, RunLedger] = None,
 ) -> ExperimentResult:
     """Run one simulated iperf experiment and return its measurements.
 
@@ -267,9 +270,17 @@ def run_experiment(
     :mod:`repro.obs.trace_export`. *profiler* (a
     :class:`~repro.obs.profiler.SimProfiler`) installs per-callback
     event-loop accounting. Both default to off and cost nothing then.
+
+    *ledger* selects the run ledger
+    (:func:`repro.obs.ledger.resolve_ledger`): unless disabled
+    (``REPRO_LEDGER=off`` / ``ledger=False``), a manifest record of this
+    invocation — spec digest, kernel, metrics, timing — is appended
+    after the run. The ledger observes results and never changes them;
+    append failures are swallowed.
     """
     if spec.warmup_s >= spec.duration_s:
         raise ValueError("warmup must be shorter than the duration")
+    wall_start = time.perf_counter()
     if tracer is None:
         tracer = NULL_TRACER
     # Kernel selection (REPRO_KERNEL / --kernel) happens here and only
@@ -405,7 +416,7 @@ def run_experiment(
         for completion_ns in client.completion_times_ns():
             fct_stats.add(completion_ns / 1e6)
 
-        return ExperimentResult(
+        result = ExperimentResult(
             spec=spec,
             goodput_mbps=to_mbps(goodput_bps),
             per_flow_goodput_mbps=per_flow,
@@ -435,6 +446,13 @@ def run_experiment(
             fct_p95_ms=fct_stats.percentile(95) if fct_stats.count else 0.0,
             timeseries=probe_set.timeseries if probe_set is not None else {},
         )
+        ledger_store = resolve_ledger(ledger)
+        if ledger_store is not None:
+            ledger_store.record_run(
+                spec, result, time.perf_counter() - wall_start,
+                kernel=kernel.name,
+            )
+        return result
     finally:
         # Teardown so the loop holds no live periodic sources.
         memory_sampler.stop()

@@ -32,14 +32,16 @@ def sweep_strides(
     jobs: Optional[int] = None,
     cache=None,
     chunk: Optional[int] = None,
+    monitor=None,
+    ledger=None,
 ) -> Dict[float, ReplicatedResult]:
     """Run *spec* at each stride; returns ``{stride: aggregate}``.
 
     Points fan out across *jobs* worker processes (``None`` resolves via
     ``REPRO_JOBS`` / cpu count; see :mod:`repro.runner`); results are
-    deterministic and independent of the worker count. *cache* and
-    *chunk* pass through to :func:`repro.runner.run_grid_report` (result
-    cache selection and pool batch size).
+    deterministic and independent of the worker count. *cache*, *chunk*,
+    *monitor* (live progress), and *ledger* pass through to
+    :func:`repro.runner.run_grid_report`.
     """
     from ..runner import run_replicated_grid  # deferred: avoids import cycle
 
@@ -47,7 +49,8 @@ def sweep_strides(
         replace(spec, pacing_stride=float(stride)) for stride in strides
     ]
     aggregates = run_replicated_grid(
-        stride_specs, runs=runs, jobs=jobs, cache=cache, chunk=chunk
+        stride_specs, runs=runs, jobs=jobs, cache=cache, chunk=chunk,
+        monitor=monitor, ledger=ledger,
     )
     return {
         float(stride): agg for stride, agg in zip(strides, aggregates)

@@ -9,9 +9,23 @@ any experiment into those figures:
   into ``ExperimentResult.timeseries``,
 * :mod:`repro.obs.trace_export` — JSONL and Chrome trace-event exports
   of :class:`~repro.sim.trace.Tracer` ring buffers,
-* :mod:`repro.obs.profiler` — per-callback-type event-loop profiling.
+* :mod:`repro.obs.profiler` — per-callback-type event-loop profiling,
+* :mod:`repro.obs.ledger` — the persistent run ledger (every
+  experiment/grid invocation appends a manifest record),
+* :mod:`repro.obs.live` — live grid progress: worker heartbeat events,
+  the in-place status view, OpenMetrics/JSONL exports,
+* :mod:`repro.obs.perf_trend` — the perf-trajectory sentinel over
+  ``BENCH_history.jsonl``.
 """
 
+from .ledger import (
+    RunLedger,
+    default_ledger_dir,
+    diff_records,
+    ledger_enabled,
+    resolve_ledger,
+)
+from .live import GridMonitor, validate_openmetrics
 from .probes import DEFAULT_PROBE_PERIOD_NS, PROBES, ProbeContext, ProbeSet, probe
 from .profiler import SimProfiler
 from .series import TimeSeries
@@ -31,6 +45,13 @@ __all__ = [
     "DEFAULT_PROBE_PERIOD_NS",
     "SimProfiler",
     "TimeSeries",
+    "RunLedger",
+    "default_ledger_dir",
+    "diff_records",
+    "ledger_enabled",
+    "resolve_ledger",
+    "GridMonitor",
+    "validate_openmetrics",
     "export_jsonl",
     "load_jsonl",
     "validate_jsonl",

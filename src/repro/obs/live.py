@@ -1,0 +1,359 @@
+"""Live grid telemetry: progress events, an in-place status view, and
+scraper-friendly exports.
+
+A long grid today is a black box between the dispatch line and the
+summary line. This module opens it up: the runner (and, through a
+multiprocessing queue, its pool workers) emits one small event per
+lifecycle edge of every grid point —
+
+* ``("start", index, label, pid, wall_ts)`` — a worker began simulating,
+* ``("done", index, events, wall_s, pid)`` — it finished,
+* ``("error", index, message, pid)`` — it raised (captured per point),
+* ``("hit", index)`` — the coordinator served it from the result cache
+
+— and a :class:`GridMonitor` folds the stream into live state: points
+done/running, per-chunk progress, cache hits, an ETA, and aggregate
+worker throughput. The CLI's ``repro grid --live`` renders that state as
+an in-place status line on stderr (re-printed, throttled, when stderr is
+not a TTY); the same state exports as OpenMetrics text
+(:meth:`GridMonitor.openmetrics`) and the raw event stream as JSONL
+(:meth:`GridMonitor.write_jsonl`) for external scrapers.
+
+Everything here is observational: events are emitted outside the
+simulation clock, monitors never touch specs or results, and a grid run
+with a monitor attached produces bit-identical metrics to one without.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+__all__ = [
+    "GridMonitor",
+    "progress_done",
+    "progress_error",
+    "progress_hit",
+    "progress_start",
+    "validate_openmetrics",
+]
+
+#: progress-bar width in the rendered status line
+_BAR_WIDTH = 20
+
+
+# -- event constructors ------------------------------------------------------
+# Events are plain tuples (kind first) so they pickle cheaply through the
+# pool workers' multiprocessing queue.
+
+
+def progress_start(index: int, label: str) -> Tuple:
+    """A worker began simulating grid point *index*."""
+    return ("start", index, label, os.getpid(), time.time())
+
+
+def progress_done(index: int, events: int, wall_s: float) -> Tuple:
+    """Grid point *index* finished after *wall_s* seconds."""
+    return ("done", index, events, wall_s, os.getpid())
+
+
+def progress_error(index: int, message: str) -> Tuple:
+    """Grid point *index* raised (captured as a GridPointError)."""
+    return ("error", index, message, os.getpid())
+
+
+def progress_hit(index: int) -> Tuple:
+    """Grid point *index* was served from the result cache."""
+    return ("hit", index)
+
+
+class GridMonitor:
+    """Folds grid progress events into live status, renderable in place.
+
+    *stream* (usually ``sys.stderr``) receives the status line after
+    each event, rewritten with ``\\r`` on TTYs and re-printed at most
+    every *interval_s* seconds otherwise; ``stream=None`` collects state
+    silently for programmatic use. The monitor also keeps the raw event
+    log (wall-clock stamped) for JSONL export.
+    """
+
+    def __init__(
+        self,
+        total_points: int,
+        stream: Optional[IO[str]] = None,
+        interval_s: float = 0.25,
+        chunk: int = 1,
+    ):
+        if total_points < 0:
+            raise ValueError(f"total_points must be >= 0, got {total_points}")
+        self.total_points = total_points
+        self.stream = stream
+        self.interval_s = interval_s
+        #: spec batch size per pool task (chunk progress = points/chunk)
+        self.chunk = max(1, chunk)
+        self.done = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.sim_events = 0
+        #: indices currently being simulated (started, not finished)
+        self.running: Dict[int, float] = {}
+        #: pid -> points finished by that worker
+        self.worker_points: Dict[int, int] = {}
+        #: pid -> simulation events produced by that worker
+        self.worker_events: Dict[int, int] = {}
+        #: raw event log for JSONL export (dicts, wall-clock stamped)
+        self.events_log: List[Dict[str, Any]] = []
+        self._t0 = time.perf_counter()
+        self._last_render = 0.0
+        self._line_len = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def processed(self) -> int:
+        """Points with a final outcome (done + errors + cache hits)."""
+        return self.done + self.errors + self.cache_hits
+
+    @property
+    def remaining(self) -> int:
+        """Points without a final outcome yet."""
+        return max(0, self.total_points - self.processed)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall seconds since the monitor was created."""
+        return time.perf_counter() - self._t0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulation-event throughput over the wall clock."""
+        elapsed = self.elapsed_s
+        return self.sim_events / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def chunks_done(self) -> int:
+        """Completed chunks, under the runner's batching."""
+        return self.processed // self.chunk
+
+    @property
+    def total_chunks(self) -> int:
+        """Chunk count for the grid (ceiling division)."""
+        return -(-self.total_points // self.chunk) if self.total_points else 0
+
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to completion (None until one point lands).
+
+        The estimate assumes the remaining points cost what the
+        processed ones did on average — cache hits count as processed,
+        so a warm re-run's ETA collapses toward zero immediately.
+        """
+        if self.processed == 0 or self.remaining == 0:
+            return 0.0 if self.remaining == 0 else None
+        return self.elapsed_s / self.processed * self.remaining
+
+    # -- event intake --------------------------------------------------------
+
+    def record(self, event: Tuple) -> None:
+        """Fold one progress event into the live state (and render)."""
+        kind = event[0]
+        now = time.time()
+        if kind == "start":
+            _, index, label, pid, ts = event
+            self.running[index] = ts
+            self.events_log.append(
+                {"ts": ts, "kind": "start", "point": index,
+                 "label": label, "pid": pid}
+            )
+        elif kind == "done":
+            _, index, events, wall_s, pid = event
+            self.running.pop(index, None)
+            self.done += 1
+            self.sim_events += events
+            self.worker_points[pid] = self.worker_points.get(pid, 0) + 1
+            self.worker_events[pid] = self.worker_events.get(pid, 0) + events
+            self.events_log.append(
+                {"ts": now, "kind": "done", "point": index,
+                 "events": events, "wall_s": wall_s, "pid": pid}
+            )
+        elif kind == "error":
+            _, index, message, pid = event
+            self.running.pop(index, None)
+            self.errors += 1
+            self.events_log.append(
+                {"ts": now, "kind": "error", "point": index,
+                 "error": message, "pid": pid}
+            )
+        elif kind == "hit":
+            _, index = event
+            self.cache_hits += 1
+            self.events_log.append(
+                {"ts": now, "kind": "hit", "point": index}
+            )
+        else:  # unknown kinds are logged, never fatal (forward compat)
+            self.events_log.append({"ts": now, "kind": str(kind)})
+        self._maybe_render()
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_line(self) -> str:
+        """The current one-line status view."""
+        total = self.total_points or 1
+        filled = round(_BAR_WIDTH * self.processed / total)
+        bar = "#" * filled + "." * (_BAR_WIDTH - filled)
+        parts = [
+            f"[{bar}] {self.processed}/{self.total_points}",
+        ]
+        if self.chunk > 1:
+            parts.append(f"chunks {self.chunks_done}/{self.total_chunks}")
+        if self.running:
+            parts.append(f"{len(self.running)} running")
+        if self.cache_hits:
+            parts.append(f"hits={self.cache_hits}")
+        if self.errors:
+            parts.append(f"errors={self.errors}")
+        if self.sim_events:
+            parts.append(f"{self.events_per_sec:,.0f} ev/s")
+        workers = len(self.worker_points)
+        if workers > 1:
+            parts.append(f"{workers} workers")
+        eta = self.eta_s()
+        if eta is not None and self.remaining:
+            parts.append(f"ETA {eta:.0f}s")
+        return " ".join(parts)
+
+    def _maybe_render(self, force: bool = False) -> None:
+        if self.stream is None:
+            return
+        now = time.perf_counter()
+        if not force and (now - self._last_render) < self.interval_s:
+            return
+        self._last_render = now
+        line = self.render_line()
+        isatty = getattr(self.stream, "isatty", lambda: False)()
+        try:
+            if isatty:
+                pad = max(0, self._line_len - len(line))
+                self.stream.write("\r" + line + " " * pad)
+                self._line_len = len(line)
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            self.stream = None  # a closed/broken stream stops rendering
+
+    def finish(self) -> None:
+        """Render the final state (and terminate the in-place line)."""
+        if self.stream is None:
+            return
+        self._maybe_render(force=True)
+        if getattr(self.stream, "isatty", lambda: False)():
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+
+    # -- exports -------------------------------------------------------------
+
+    def openmetrics(self) -> str:
+        """The current state as OpenMetrics text (for external scrapers).
+
+        One exposition: gauges for live state, counters for totals,
+        per-worker samples labelled by pid, terminated by ``# EOF`` as
+        the format requires. :func:`validate_openmetrics` checks the
+        output's structure.
+        """
+        lines = [
+            "# HELP repro_grid_points Grid points by lifecycle state.",
+            "# TYPE repro_grid_points gauge",
+            f'repro_grid_points{{state="total"}} {self.total_points}',
+            f'repro_grid_points{{state="done"}} {self.done}',
+            f'repro_grid_points{{state="running"}} {len(self.running)}',
+            f'repro_grid_points{{state="cache_hit"}} {self.cache_hits}',
+            f'repro_grid_points{{state="error"}} {self.errors}',
+            "# HELP repro_grid_chunks Completed / total dispatch chunks.",
+            "# TYPE repro_grid_chunks gauge",
+            f'repro_grid_chunks{{state="done"}} {self.chunks_done}',
+            f'repro_grid_chunks{{state="total"}} {self.total_chunks}',
+            "# HELP repro_grid_sim_events Simulation events computed so far.",
+            "# TYPE repro_grid_sim_events counter",
+            f"repro_grid_sim_events_total {self.sim_events}",
+            "# HELP repro_grid_events_per_second Aggregate event throughput.",
+            "# TYPE repro_grid_events_per_second gauge",
+            f"repro_grid_events_per_second {self.events_per_sec:.1f}",
+            "# HELP repro_grid_elapsed_seconds Wall time since dispatch.",
+            "# TYPE repro_grid_elapsed_seconds gauge",
+            f"repro_grid_elapsed_seconds {self.elapsed_s:.3f}",
+            "# HELP repro_worker_points Points finished per worker process.",
+            "# TYPE repro_worker_points gauge",
+        ]
+        for pid in sorted(self.worker_points):
+            lines.append(
+                f'repro_worker_points{{pid="{pid}"}} {self.worker_points[pid]}'
+            )
+        lines.append("# HELP repro_worker_sim_events Events per worker process.")
+        lines.append("# TYPE repro_worker_sim_events gauge")
+        for pid in sorted(self.worker_events):
+            lines.append(
+                f'repro_worker_sim_events{{pid="{pid}"}} '
+                f"{self.worker_events[pid]}"
+            )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def write_openmetrics(self, path: str) -> None:
+        """Write :meth:`openmetrics` output to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.openmetrics())
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the raw event log as JSONL; returns the record count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for entry in self.events_log:
+                fh.write(json.dumps(entry, separators=(",", ":")))
+                fh.write("\n")
+        return len(self.events_log)
+
+
+def validate_openmetrics(text: str) -> int:
+    """Validate OpenMetrics text structure; returns the sample count.
+
+    Checks the subset of the format this module emits: every non-comment
+    line is ``name[{labels}] value``, every sample's metric family was
+    declared by a preceding ``# TYPE``, and the exposition ends with
+    ``# EOF``. Raises ``ValueError`` with the offending line otherwise.
+    """
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("OpenMetrics text must end with '# EOF'")
+    declared: set = set()
+    samples = 0
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            raise ValueError(f"line {lineno}: empty line before # EOF")
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE", "UNIT"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                declared.add(parts[2])
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"line {lineno}: no value in {line!r}")
+        try:
+            float(value_part)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {value_part!r}"
+            ) from None
+        metric = name_part.split("{", 1)[0]
+        family = metric[: -len("_total")] if metric.endswith("_total") else metric
+        if metric not in declared and family not in declared:
+            raise ValueError(
+                f"line {lineno}: sample {metric!r} has no preceding # TYPE"
+            )
+        samples += 1
+    return samples

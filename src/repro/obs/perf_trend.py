@@ -1,0 +1,235 @@
+"""Perf-trajectory sentinel: bench history and sustained-regression gates.
+
+``benchmarks/results/BENCH_runner.json`` freezes one baseline and one
+``current`` snapshot — a two-point story with no trajectory. This module
+gives the perf harness a history: every harness invocation appends one
+compact record (kernel, events/sec per canonical point, microbench
+rates, git head, timestamp) to ``benchmarks/results/BENCH_history.jsonl``,
+and the gates compare a run against the **median of comparable history
+entries** instead of a single frozen number — a sustained slide across
+runs trips the sentinel even when each step stays inside a one-shot
+noise budget, while one noisy CI run cannot poison the reference.
+
+Entries are *comparable* when kernel name, quick mode, and CPU count all
+match: events/sec measured under the compiled kernel, in quick mode, or
+on different hardware are different populations and never gate each
+other. With no comparable history the gate falls back to the frozen
+baseline, so a fresh checkout behaves exactly as before.
+
+``repro perf trend`` (:mod:`repro.cli`) renders the trajectory and
+applies :func:`check_trend` as a CI-friendly exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .ledger import atomic_append_line
+
+__all__ = [
+    "HISTORY_FILENAME",
+    "append_history",
+    "check_trend",
+    "comparable_entries",
+    "git_head",
+    "history_record",
+    "load_history",
+    "median_baseline",
+    "render_trend",
+]
+
+#: history file name under ``benchmarks/results/``
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+#: schema version stamped into every history record
+_HISTORY_VERSION = 1
+
+#: sparkline glyphs, lowest to highest
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def git_head(cwd: Optional[str] = None) -> Optional[str]:
+    """The short git HEAD of *cwd* (None outside a repo / without git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    head = out.stdout.strip()
+    return head if out.returncode == 0 and head else None
+
+
+def history_record(
+    events_per_sec: Dict[str, float],
+    kernel: str,
+    quick: bool,
+    microbench: Optional[Dict[str, float]] = None,
+    timestamp: Optional[float] = None,
+    head: Optional[str] = None,
+    cpu_count: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build one compact history entry.
+
+    *timestamp* is injected (wall clock of the harness, never simulated
+    time); it defaults to ``time.time()`` at call time.
+    """
+    return {
+        "v": _HISTORY_VERSION,
+        "ts": time.time() if timestamp is None else timestamp,
+        "git_head": head,
+        "kernel": kernel,
+        "quick": bool(quick),
+        "cpu_count": cpu_count if cpu_count is not None else os.cpu_count(),
+        "events_per_sec": {k: float(v) for k, v in events_per_sec.items()},
+        "microbench": dict(microbench or {}),
+    }
+
+
+def append_history(path: str, record: Dict[str, Any]) -> bool:
+    """Append *record* to the history file atomically; returns success."""
+    try:
+        line = json.dumps(record, separators=(",", ":"))
+    except (TypeError, ValueError):
+        return False
+    return atomic_append_line(path, line)
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """History entries, oldest first; corrupt/foreign lines are skipped."""
+    out: List[Dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict) and \
+                        isinstance(entry.get("events_per_sec"), dict):
+                    out.append(entry)
+    except OSError:
+        return []
+    return out
+
+
+def comparable_entries(
+    history: Sequence[Dict[str, Any]],
+    kernel: str,
+    quick: bool,
+    cpu_count: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """The entries whose numbers are comparable to a run's.
+
+    Kernel backend, quick mode, and CPU count must all match — each axis
+    shifts events/sec by far more than any regression budget.
+    """
+    if cpu_count is None:
+        cpu_count = os.cpu_count()
+    return [
+        e for e in history
+        if e.get("kernel") == kernel
+        and bool(e.get("quick")) == bool(quick)
+        and e.get("cpu_count") == cpu_count
+    ]
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def median_baseline(
+    entries: Sequence[Dict[str, Any]],
+) -> Dict[str, float]:
+    """Per-point median events/sec over *entries* (empty dict when none)."""
+    samples: Dict[str, List[float]] = {}
+    for entry in entries:
+        for name, value in entry.get("events_per_sec", {}).items():
+            if isinstance(value, (int, float)):
+                samples.setdefault(name, []).append(float(value))
+    return {name: _median(values) for name, values in samples.items()}
+
+
+def check_trend(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    budget_pct: float,
+) -> List[Tuple[str, float]]:
+    """Points in *current* that regressed beyond *budget_pct* vs *baseline*.
+
+    Returns ``(point, relative_gain)`` pairs, ``relative_gain`` negative
+    for a slowdown. Points absent from the baseline never gate.
+    """
+    regressed: List[Tuple[str, float]] = []
+    for name, value in current.items():
+        base = baseline.get(name)
+        if not base:
+            continue
+        gain = float(value) / float(base) - 1.0
+        if gain < -budget_pct / 100.0:
+            regressed.append((name, gain))
+    return regressed
+
+
+def _sparkline(values: Sequence[float]) -> str:
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v - lo) / span * len(_SPARK)))]
+        for v in values
+    )
+
+
+def render_trend(history: Sequence[Dict[str, Any]]) -> str:
+    """Human-readable trajectory: one block per comparable entry group.
+
+    Entries are grouped by (kernel, quick, cpu_count); within a group
+    each canonical point gets a sparkline over time, the first and last
+    values, and the last value's distance from the group median.
+    """
+    if not history:
+        return "no history entries"
+    groups: Dict[Tuple, List[Dict[str, Any]]] = {}
+    for entry in history:
+        key = (entry.get("kernel"), bool(entry.get("quick")),
+               entry.get("cpu_count"))
+        groups.setdefault(key, []).append(entry)
+    blocks: List[str] = []
+    for (kernel, quick, cpus), entries in groups.items():
+        header = (f"kernel={kernel} quick={'yes' if quick else 'no'} "
+                  f"cpus={cpus} ({len(entries)} entries)")
+        lines = [header]
+        medians = median_baseline(entries)
+        names = sorted({n for e in entries for n in e.get("events_per_sec", {})})
+        width = max((len(n) for n in names), default=0)
+        for name in names:
+            values = [
+                float(e["events_per_sec"][name]) for e in entries
+                if name in e.get("events_per_sec", {})
+            ]
+            if not values:
+                continue
+            last = values[-1]
+            vs_median = (last / medians[name] - 1.0) if medians.get(name) else 0.0
+            lines.append(
+                f"  {name.ljust(width)} {_sparkline(values)} "
+                f"{values[0]:>11,.0f} -> {last:>11,.0f} ev/s "
+                f"({vs_median:+.1%} vs median)"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

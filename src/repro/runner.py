@@ -40,12 +40,15 @@ The worker count comes from, in order: the ``jobs`` argument, the
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import queue as queue_module
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache, resolve_cache
 from .core.experiment import (
@@ -55,8 +58,16 @@ from .core.experiment import (
     run_experiment,
 )
 from .core.scenario import spec_from_dict, spec_to_dict
-from .kernel import resolve_kernel
+from .kernel import KERNEL_ENV_VAR, resolve_kernel
 from .metrics.summary import RunSet
+from .obs.ledger import RunLedger, resolve_ledger
+from .obs.live import (
+    GridMonitor,
+    progress_done,
+    progress_error,
+    progress_hit,
+    progress_start,
+)
 
 __all__ = [
     "GridPointError",
@@ -138,6 +149,13 @@ class GridReport:
     chunk: int = 1
     #: simulation-kernel backend the grid ran under ("pure"/"compiled")
     kernel: str = "pure"
+    #: grid indices that were served from the result cache
+    cache_hit_indices: FrozenSet[int] = frozenset()
+    #: run-ledger record id for this invocation (None: ledger off/failed)
+    run_id: Optional[str] = None
+    #: degradations worth surfacing (kernel fallbacks, truncated traces);
+    #: rendered by :meth:`summary_line` so they cannot pass silently
+    notices: List[str] = field(default_factory=list)
 
     @property
     def points(self) -> int:
@@ -165,6 +183,8 @@ class GridReport:
                 line += f" skipped={self.cache_skipped}"
         if self.errors:
             line += f" errors={len(self.errors)}"
+        for notice in self.notices:
+            line += f" [note: {notice}]"
         return line
 
 
@@ -238,6 +258,27 @@ def resolve_chunk(
     return chunk
 
 
+#: worker-process progress queue (set by :func:`_init_worker_progress`;
+#: ``None`` keeps the un-monitored hot path at zero extra cost)
+_PROGRESS_QUEUE = None
+
+
+def _init_worker_progress(progress_queue=None) -> None:
+    """Pool initializer: remember the coordinator's progress queue."""
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = progress_queue
+
+
+def _emit_progress(event: Tuple) -> None:
+    """Best-effort progress emission (a full/dead queue never fails a run)."""
+    q = _PROGRESS_QUEUE
+    if q is not None:
+        try:
+            q.put_nowait(event)
+        except Exception:  # noqa: BLE001 - telemetry must never kill work
+            pass
+
+
 def _run_point(
     indexed: Tuple[int, ExperimentSpec],
 ) -> Tuple[int, Optional[ExperimentResult], Optional[GridPointError]]:
@@ -265,9 +306,25 @@ def _run_wire_point(
     ROADMAP's production setting a remote backend — only has to agree on
     names and numbers. The round trip is exact, so results are
     bit-identical to the serial path.
+
+    When the coordinator attached a :class:`~repro.obs.live.GridMonitor`,
+    the point's lifecycle (started / finished / failed, with events and
+    per-point wall time) is emitted over the progress queue.
     """
     index, payload = indexed
-    return _run_point((index, spec_from_dict(payload)))
+    spec = spec_from_dict(payload)
+    if _PROGRESS_QUEUE is None:
+        return _run_point((index, spec))
+    _emit_progress(progress_start(index, spec.label()))
+    t0 = time.perf_counter()
+    outcome = _run_point((index, spec))
+    _, result, error = outcome
+    if error is None:
+        _emit_progress(progress_done(
+            index, result.events_processed, time.perf_counter() - t0))
+    else:
+        _emit_progress(progress_error(index, error.error))
+    return outcome
 
 
 def _run_wire_chunk(
@@ -285,12 +342,36 @@ def _run_wire_chunk(
 Outcome = Tuple[int, Optional[ExperimentResult], Optional[GridPointError]]
 
 
+def _run_pending_serial(
+    pending: List[Tuple[int, ExperimentSpec]],
+    monitor: Optional[GridMonitor],
+) -> List[Outcome]:
+    """The serial path, with in-process progress events when monitored."""
+    if monitor is None:
+        return [_run_point(item) for item in pending]
+    outcomes: List[Outcome] = []
+    for index, spec in pending:
+        monitor.record(progress_start(index, spec.label()))
+        t0 = time.perf_counter()
+        outcome = _run_point((index, spec))
+        _, result, error = outcome
+        if error is None:
+            monitor.record(progress_done(
+                index, result.events_processed, time.perf_counter() - t0))
+        else:
+            monitor.record(progress_error(index, error.error))
+        outcomes.append(outcome)
+    return outcomes
+
+
 def run_grid_report(
     specs: Sequence[ExperimentSpec],
     jobs: Optional[int] = None,
     raise_on_error: bool = True,
     cache: Union[None, bool, ResultCache] = None,
     chunk: Optional[int] = None,
+    monitor: Optional[GridMonitor] = None,
+    ledger: Union[None, bool, RunLedger] = None,
 ) -> GridReport:
     """Run every spec and return results (grid order) plus timing data.
 
@@ -308,6 +389,15 @@ def run_grid_report(
     dicts ride in each pool task (``None`` = ``REPRO_CHUNK``, then
     auto-sizing); neither knob changes results, ordering, or error
     capture.
+
+    *monitor* (a :class:`~repro.obs.live.GridMonitor`) receives live
+    progress events — cache hits from the coordinator, point lifecycles
+    from the workers over a multiprocessing queue — and is finished
+    before this returns. *ledger* selects the run ledger
+    (:func:`repro.obs.ledger.resolve_ledger`): unless disabled, one grid
+    manifest record is appended after the run (its id lands in
+    :attr:`GridReport.run_id`). Neither changes results, metrics,
+    ordering, or error capture.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
@@ -316,6 +406,7 @@ def run_grid_report(
     store = resolve_cache(cache)
     slots: List[Optional[Outcome]] = [None] * len(specs)
     cache_hits = 0
+    hit_indices: List[int] = []
     pending: List[Tuple[int, ExperimentSpec]]
     if store is not None:
         pending = []
@@ -324,6 +415,9 @@ def run_grid_report(
             if hit is not None:
                 slots[i] = (i, hit, None)
                 cache_hits += 1
+                hit_indices.append(i)
+                if monitor is not None:
+                    monitor.record(progress_hit(i))
             else:
                 pending.append((i, spec))
     else:
@@ -334,9 +428,13 @@ def run_grid_report(
     outcomes: List[Outcome]
     if jobs == 1 or len(pending) <= 1:
         jobs = 1
-        outcomes = [_run_point(item) for item in pending]
+        outcomes = _run_pending_serial(pending, monitor)
     else:
         chunk_size = resolve_chunk(chunk, points=len(pending), jobs=jobs)
+        if monitor is not None:
+            monitor.chunk = chunk_size
+        progress_queue = None
+        drain_stop = drainer = None
         try:
             # Workers receive serialized spec dicts, not pickled specs,
             # batched chunk_size to a task to amortize the IPC round trip.
@@ -344,7 +442,37 @@ def run_grid_report(
             batches = [
                 wire[k : k + chunk_size] for k in range(0, len(wire), chunk_size)
             ]
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pool_kwargs = {}
+            if monitor is not None:
+                # The queue rides the pool's initializer (it crosses the
+                # process boundary through the Process constructor, the
+                # only channel multiprocessing queues may travel); a
+                # coordinator-side thread drains it into the monitor
+                # while map() blocks on results.
+                progress_queue = multiprocessing.get_context().Queue()
+                drain_stop = threading.Event()
+
+                def _drain() -> None:
+                    while True:
+                        try:
+                            event = progress_queue.get(timeout=0.1)
+                        except queue_module.Empty:
+                            if drain_stop.is_set():
+                                return
+                            continue
+                        except (OSError, EOFError, ValueError):
+                            return
+                        monitor.record(event)
+
+                drainer = threading.Thread(
+                    target=_drain, name="repro-grid-progress", daemon=True
+                )
+                drainer.start()
+                pool_kwargs = {
+                    "initializer": _init_worker_progress,
+                    "initargs": (progress_queue,),
+                }
+            with ProcessPoolExecutor(max_workers=jobs, **pool_kwargs) as pool:
                 # map() yields in submission order == grid order.
                 outcomes = [
                     outcome
@@ -356,7 +484,13 @@ def run_grid_report(
             # sandboxes, missing /dev/shm) fall back to the serial path.
             jobs = 1
             chunk_size = 1
-            outcomes = [_run_point(item) for item in pending]
+            outcomes = _run_pending_serial(pending, monitor)
+        finally:
+            if drainer is not None:
+                drain_stop.set()
+                drainer.join(timeout=5.0)
+            if progress_queue is not None:
+                progress_queue.close()
 
     cache_misses = cache_skipped = 0
     total_events = 0
@@ -381,9 +515,17 @@ def run_grid_report(
             results.append(error)
         else:
             results.append(result)
-    if errors and raise_on_error:
-        raise ExperimentGridError(errors)
-    return GridReport(
+    if monitor is not None:
+        monitor.finish()
+    kernel_name = resolve_kernel().name
+    notices: List[str] = []
+    requested_kernel = os.environ.get(KERNEL_ENV_VAR) or "pure"
+    if requested_kernel != kernel_name:
+        notices.append(
+            f"kernel {requested_kernel!r} unavailable; grid ran "
+            f"{kernel_name!r}"
+        )
+    report = GridReport(
         results=results,
         jobs=jobs,
         wall_s=wall,
@@ -394,8 +536,18 @@ def run_grid_report(
         cache_skipped=cache_skipped,
         cache_used=store is not None,
         chunk=chunk_size,
-        kernel=resolve_kernel().name,
+        kernel=kernel_name,
+        cache_hit_indices=frozenset(hit_indices),
+        notices=notices,
     )
+    # The manifest is appended even when the grid is about to raise:
+    # the ledger records what ran, including its failures.
+    ledger_store = resolve_ledger(ledger)
+    if ledger_store is not None:
+        report.run_id = ledger_store.record_grid(specs, report)
+    if errors and raise_on_error:
+        raise ExperimentGridError(errors)
+    return report
 
 
 def run_grid(
@@ -404,10 +556,13 @@ def run_grid(
     raise_on_error: bool = True,
     cache: Union[None, bool, ResultCache] = None,
     chunk: Optional[int] = None,
+    monitor: Optional[GridMonitor] = None,
+    ledger: Union[None, bool, RunLedger] = None,
 ) -> List[Union[ExperimentResult, GridPointError]]:
     """Run every spec (possibly in parallel); results in grid order."""
     return run_grid_report(
-        specs, jobs=jobs, raise_on_error=raise_on_error, cache=cache, chunk=chunk
+        specs, jobs=jobs, raise_on_error=raise_on_error, cache=cache,
+        chunk=chunk, monitor=monitor, ledger=ledger,
     ).results
 
 
@@ -429,18 +584,22 @@ def run_replicated_grid_report(
     jobs: Optional[int] = None,
     cache: Union[None, bool, ResultCache] = None,
     chunk: Optional[int] = None,
+    monitor: Optional[GridMonitor] = None,
+    ledger: Union[None, bool, RunLedger] = None,
 ) -> Tuple[List[ReplicatedResult], GridReport]:
     """Replicated aggregates plus the underlying flat grid's report.
 
     The report covers the ``len(specs) * runs`` flat replication points
     — its cache hit/miss counters and timing are what the CLI surfaces
-    after a sweep.
+    after a sweep. *monitor* and *ledger* observe the flat grid (see
+    :func:`run_grid_report`).
     """
     specs = list(specs)
     flat: List[ExperimentSpec] = []
     for spec in specs:
         flat.extend(_replication_specs(spec, runs))
-    report = run_grid_report(flat, jobs=jobs, cache=cache, chunk=chunk)
+    report = run_grid_report(flat, jobs=jobs, cache=cache, chunk=chunk,
+                             monitor=monitor, ledger=ledger)
     aggregates: List[ReplicatedResult] = []
     for i, spec in enumerate(specs):
         group = report.results[i * runs : (i + 1) * runs]
@@ -457,6 +616,8 @@ def run_replicated_grid(
     jobs: Optional[int] = None,
     cache: Union[None, bool, ResultCache] = None,
     chunk: Optional[int] = None,
+    monitor: Optional[GridMonitor] = None,
+    ledger: Union[None, bool, RunLedger] = None,
 ) -> List[ReplicatedResult]:
     """Replicated aggregates for every spec, fanned out at run granularity.
 
@@ -466,7 +627,8 @@ def run_replicated_grid(
     :func:`run_replicated` produces.
     """
     return run_replicated_grid_report(
-        specs, runs=runs, jobs=jobs, cache=cache, chunk=chunk
+        specs, runs=runs, jobs=jobs, cache=cache, chunk=chunk,
+        monitor=monitor, ledger=ledger,
     )[0]
 
 

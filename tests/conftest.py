@@ -10,8 +10,12 @@ import pytest
 # serial-vs-parallel determinism tests trivially compare cache hits with
 # cache hits — and would write into the developer's real cache while
 # testing. Run the suite cache-off; cache tests opt back in with
-# explicit ResultCache instances in tmp dirs.
+# explicit ResultCache instances in tmp dirs. Same story for the run
+# ledger (repro.obs.ledger): off by default so thousands of test runs
+# don't spam the developer's ledger; ledger tests opt back in with
+# explicit RunLedger instances or REPRO_LEDGER_DIR monkeypatches.
 os.environ.setdefault("REPRO_CACHE", "off")
+os.environ.setdefault("REPRO_LEDGER", "off")
 
 from repro.cpu import FreeExecutor, ZERO_COSTS
 from repro.netsim import ETHERNET_LAN, MediumProfile, NetemConfig, Testbed

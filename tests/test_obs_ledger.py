@@ -1,0 +1,252 @@
+"""Tests for the run ledger (repro.obs.ledger)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import (
+    ExperimentSpec,
+    RunLedger,
+    diff_records,
+    run_experiment,
+    run_grid_report,
+    spec_digest,
+)
+from repro.kernel import KERNELS
+from repro.obs.ledger import (
+    LEDGER_DIR_ENV_VAR,
+    LEDGER_ENV_VAR,
+    atomic_append_line,
+    ledger_enabled,
+    record_metrics_by_digest,
+    resolve_ledger,
+)
+
+COMPILED = KERNELS.get("compiled")
+
+needs_compiled = pytest.mark.skipif(
+    not COMPILED.available,
+    reason=f"compiled kernel not built ({COMPILED.why_unavailable})",
+)
+
+SPEC = ExperimentSpec(cc="bbr", connections=1, duration_s=0.6, warmup_s=0.2)
+PAIR = [
+    ExperimentSpec(cc=cc, connections=1, duration_s=0.6, warmup_s=0.2)
+    for cc in ("bbr", "cubic")
+]
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return RunLedger(root=str(tmp_path / "ledger"))
+
+
+# -- record round trip ------------------------------------------------------
+
+
+def test_run_record_round_trip_bit_identity(ledger):
+    """A run's metrics reload from the ledger bit-identical."""
+    result = run_experiment(SPEC, ledger=ledger)
+    (record,) = ledger.records()
+    assert record["kind"] == "run"
+    assert record["spec_digest"] == spec_digest(SPEC)
+    assert record["metrics"] == result.scalar_metrics()
+    assert record["events"] == result.events_processed
+    from repro import resolve_kernel
+    assert record["kernel"] == resolve_kernel().name
+    # The canonical spec JSON ref resolves back to the digest's spec.
+    ref = ledger.spec_ref_path(record["spec_digest"])
+    with open(ref, encoding="utf-8") as fh:
+        assert json.loads(fh.read())["cc"] == "bbr"
+
+
+def test_grid_record_covers_every_point(ledger, tmp_path):
+    from repro import ResultCache
+
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    report = run_grid_report(PAIR, jobs=1, cache=cache, ledger=ledger)
+    report_warm = run_grid_report(PAIR, jobs=1, cache=cache, ledger=ledger)
+    assert report.run_id and report_warm.run_id
+    grids = ledger.records(kind="grid")
+    assert [r["id"] for r in grids] == [report.run_id, report_warm.run_id]
+    cold, warm = grids
+    assert [p["digest"] for p in cold["points"]] == \
+        [spec_digest(s) for s in PAIR]
+    assert not any(p["cache_hit"] for p in cold["points"])
+    assert all(p["cache_hit"] for p in warm["points"])
+    assert warm["cache"] == {"used": True, "hits": 2, "misses": 0,
+                             "skipped": 0}
+    # Cache hits still carry metrics, so cold-vs-warm diffs bit-match.
+    rows, code = diff_records(cold, warm)
+    assert (rows, code) == ([], 0)
+
+
+def test_grid_record_written_even_when_grid_raises(ledger):
+    from repro import ExperimentGridError
+
+    bad = [ExperimentSpec(cc="bbr", connections=0, duration_s=0.4)]
+    with pytest.raises(ExperimentGridError):
+        run_grid_report(bad, jobs=1, ledger=ledger)
+    (record,) = ledger.records(kind="grid")
+    assert record["errors"] == 1
+    assert "error" in record["points"][0]
+
+
+# -- neutrality: ledger on/off identical metrics ----------------------------
+
+
+@pytest.mark.parametrize("kernel", [
+    "pure", pytest.param("compiled", marks=needs_compiled)])
+def test_ledger_on_off_identical_metrics(ledger, monkeypatch, kernel):
+    """The ledger observes; it must never perturb the simulation."""
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+    off = run_grid_report(PAIR, jobs=1, ledger=False)
+    on = run_grid_report(PAIR, jobs=1, ledger=ledger)
+    assert [r.scalar_metrics() for r in off.results] == \
+        [r.scalar_metrics() for r in on.results]
+    assert len(ledger.records(kind="grid")) == 1
+
+
+# -- concurrent appends -----------------------------------------------------
+
+
+def test_pool_workers_append_atomically(ledger, monkeypatch):
+    """jobs=2 workers appending run records never interleave lines."""
+    monkeypatch.setenv(LEDGER_DIR_ENV_VAR, ledger.root)
+    monkeypatch.setenv(LEDGER_ENV_VAR, "on")
+    specs = [
+        ExperimentSpec(cc=cc, connections=1, duration_s=0.5, warmup_s=0.1,
+                       seed=seed)
+        for seed in (1, 2) for cc in ("bbr", "cubic")
+    ]
+    report = run_grid_report(specs, jobs=2)
+    assert report.points == 4
+    records = ledger.records()
+    # 4 worker-side run records + the coordinator's grid record, every
+    # line intact JSON (records() would silently drop corrupt lines; the
+    # count proves none were mangled by concurrent appends).
+    assert [r["kind"] for r in records] == ["run"] * 4 + ["grid"]
+    with open(ledger.path, encoding="utf-8") as fh:
+        lines = [line for line in fh.read().splitlines() if line]
+    assert len(lines) == 5
+    for line in lines:
+        json.loads(line)
+
+
+def test_atomic_append_threads_do_not_interleave(tmp_path):
+    path = str(tmp_path / "out.jsonl")
+    payloads = [json.dumps({"i": i, "pad": "x" * 256}) for i in range(64)]
+
+    def work(chunk):
+        for line in chunk:
+            assert atomic_append_line(path, line)
+
+    threads = [threading.Thread(target=work, args=(payloads[i::4],))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    with open(path, encoding="utf-8") as fh:
+        got = sorted(json.loads(line)["i"] for line in fh)
+    assert got == list(range(64))
+
+
+# -- swallow semantics ------------------------------------------------------
+
+
+def test_unwritable_ledger_never_fails_the_run(tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("occupied")
+    ledger = RunLedger(root=str(blocker / "ledger"))
+    result = run_experiment(SPEC, ledger=ledger)
+    assert result.goodput_mbps > 0
+    assert ledger.records() == []
+    report = run_grid_report(PAIR, jobs=1, ledger=ledger)
+    assert report.points == 2
+    assert report.run_id is None
+
+
+# -- resolve / env plumbing -------------------------------------------------
+
+
+def test_resolve_ledger_contract(monkeypatch, tmp_path):
+    explicit = RunLedger(root=str(tmp_path))
+    assert resolve_ledger(explicit) is explicit
+    assert resolve_ledger(False) is None
+    monkeypatch.setenv(LEDGER_ENV_VAR, "off")
+    assert not ledger_enabled()
+    assert resolve_ledger(None) is None
+    assert resolve_ledger(True) is not None  # True forces on despite env
+    monkeypatch.setenv(LEDGER_ENV_VAR, "on")
+    monkeypatch.setenv(LEDGER_DIR_ENV_VAR, str(tmp_path / "env-ledger"))
+    resolved = resolve_ledger(None)
+    assert resolved is not None
+    assert resolved.root == str(tmp_path / "env-ledger")
+
+
+# -- find / prune / diff ----------------------------------------------------
+
+
+def test_find_by_unique_prefix_and_ambiguity(ledger):
+    run_experiment(SPEC, ledger=ledger)
+    run_experiment(PAIR[1], ledger=ledger)
+    a, b = ledger.records()
+    assert ledger.find(a["id"])["id"] == a["id"]
+    with pytest.raises(KeyError):
+        ledger.find("zzzz")
+    with pytest.raises(KeyError):
+        ledger.find("")
+    shared = os.path.commonprefix([a["id"], b["id"]])
+    if shared:
+        with pytest.raises(ValueError):
+            ledger.find(shared)
+
+
+def test_prune_keeps_newest_and_drops_orphan_spec_refs(ledger):
+    for spec in PAIR:
+        run_experiment(spec, ledger=ledger)
+    assert len(os.listdir(ledger.specs_dir)) == 2
+    removed = ledger.prune(keep=1)
+    assert removed == 1
+    (record,) = ledger.records()
+    assert record["label"].startswith("cubic")
+    # The bbr spec ref no longer backs any record and is gone.
+    assert os.listdir(ledger.specs_dir) == \
+        [record["spec_digest"] + ".json"]
+
+
+def test_records_skips_corrupt_lines(ledger):
+    run_experiment(SPEC, ledger=ledger)
+    with open(ledger.path, "a", encoding="utf-8") as fh:
+        fh.write("{truncated\n")
+        fh.write("42\n")
+    run_experiment(PAIR[1], ledger=ledger)
+    assert [r["kind"] for r in ledger.records()] == ["run", "run"]
+
+
+def test_diff_records_exit_codes():
+    mk = lambda digest, **metrics: {  # noqa: E731
+        "id": "x", "kind": "run", "spec_digest": digest, "metrics": metrics}
+    same_a = mk("d1", goodput_mbps=100.0)
+    same_b = mk("d1", goodput_mbps=100.0)
+    assert diff_records(same_a, same_b) == ([], 0)
+    near = mk("d1", goodput_mbps=100.0001)
+    rows, code = diff_records(same_a, near)
+    assert code == 1 and rows[0]["metric"] == "goodput_mbps"
+    assert diff_records(same_a, near, tol=1e-3)[1] == 0
+    assert diff_records(same_a, mk("d2", goodput_mbps=1.0))[1] == 2
+    with pytest.raises(ValueError):
+        diff_records(same_a, same_b, tol=-1)
+
+
+def test_record_metrics_by_digest_both_kinds():
+    run = {"kind": "run", "spec_digest": "d1", "metrics": {"m": 1.0}}
+    grid = {"kind": "grid", "points": [
+        {"digest": "d2", "metrics": {"m": 2.0}},
+        {"digest": "d3", "error": "boom"},
+    ]}
+    assert record_metrics_by_digest(run) == {"d1": {"m": 1.0}}
+    assert record_metrics_by_digest(grid) == {"d2": {"m": 2.0}}

@@ -1,0 +1,171 @@
+"""Tests for live grid telemetry (repro.obs.live)."""
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    ExperimentSpec,
+    GridMonitor,
+    run_grid_report,
+    validate_openmetrics,
+)
+from repro.kernel import KERNELS
+from repro.obs.live import (
+    progress_done,
+    progress_error,
+    progress_hit,
+    progress_start,
+)
+
+COMPILED = KERNELS.get("compiled")
+
+needs_compiled = pytest.mark.skipif(
+    not COMPILED.available,
+    reason=f"compiled kernel not built ({COMPILED.why_unavailable})",
+)
+
+PAIR = [
+    ExperimentSpec(cc=cc, connections=1, duration_s=0.6, warmup_s=0.2)
+    for cc in ("bbr", "cubic")
+]
+
+
+def eight_point_grid():
+    return [
+        ExperimentSpec(cc=cc, connections=1, duration_s=0.4, warmup_s=0.1,
+                       seed=seed)
+        for seed in (1, 2, 3, 4) for cc in ("bbr", "cubic")
+    ]
+
+
+# -- monitor state machine --------------------------------------------------
+
+
+def test_monitor_accounting():
+    mon = GridMonitor(4, stream=None)
+    mon.record(progress_start(0, "a", ))
+    assert mon.processed == 0 and len(mon.running) == 1
+    mon.record(progress_done(0, 1000, 0.5))
+    mon.record(progress_hit(1))
+    mon.record(progress_error(2, "boom"))
+    assert mon.processed == 3
+    assert mon.remaining == 1
+    assert mon.done == 1 and mon.cache_hits == 1 and mon.errors == 1
+    assert mon.sim_events == 1000
+    assert not mon.running
+    mon.record(progress_done(3, 500, 0.25))
+    assert mon.processed == 4 and mon.remaining == 0
+
+
+def test_monitor_render_line_and_eta():
+    mon = GridMonitor(8, stream=None, chunk=2)
+    for i in range(3):
+        mon.record(progress_done(i, 1000, 0.1))
+    line = mon.render_line()
+    assert "3/8" in line
+    assert "ETA" in line
+    assert mon.eta_s() is not None and mon.eta_s() >= 0
+    assert mon.total_chunks == 4 and mon.chunks_done == 1
+
+
+def test_monitor_renders_in_place_to_stream():
+    stream = io.StringIO()
+    mon = GridMonitor(2, stream=stream, interval_s=0.0)
+    mon.record(progress_done(0, 100, 0.1))
+    mon.record(progress_done(1, 100, 0.1))
+    mon.finish()
+    text = stream.getvalue()
+    assert "2/2" in text
+
+
+def test_monitor_survives_broken_stream():
+    class Broken(io.StringIO):
+        def write(self, s):
+            raise OSError("gone")
+
+    mon = GridMonitor(2, stream=Broken(), interval_s=0.0)
+    mon.record(progress_done(0, 100, 0.1))
+    mon.record(progress_done(1, 100, 0.1))
+    mon.finish()
+    assert mon.processed == 2
+
+
+# -- grid integration -------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_grid_feeds_monitor(jobs):
+    mon = GridMonitor(len(PAIR), stream=None)
+    report = run_grid_report(PAIR, jobs=jobs, monitor=mon)
+    assert report.points == 2
+    assert mon.processed == 2 and mon.done == 2 and mon.errors == 0
+    assert mon.sim_events == report.total_events
+    assert len(mon.worker_points) >= 1
+
+
+def test_monitor_records_cache_hits(tmp_path):
+    from repro import ResultCache
+
+    cache = ResultCache(root=str(tmp_path))
+    run_grid_report(PAIR, jobs=1, cache=cache)
+    mon = GridMonitor(len(PAIR), stream=None)
+    run_grid_report(PAIR, jobs=1, cache=cache, monitor=mon)
+    assert mon.cache_hits == 2 and mon.done == 0
+
+
+def test_eight_point_live_grid_renders_progress():
+    specs = eight_point_grid()
+    stream = io.StringIO()
+    mon = GridMonitor(len(specs), stream=stream, interval_s=0.0)
+    report = run_grid_report(specs, jobs=2, monitor=mon)
+    assert report.points == 8
+    assert mon.processed == 8
+    assert "8/8" in stream.getvalue()
+    assert mon.eta_s() == 0
+
+
+@pytest.mark.parametrize("kernel", [
+    "pure", pytest.param("compiled", marks=needs_compiled)])
+def test_live_on_off_identical_metrics(monkeypatch, kernel):
+    """Telemetry observes; metrics must be bit-identical with it on."""
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+    plain = run_grid_report(PAIR, jobs=2)
+    mon = GridMonitor(len(PAIR), stream=io.StringIO(), interval_s=0.0)
+    live = run_grid_report(PAIR, jobs=2, monitor=mon)
+    assert [r.scalar_metrics() for r in plain.results] == \
+        [r.scalar_metrics() for r in live.results]
+
+
+# -- exports ----------------------------------------------------------------
+
+
+def test_openmetrics_export_is_valid(tmp_path):
+    mon = GridMonitor(len(PAIR), stream=None)
+    run_grid_report(PAIR, jobs=1, monitor=mon)
+    text = mon.openmetrics()
+    samples = validate_openmetrics(text)
+    assert samples >= 8
+    assert text.endswith("# EOF\n")
+    path = tmp_path / "grid.om"
+    mon.write_openmetrics(str(path))
+    assert validate_openmetrics(path.read_text()) == samples
+
+
+def test_jsonl_export_round_trips(tmp_path):
+    mon = GridMonitor(len(PAIR), stream=None)
+    run_grid_report(PAIR, jobs=1, monitor=mon)
+    path = tmp_path / "progress.jsonl"
+    count = mon.write_jsonl(str(path))
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(events) == count >= 4  # start+done per point
+    kinds = {e["kind"] for e in events}
+    assert {"start", "done"} <= kinds
+
+
+def test_validate_openmetrics_rejects_garbage():
+    with pytest.raises(ValueError):
+        validate_openmetrics("repro_x 1\n")  # no TYPE, no EOF
+    with pytest.raises(ValueError):
+        validate_openmetrics("# TYPE repro_x gauge\nrepro_x notanumber\n# EOF\n")

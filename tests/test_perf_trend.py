@@ -1,0 +1,96 @@
+"""Tests for the perf-trajectory sentinel (repro.obs.perf_trend)."""
+
+import json
+
+import pytest
+
+from repro.obs import perf_trend
+
+
+def entry(ev_s, kernel="pure", quick=False, cpus=4, ts=0.0):
+    return perf_trend.history_record(
+        ev_s, kernel=kernel, quick=quick, timestamp=ts, head="abc1234",
+        cpu_count=cpus)
+
+
+def test_history_round_trip(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    first = entry({"p1": 100.0, "p2": 200.0}, ts=1.0)
+    second = entry({"p1": 110.0}, ts=2.0)
+    assert perf_trend.append_history(path, first)
+    assert perf_trend.append_history(path, second)
+    loaded = perf_trend.load_history(path)
+    assert loaded == [first, second]
+
+
+def test_load_history_skips_corrupt_and_foreign_lines(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    good = entry({"p1": 100.0})
+    path.write_text(
+        "{broken\n"
+        + json.dumps({"unrelated": True}) + "\n"
+        + json.dumps(good) + "\n"
+        + "[1,2]\n"
+    )
+    assert perf_trend.load_history(str(path)) == [good]
+
+
+def test_load_history_missing_file():
+    assert perf_trend.load_history("/nonexistent/hist.jsonl") == []
+
+
+def test_comparable_entries_require_kernel_quick_and_cpus():
+    history = [
+        entry({"p": 1.0}, kernel="pure", quick=False, cpus=4),
+        entry({"p": 2.0}, kernel="compiled", quick=False, cpus=4),
+        entry({"p": 3.0}, kernel="pure", quick=True, cpus=4),
+        entry({"p": 4.0}, kernel="pure", quick=False, cpus=8),
+        entry({"p": 5.0}, kernel="pure", quick=False, cpus=4),
+    ]
+    got = perf_trend.comparable_entries(history, "pure", False, cpu_count=4)
+    assert [e["events_per_sec"]["p"] for e in got] == [1.0, 5.0]
+
+
+def test_median_baseline_is_per_point_median():
+    entries = [
+        entry({"a": 100.0, "b": 10.0}),
+        entry({"a": 300.0, "b": 30.0}),
+        entry({"a": 200.0}),
+    ]
+    assert perf_trend.median_baseline(entries) == {"a": 200.0, "b": 20.0}
+    assert perf_trend.median_baseline([]) == {}
+
+
+def test_check_trend_flags_only_beyond_budget():
+    baseline = {"a": 100.0, "b": 100.0, "c": 100.0}
+    current = {"a": 96.0, "b": 89.0, "d": 5.0}  # d absent from baseline
+    regressed = perf_trend.check_trend(current, baseline, budget_pct=10.0)
+    assert [name for name, _ in regressed] == ["b"]
+    ((_, gain),) = regressed
+    assert gain == pytest.approx(-0.11)
+    # A sustained slide trips the median gate even though each single
+    # step stays inside the budget.
+    history = [entry({"a": v}, ts=float(i))
+               for i, v in enumerate([100.0, 95.0, 90.0, 85.0])]
+    median = perf_trend.median_baseline(history[:-1])  # 95
+    assert perf_trend.check_trend(
+        history[-1]["events_per_sec"], median, budget_pct=8.0)
+
+
+def test_render_trend_groups_and_sparklines():
+    history = [
+        entry({"p1": 100.0}, ts=1.0),
+        entry({"p1": 150.0}, ts=2.0),
+        entry({"p1": 400.0}, kernel="compiled", ts=3.0),
+    ]
+    text = perf_trend.render_trend(history)
+    assert "kernel=pure" in text and "kernel=compiled" in text
+    assert "p1" in text
+    assert "100" in text and "150" in text
+    assert perf_trend.render_trend([]) == "no history entries"
+
+
+def test_git_head_in_repo_and_outside(tmp_path):
+    head = perf_trend.git_head(".")
+    assert head is None or (isinstance(head, str) and len(head) >= 7)
+    assert perf_trend.git_head(str(tmp_path)) is None

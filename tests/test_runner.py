@@ -245,3 +245,11 @@ def test_empty_grid():
     report = run_grid_report([], jobs=4)
     assert report.results == []
     assert report.points == 0
+
+
+def test_summary_line_renders_notices():
+    report = run_grid_report([_quick()], jobs=1)
+    assert "[note:" not in report.summary_line()
+    report.notices.append("kernel 'compiled' unavailable; ran pure")
+    line = report.summary_line()
+    assert "[note: kernel 'compiled' unavailable; ran pure]" in line
