@@ -337,6 +337,96 @@ def measure_flow_churn(quick: bool) -> Dict[str, object]:
     }
 
 
+def _ack_processing_rate(loop, rounds: int) -> Dict[str, object]:
+    """Drive a synthetic SACK-heavy ACK stream through one scoreboard.
+
+    Each round sends a 10-record flight (4 segments each) and applies
+    three ACKs: two with out-of-order SACK blocks (partial coverage,
+    holes that trip FACK loss marking), retransmits whatever was marked
+    lost, then a cumulative catch-up ACK. *loop* selects the kernel: a
+    compiled EventLoop routes the scoreboard/estimator to C, None keeps
+    them pure.
+    """
+    from repro.tcp.rate_sample import DeliveryRateEstimator
+    from repro.tcp.scoreboard import Scoreboard
+
+    mss = 1448
+    sb = Scoreboard(mss, loop=loop)
+    delivery = DeliveryRateEstimator(loop=loop)
+    now = 0
+    seq = 0
+    acks = 0
+    t0 = time.perf_counter()
+    for i in range(rounds):
+        for j in range(10):
+            now += 20_000
+            record = delivery.send_record(
+                now, seq, seq + 4 * mss, 4, sb.has_inflight, j == 9
+            )
+            sb.on_transmit(record)
+            seq += 4 * mss
+        base = seq - 40 * mss
+        now += 300_000
+        sb.process_ack(
+            delivery, base + 4 * mss,
+            [(base + 12 * mss, base + 16 * mss),
+             (base + 20 * mss, base + 26 * mss)],
+            now, sb.inflight_segments, False,
+        )
+        now += 100_000
+        sb.process_ack(
+            delivery, base + 8 * mss,
+            [(base + 28 * mss, base + 40 * mss)],
+            now, sb.inflight_segments, False,
+        )
+        record = sb.next_lost_record()
+        while record is not None:
+            sb.on_retransmit(record)
+            record = sb.next_lost_record()
+        now += 200_000
+        sb.process_ack(delivery, seq, [], now, sb.inflight_segments,
+                       i % 7 == 0)
+        acks += 3
+        sb.clear_loss_marks()
+    wall = time.perf_counter() - t0
+    return {
+        "acks": acks,
+        "acks_per_sec": round(acks / wall, 1) if wall > 0 else 0.0,
+        "wall_s": round(wall, 4),
+        # cross-kernel integrity fingerprint (must match pure vs C)
+        "delivered_bytes": delivery.delivered_bytes,
+        "snd_una": sb.snd_una,
+        "retransmitted_segments": sb.total_retransmitted_segments,
+    }
+
+
+def measure_ack_processing(quick: bool) -> Dict[str, object]:
+    """Pure vs compiled rates for the per-ACK scoreboard/estimator path."""
+    rounds = 2_000 if quick else 10_000
+    pure = _ack_processing_rate(None, rounds)
+    out: Dict[str, object] = {"rounds": rounds, "pure": pure}
+    compiled_kernel = KERNELS.get("compiled")
+    if compiled_kernel.available:
+        compiled = _ack_processing_rate(compiled_kernel.make_loop(), rounds)
+        speedup = (compiled["acks_per_sec"] / pure["acks_per_sec"]
+                   if pure["acks_per_sec"] else 0.0)
+        state_match = all(
+            compiled[key] == pure[key]
+            for key in ("delivered_bytes", "snd_una",
+                        "retransmitted_segments")
+        )
+        out["compiled"] = compiled
+        out["compiled_vs_pure"] = round(speedup, 3)
+        out["state_match"] = state_match
+        print(f"  pure: {pure['acks_per_sec']:,.0f} acks/s   "
+              f"compiled: {compiled['acks_per_sec']:,.0f} acks/s   "
+              f"(x{speedup:.2f}, state {'ok' if state_match else 'DIVERGED'})")
+    else:
+        print(f"  pure: {pure['acks_per_sec']:,.0f} acks/s   "
+              f"(compiled kernel not built)")
+    return out
+
+
 def measure_allocations(duration_s: float, warmup_s: float) -> Dict[str, object]:
     """tracemalloc peak + packet-pool reuse for one canonical run.
 
@@ -425,6 +515,8 @@ def main(argv=None) -> int:
     chunking = measure_chunked_dispatch(args.quick)
     print("flow churn (microbenchmark):")
     flow_churn = measure_flow_churn(args.quick)
+    print("ack processing (microbenchmark):")
+    ack_processing = measure_ack_processing(args.quick)
 
     existing: Dict[str, object] = {}
     if os.path.exists(BENCH_PATH):
@@ -442,6 +534,7 @@ def main(argv=None) -> int:
             "result_cache": cache_bench,
             "chunked_dispatch": chunking,
             "flow_churn": flow_churn,
+            "ack_processing": ack_processing,
         },
         "meta": {
             "cpu_count": os.cpu_count(),

@@ -52,7 +52,7 @@ from .cache import (
     kernel_fingerprint,
     resolve_cache,
 )
-from .kernel import KERNELS, kernel_info, resolve_kernel
+from .kernel import KERNELS, compiled_components, kernel_info, resolve_kernel
 from .cc import CC_ALGORITHMS
 from .cpu import EXECUTORS
 from .devices import CPU_CONFIGS, DEVICES, PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
@@ -123,6 +123,7 @@ __all__ = [
     "resolve_cache",
     "KERNELS",
     "kernel_info",
+    "compiled_components",
     "resolve_kernel",
     "expand_scenario",
     "expand_scenario_dicts",

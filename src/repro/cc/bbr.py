@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..kernel import compiled_for
 from ..units import MSEC, SEC
 from .base import CongestionOps
 from .minmax import WindowedMaxFilter
@@ -111,6 +112,23 @@ class Bbr(CongestionOps):
     # -- CongestionOps interface ------------------------------------------------
 
     def init(self, conn: "TcpSender") -> None:
+        if type(self) is Bbr:
+            # Kernel routing (same contract as Scoreboard.__new__): on a
+            # compiled-kernel connection the whole per-ACK model runs in
+            # C. The C constructor performs this init; the instance is
+            # re-classed so rare hooks and probes read the C state.
+            ck = compiled_for(getattr(conn, "_loop", None))
+            if ck is not None and type(conn.scoreboard) is ck.Scoreboard:
+                model = ck.BbrModel(conn, self.enable_lt_bw)
+                self._model = model
+                self.__class__ = _CompiledBbr
+                # Plain methods are non-data descriptors, so these
+                # instance attributes win the lookup: the three per-ACK
+                # calls dispatch straight into C with no wrapper frame.
+                self.cong_control = model.cong_control
+                self.pacing_rate_bps = model.pacing_rate_bps
+                self.min_tso_segs = model.min_tso_segs
+                return
         self.cycle_stamp_ns = conn.now
         self._init_pacing_rate(conn)
         conn.cwnd = max(conn.cwnd, MIN_TARGET_CWND)
@@ -412,3 +430,75 @@ class Bbr(CongestionOps):
         self.lt_use_bw = False
         self.lt_bw = 0.0
         self.lt_rtt_cnt = 0
+
+
+class _CompiledBbr(Bbr):
+    """A :class:`Bbr` whose model state lives in ``_ckernel.BbrModel``.
+
+    Instances are never constructed directly: :meth:`Bbr.init` re-classes
+    a plain ``Bbr`` after handing its state to the C model. The per-ACK
+    entry points (``cong_control`` / ``pacing_rate_bps`` /
+    ``min_tso_segs``) are bound C methods in the instance dict; this
+    class supplies only the rare recovery/RTO hooks and read-side
+    properties so probes and tests observe the C state (the properties
+    are data descriptors, so they shadow the stale pure attributes left
+    in the instance dict from ``__init__``).
+    """
+
+    def init(self, conn: "TcpSender") -> None:  # pragma: no cover
+        raise RuntimeError("compiled BBR model is initialised exactly once")
+
+    def ssthresh(self, conn: "TcpSender") -> int:
+        m = self._model
+        if conn.cwnd > m.prior_cwnd:
+            m.prior_cwnd = conn.cwnd
+        return 1 << 30
+
+    def on_enter_recovery(self, conn: "TcpSender") -> None:
+        m = self._model
+        if conn.cwnd > m.prior_cwnd:
+            m.prior_cwnd = conn.cwnd
+        m.packet_conservation = True
+
+    def on_exit_recovery(self, conn: "TcpSender") -> None:
+        m = self._model
+        m.packet_conservation = False
+        if m.prior_cwnd > conn.cwnd:
+            conn.cwnd = m.prior_cwnd
+        m.prior_cwnd = 0
+
+    def on_rto(self, conn: "TcpSender") -> None:
+        m = self._model
+        if conn.cwnd > m.prior_cwnd:
+            m.prior_cwnd = conn.cwnd
+
+    def bw_bps(self) -> float:
+        return self._model.bw_bps()
+
+    # read-side mirrors of the C model state
+    mode = property(lambda self: self._model.mode)
+    pacing_gain = property(lambda self: self._model.pacing_gain)
+    cwnd_gain = property(lambda self: self._model.cwnd_gain)
+    full_bw = property(lambda self: self._model.full_bw)
+    full_bw_cnt = property(lambda self: self._model.full_bw_cnt)
+    full_bw_reached = property(lambda self: self._model.full_bw_reached)
+    rtt_cnt = property(lambda self: self._model.rtt_cnt)
+    round_start = property(lambda self: self._model.round_start)
+    cycle_idx = property(lambda self: self._model.cycle_idx)
+    cycle_stamp_ns = property(lambda self: self._model.cycle_stamp_ns)
+    probe_rtt_done_stamp = property(
+        lambda self: self._model.probe_rtt_done_stamp
+    )
+    probe_rtt_round_done = property(
+        lambda self: self._model.probe_rtt_round_done
+    )
+    prior_cwnd = property(lambda self: self._model.prior_cwnd)
+    packet_conservation = property(
+        lambda self: self._model.packet_conservation
+    )
+    _rate_bps = property(lambda self: self._model._rate_bps)
+    lt_is_sampling = property(lambda self: self._model.lt_is_sampling)
+    lt_rtt_cnt = property(lambda self: self._model.lt_rtt_cnt)
+    lt_use_bw = property(lambda self: self._model.lt_use_bw)
+    lt_bw = property(lambda self: self._model.lt_bw)
+    _lost_total = property(lambda self: self._model._lost_total)

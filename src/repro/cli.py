@@ -81,7 +81,7 @@ from . import (
     run_replicated_grid_report,
     sweep_strides,
 )
-from .kernel import KERNEL_ENV_VAR
+from .kernel import KERNEL_ENV_VAR, compiled_components
 from .metrics import RunSet, render_series, render_table
 
 __all__ = ["main", "build_parser"]
@@ -370,6 +370,9 @@ def _cache_suffix(report) -> str:
         suffix += f" chunk={report.chunk}"
     if report.kernel != "pure":
         suffix += f" kernel={report.kernel}"
+        components = getattr(report, "kernel_components", ())
+        if components:
+            suffix += f"[{'+'.join(components)}]"
     if report.cache_used:
         suffix += (f" cache hits={report.cache_hits} "
                    f"misses={report.cache_misses}")
@@ -634,12 +637,32 @@ def _cmd_list(args, out) -> int:
         "cpu-config": "CPU configs",
         "probe": "probes",
         "scenario": "scenarios",
+        "kernel": "kernels",
     }
     registries = all_registries()
     scenarios = _scenario_files()
+
+    def _kernel_entry(kernel) -> str:
+        """``compiled (gcc ...) [loop+timers+...]`` or an unavailable note."""
+        if not kernel.available:
+            return f"{kernel.name} (unavailable: {kernel.why_unavailable})"
+        entry = kernel.describe()
+        components = compiled_components(kernel)
+        if components:
+            entry += f" [{'+'.join(components)}]"
+        return entry
+
     if args.json:
         payload = {key: list(reg.names()) for key, reg in registries.items()}
         payload["scenario"] = scenarios
+        payload["kernel"] = {
+            kernel.name: {
+                "available": kernel.available,
+                "compiler": kernel.compiler,
+                "compiled_components": list(compiled_components(kernel)),
+            }
+            for _, kernel in KERNELS.items()
+        }
         json.dump(payload, out, indent=2)
         out.write("\n")
         return 0
@@ -649,6 +672,10 @@ def _cmd_list(args, out) -> int:
         out.write(f"{title.rjust(width)}: {', '.join(reg.names())}\n")
     if scenarios:
         out.write(f"{'scenarios'.rjust(width)}: {', '.join(scenarios)}\n")
+    kernel_entries = ", ".join(
+        _kernel_entry(kernel) for _, kernel in KERNELS.items()
+    )
+    out.write(f"{'kernels'.rjust(width)}: {kernel_entries}\n")
     return 0
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "KERNEL_ENV_VAR",
     "resolve_kernel",
     "compiled_for",
+    "compiled_components",
     "kernel_info",
 ]
 
@@ -194,9 +195,26 @@ def resolve_kernel(
     * the compiled extension is requested but not importable on this
       machine (not built, or no compiler at install time).
 
-    Unknown names raise :class:`repro.registry.UnknownNameError`.
+    Unknown names raise :class:`repro.registry.UnknownNameError`; a junk
+    ``REPRO_KERNEL`` value fails fast with a :class:`ValueError` that
+    names the variable and enumerates the registered backends (same
+    hardening as ``resolve_jobs`` for ``REPRO_JOBS``) — an inherited
+    environment must never silently select the wrong backend. An empty
+    or whitespace-only ``REPRO_KERNEL`` means "unset".
     """
-    requested = name or os.environ.get(KERNEL_ENV_VAR) or "pure"
+    if name:
+        requested = name
+    else:
+        env = os.environ.get(KERNEL_ENV_VAR, "")
+        requested = env.strip()
+        if requested and requested not in KERNELS:
+            choices = ", ".join(sorted(KERNELS.names()))
+            raise ValueError(
+                f"{KERNEL_ENV_VAR} must name a registered kernel "
+                f"(one of: {choices}), got {env!r}"
+            )
+        if not requested:
+            requested = "pure"
     kernel = KERNELS.get(requested)
     if kernel.name == "pure":
         return kernel
@@ -217,13 +235,52 @@ def resolve_kernel(
     return kernel
 
 
+#: component families with a compiled implementation, in display order:
+#: (family label, the ``repro._ckernel`` attribute that implements it)
+_COMPONENT_FAMILIES = (
+    ("loop", "EventLoop"),
+    ("timers", "Timer"),
+    ("links", "Link"),
+    ("queues", "DropTailQueue"),
+    ("cores", "CpuCore"),
+    ("scoreboard", "Scoreboard"),
+    ("rate-sampler", "DeliveryRateEstimator"),
+    ("rtt-filters", "MinRttFilter"),
+    ("cc-bbr", "BbrModel"),
+)
+
+
+def compiled_components(kernel: Optional[Kernel] = None) -> tuple:
+    """Component families the given backend runs in C (empty for pure).
+
+    Derived from the built extension's exports, so a stale or partial
+    build reports exactly what it covers rather than what this source
+    tree expects.
+    """
+    if kernel is None:
+        kernel = resolve_kernel()
+    if kernel.name == "pure":
+        return ()
+    mod = _load_ckernel()
+    if mod is None:
+        return ()
+    return tuple(
+        family for family, attr in _COMPONENT_FAMILIES if hasattr(mod, attr)
+    )
+
+
 def kernel_info(kernel: Optional[Kernel] = None) -> dict:
     """Metadata describing the *active* backend, for benchmark payloads.
 
     With no argument, describes what :func:`resolve_kernel` would pick
-    right now (env included). Returned keys: ``name`` and ``compiler``
-    (None for pure).
+    right now (env included). Returned keys: ``name``, ``compiler``
+    (None for pure), and ``compiled_components`` (the component families
+    the backend runs in C; empty for pure).
     """
     if kernel is None:
         kernel = resolve_kernel()
-    return {"name": kernel.name, "compiler": kernel.compiler}
+    return {
+        "name": kernel.name,
+        "compiler": kernel.compiler,
+        "compiled_components": list(compiled_components(kernel)),
+    }

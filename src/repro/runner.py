@@ -58,7 +58,7 @@ from .core.experiment import (
     run_experiment,
 )
 from .core.scenario import spec_from_dict, spec_to_dict
-from .kernel import KERNEL_ENV_VAR, resolve_kernel
+from .kernel import KERNEL_ENV_VAR, compiled_components, resolve_kernel
 from .metrics.summary import RunSet
 from .obs.ledger import RunLedger, resolve_ledger
 from .obs.live import (
@@ -149,6 +149,9 @@ class GridReport:
     chunk: int = 1
     #: simulation-kernel backend the grid ran under ("pure"/"compiled")
     kernel: str = "pure"
+    #: component families the backend ran in C (empty for pure); see
+    #: :func:`repro.kernel.compiled_components`
+    kernel_components: Tuple[str, ...] = ()
     #: grid indices that were served from the result cache
     cache_hit_indices: FrozenSet[int] = frozenset()
     #: run-ledger record id for this invocation (None: ledger off/failed)
@@ -177,6 +180,8 @@ class GridReport:
             line += f" chunk={self.chunk}"
         if self.kernel != "pure":
             line += f" kernel={self.kernel}"
+            if self.kernel_components:
+                line += f"[{'+'.join(self.kernel_components)}]"
         if self.cache_used:
             line += f" cache hits={self.cache_hits} misses={self.cache_misses}"
             if self.cache_skipped:
@@ -517,9 +522,12 @@ def run_grid_report(
             results.append(result)
     if monitor is not None:
         monitor.finish()
-    kernel_name = resolve_kernel().name
+    active_kernel = resolve_kernel()
+    kernel_name = active_kernel.name
     notices: List[str] = []
-    requested_kernel = os.environ.get(KERNEL_ENV_VAR) or "pure"
+    requested_kernel = (
+        os.environ.get(KERNEL_ENV_VAR) or ""
+    ).strip() or "pure"
     if requested_kernel != kernel_name:
         notices.append(
             f"kernel {requested_kernel!r} unavailable; grid ran "
@@ -537,6 +545,7 @@ def run_grid_report(
         cache_used=store is not None,
         chunk=chunk_size,
         kernel=kernel_name,
+        kernel_components=compiled_components(active_kernel),
         cache_hit_indices=frozenset(hit_indices),
         notices=notices,
     )

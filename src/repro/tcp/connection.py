@@ -29,7 +29,7 @@ from ..netsim.packet import PACKET_POOL, Packet
 from ..sim import Timer
 from ..units import MSEC, SEC
 from .pacing import PacingController, PacingMode
-from .rate_sample import DeliveryRateEstimator, RateSample, TxRecord
+from .rate_sample import DeliveryRateEstimator, TxRecord
 from .rtt import MinRttFilter, RttEstimator
 from .scoreboard import Scoreboard
 from .segmentation import GSO_MAX_BYTES, tso_autosize_bytes
@@ -135,11 +135,17 @@ class TcpSender:
         #: receiver's advertised window (bytes), from the latest ACK
         self.snd_wnd = 1 << 30
 
-        # components
-        self.scoreboard = Scoreboard(self.mss)
-        self.rtt = RttEstimator(min_rto_ns=self.config.min_rto_ns)
-        self.min_rtt = MinRttFilter()
-        self.delivery = DeliveryRateEstimator()
+        # components (loop/tracer route the scoreboard + estimator to the
+        # compiled kernel on a compiled loop; see repro.kernel)
+        _tracer = getattr(services, "tracer", None)
+        self.scoreboard = Scoreboard(self.mss, loop=services.loop, tracer=_tracer)
+        self.rtt = RttEstimator(
+            min_rto_ns=self.config.min_rto_ns,
+            loop=services.loop,
+            tracer=_tracer,
+        )
+        self.min_rtt = MinRttFilter(loop=services.loop, tracer=_tracer)
+        self.delivery = DeliveryRateEstimator(loop=services.loop, tracer=_tracer)
         self.pacer = PacingController(
             self.mss,
             stride=self.config.pacing_stride,
@@ -426,18 +432,14 @@ class TcpSender:
             self._try_send()
             return
 
-        snapshot = self.delivery.on_send(
+        record = self.delivery.send_record(
             now,
-            has_inflight=self.scoreboard.has_inflight,
-            app_limited=self._unsent_copied_bytes() - skb_bytes <= 0
+            self.snd_nxt,
+            self.snd_nxt + skb_bytes,
+            skb_bytes // self.mss,
+            self.scoreboard.has_inflight,
+            self._unsent_copied_bytes() - skb_bytes <= 0
             and self.source.available_bytes(self.copied_seq) <= 0,
-        )
-        record = TxRecord(
-            seq=self.snd_nxt,
-            end_seq=self.snd_nxt + skb_bytes,
-            segments=skb_bytes // self.mss,
-            sent_ns=now,
-            **snapshot,
         )
         self.scoreboard.on_transmit(record)
         packet = PACKET_POOL.acquire_data(
@@ -550,43 +552,31 @@ class TcpSender:
         prior_una = self.scoreboard.snd_una
         self.snd_wnd = packet.rwnd
 
-        # The scoreboard consumes the SACK list by value (it never stores
-        # it), so the pooled ACK's list is passed without a copy.
-        outcome = self.scoreboard.on_ack(packet.ack, packet.sack_blocks)
-        delivered = outcome.delivered_bytes
-        if delivered > 0:
-            self.delivery.on_delivered(delivered, now)
-        self.bytes_acked += outcome.newly_acked_bytes
+        # One fused call applies the ACK to the scoreboard, credits the
+        # delivered counters, and builds the stamped rate sample (the
+        # compiled kernel does all of it in C). The scoreboard consumes
+        # the SACK list by value (it never stores it), so the pooled
+        # ACK's list is passed without a copy.
+        rs, newly_acked_bytes = self.scoreboard.process_ack(
+            self.delivery,
+            packet.ack,
+            packet.sack_blocks,
+            now,
+            prior_inflight,
+            self.min_rtt.expired(now),
+        )
+        self.bytes_acked += newly_acked_bytes
         if prior_una == 0 and packet.ack > 0 and self.on_first_byte_acked:
             self.on_first_byte_acked()
 
-        min_rtt_was_expired = self.min_rtt.expired(now)
-        record = outcome.newest_delivered_record
-        if record is not None and delivered > 0:
-            rs = self.delivery.make_sample(record, now)
-            rs.prior_inflight_segments = prior_inflight
-            rs.newly_acked_segments = outcome.newly_acked_segments
-            rs.newly_sacked_segments = outcome.newly_sacked_segments
-            rs.newly_lost_segments = outcome.newly_lost_segments
-            rs.min_rtt_expired = min_rtt_was_expired
-            if rs.rtt_ns > 0:
-                self.rtt.update(rs.rtt_ns)
-                if self.min_rtt.update(rs.rtt_ns, now):
-                    self.cc.on_min_rtt_update(self, self.min_rtt.min_rtt_ns or rs.rtt_ns)
-                if self.on_rtt_sample is not None:
-                    self.on_rtt_sample(rs.rtt_ns)
-        else:
-            rs = RateSample(
-                delivered_total=self.delivery.delivered_bytes,
-                prior_inflight_segments=prior_inflight,
-                newly_acked_segments=outcome.newly_acked_segments,
-                newly_sacked_segments=outcome.newly_sacked_segments,
-                newly_lost_segments=outcome.newly_lost_segments,
-                ack_time_ns=now,
-                min_rtt_expired=min_rtt_was_expired,
-            )
+        if rs.rtt_ns > 0:
+            self.rtt.update(rs.rtt_ns)
+            if self.min_rtt.update(rs.rtt_ns, now):
+                self.cc.on_min_rtt_update(self, self.min_rtt.min_rtt_ns or rs.rtt_ns)
+            if self.on_rtt_sample is not None:
+                self.on_rtt_sample(rs.rtt_ns)
 
-        self._update_recovery_state(packet.ack, outcome.newly_lost_segments)
+        self._update_recovery_state(packet.ack, rs.newly_lost_segments)
         self.cc.cong_control(self, rs)
         cwnd = self.cwnd
         if cwnd > self.config.max_cwnd:

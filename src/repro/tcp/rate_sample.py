@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..kernel import compiled_for
+
 __all__ = ["TxRecord", "RateSample", "DeliveryRateEstimator"]
 
 
@@ -98,7 +100,24 @@ class RateSample:
 class DeliveryRateEstimator:
     """Connection-wide delivered counters + sample generation."""
 
-    def __init__(self) -> None:
+    def __new__(cls, *args, **kwargs):
+        # Kernel routing, same pattern as Scoreboard: a compiled-kernel
+        # loop with no enabled tracer gets the C estimator; subclasses
+        # and instrumented runs stay pure.
+        if cls is DeliveryRateEstimator:
+            loop = kwargs.get("loop", args[0] if len(args) > 0 else None)
+            if loop is not None:
+                tracer = kwargs.get(
+                    "tracer", args[1] if len(args) > 1 else None
+                )
+                ck = compiled_for(loop)
+                if ck is not None and (tracer is None or not tracer.enabled):
+                    return ck.DeliveryRateEstimator(*args, **kwargs)
+        return super().__new__(cls)
+
+    def __init__(self, loop=None, tracer=None) -> None:
+        # loop/tracer are kernel-routing keys consumed by __new__; the
+        # pure estimator never schedules or traces.
         #: total bytes delivered (cumulatively acked or sacked)
         self.delivered_bytes = 0
         #: time of the most recent delivery event
@@ -125,6 +144,36 @@ class DeliveryRateEstimator:
             "first_sent_at_send": self.first_sent_ns,
             "is_app_limited": self.app_limited_until > 0,
         }
+
+    def send_record(
+        self,
+        now_ns: int,
+        seq: int,
+        end_seq: int,
+        segments: int,
+        has_inflight: bool,
+        app_limited: bool,
+    ) -> TxRecord:
+        """:meth:`on_send` + :class:`TxRecord` construction in one call.
+
+        This is the per-transmit seam the compiled kernel implements in
+        C (no snapshot dict, no dataclass dispatch on the hot path).
+        """
+        if not has_inflight:
+            self.first_sent_ns = now_ns
+            self.delivered_time_ns = now_ns
+        if app_limited:
+            self.app_limited_until = self.delivered_bytes + 1
+        return TxRecord(
+            seq=seq,
+            end_seq=end_seq,
+            segments=segments,
+            sent_ns=now_ns,
+            delivered_at_send=self.delivered_bytes,
+            delivered_time_at_send=self.delivered_time_ns,
+            first_sent_at_send=self.first_sent_ns,
+            is_app_limited=self.app_limited_until > 0,
+        )
 
     def on_delivered(self, nbytes: int, now_ns: int) -> None:
         """Credit *nbytes* of newly (s)acked data."""

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..kernel import compiled_for
 from ..units import MSEC, SEC
 
 __all__ = ["RttEstimator", "MinRttFilter"]
@@ -22,7 +23,28 @@ class RttEstimator:
     BETA = 1.0 / 4.0
     K = 4
 
-    def __init__(self, min_rto_ns: int = 200 * MSEC, max_rto_ns: int = 120 * SEC):
+    def __new__(cls, *args, **kwargs):
+        # Kernel routing, same pattern as Scoreboard: a compiled-kernel
+        # loop with no enabled tracer gets the C estimator.
+        if cls is RttEstimator:
+            loop = kwargs.get("loop", args[2] if len(args) > 2 else None)
+            if loop is not None:
+                tracer = kwargs.get(
+                    "tracer", args[3] if len(args) > 3 else None
+                )
+                ck = compiled_for(loop)
+                if ck is not None and (tracer is None or not tracer.enabled):
+                    return ck.RttEstimator(*args, **kwargs)
+        return super().__new__(cls)
+
+    def __init__(
+        self,
+        min_rto_ns: int = 200 * MSEC,
+        max_rto_ns: int = 120 * SEC,
+        loop=None,
+        tracer=None,
+    ):
+        # loop/tracer are kernel-routing keys consumed by __new__
         self.min_rto_ns = int(min_rto_ns)
         self.max_rto_ns = int(max_rto_ns)
         self.srtt_ns: Optional[int] = None
@@ -67,7 +89,21 @@ class MinRttFilter:
     sample arrives within it, which is what triggers PROBE_RTT.
     """
 
-    def __init__(self, window_ns: int = 10 * SEC):
+    def __new__(cls, *args, **kwargs):
+        # Kernel routing, same pattern as Scoreboard.
+        if cls is MinRttFilter:
+            loop = kwargs.get("loop", args[1] if len(args) > 1 else None)
+            if loop is not None:
+                tracer = kwargs.get(
+                    "tracer", args[2] if len(args) > 2 else None
+                )
+                ck = compiled_for(loop)
+                if ck is not None and (tracer is None or not tracer.enabled):
+                    return ck.MinRttFilter(*args, **kwargs)
+        return super().__new__(cls)
+
+    def __init__(self, window_ns: int = 10 * SEC, loop=None, tracer=None):
+        # loop/tracer are kernel-routing keys consumed by __new__
         self.window_ns = int(window_ns)
         self._min_ns: Optional[int] = None
         self._stamp_ns: int = 0

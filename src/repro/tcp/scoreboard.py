@@ -18,7 +18,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterable, List, Optional, Tuple
 
-from .rate_sample import TxRecord
+from ..kernel import compiled_for
+from .rate_sample import DeliveryRateEstimator, RateSample, TxRecord
 
 __all__ = ["Scoreboard", "AckOutcome"]
 
@@ -53,8 +54,28 @@ class AckOutcome:
 class Scoreboard:
     """Ordered collection of in-flight transmission records."""
 
-    def __init__(self, mss: int, reorder_degree: int = 3):
+    def __new__(cls, *args, **kwargs):
+        # Kernel routing: a scoreboard built on a compiled-kernel loop
+        # *is* the C implementation (construction is the only selection
+        # point; see repro.kernel). Instrumented runs stay pure — the C
+        # kernel has no tracer hooks. Subclasses always stay pure.
+        if cls is Scoreboard:
+            loop = kwargs.get("loop", args[2] if len(args) > 2 else None)
+            if loop is not None:
+                tracer = kwargs.get(
+                    "tracer", args[3] if len(args) > 3 else None
+                )
+                ck = compiled_for(loop)
+                if ck is not None and (tracer is None or not tracer.enabled):
+                    return ck.Scoreboard(*args, **kwargs)
+        return super().__new__(cls)
+
+    def __init__(self, mss: int, reorder_degree: int = 3, loop=None, tracer=None):
+        # loop/tracer are kernel-routing keys consumed by __new__; the
+        # pure scoreboard never schedules or traces.
         self.mss = int(mss)
+        if self.mss < 1:
+            raise ValueError("mss must be >= 1")
         self.reorder_degree = int(reorder_degree)
         self._records: Deque[TxRecord] = deque()
         self.snd_una = 0
@@ -159,6 +180,40 @@ class Scoreboard:
         self._apply_sacks(sack_blocks, outcome)
         self._detect_losses(outcome)
         return outcome
+
+    def process_ack(
+        self,
+        delivery: DeliveryRateEstimator,
+        ack_seq: int,
+        sack_blocks: List[Tuple[int, int]],
+        now_ns: int,
+        prior_inflight: int,
+        min_rtt_expired: bool,
+    ) -> Tuple[RateSample, int]:
+        """Apply one ACK and produce its fully stamped rate sample.
+
+        Fuses :meth:`on_ack`, the delivered-counter credit, and the
+        sample construction into one call — the per-ACK seam the
+        compiled kernel implements in C, so a compiled run pays a single
+        dispatch per ACK. Returns ``(rate_sample, newly_acked_bytes)``.
+        """
+        outcome = self.on_ack(ack_seq, sack_blocks)
+        delivered = outcome.delivered_bytes
+        if delivered > 0:
+            delivery.on_delivered(delivered, now_ns)
+        record = outcome.newest_delivered_record
+        if record is not None and delivered > 0:
+            rs = delivery.make_sample(record, now_ns)
+        else:
+            rs = RateSample(
+                delivered_total=delivery.delivered_bytes, ack_time_ns=now_ns
+            )
+        rs.prior_inflight_segments = prior_inflight
+        rs.newly_acked_segments = outcome.newly_acked_segments
+        rs.newly_sacked_segments = outcome.newly_sacked_segments
+        rs.newly_lost_segments = outcome.newly_lost_segments
+        rs.min_rtt_expired = min_rtt_expired
+        return rs, outcome.newly_acked_bytes
 
     def mark_all_lost(self) -> int:
         """RTO: every outstanding, un-SACKed segment is presumed lost.

@@ -29,12 +29,16 @@ from repro import (
     code_fingerprint,
     kernel_fingerprint,
     kernel_info,
+    load_scenario,
     run_experiment,
 )
 from repro.kernel import KERNEL_ENV_VAR, KERNELS, compiled_for, resolve_kernel
 from repro.netsim import MEDIA
 from repro.sim import EventLoop, SimulationError
 from repro.sim.engine import _WHEEL_MIN_DELAY_NS
+from repro.tcp.rate_sample import DeliveryRateEstimator
+from repro.tcp.rtt import MinRttFilter, RttEstimator
+from repro.tcp.scoreboard import Scoreboard
 
 COMPILED = KERNELS.get("compiled")
 
@@ -178,6 +182,22 @@ def test_resolve_kernel_unknown_name_raises(kernel_env):
         resolve_kernel("turbo")
 
 
+def test_resolve_kernel_junk_env_fails_fast(kernel_env):
+    """An inherited bogus REPRO_KERNEL must never silently pick a backend."""
+    kernel_env("turbo")
+    with pytest.raises(ValueError) as excinfo:
+        resolve_kernel()
+    message = str(excinfo.value)
+    assert KERNEL_ENV_VAR in message
+    assert "compiled" in message and "pure" in message
+    assert "turbo" in message
+
+
+def test_resolve_kernel_blank_env_means_unset(kernel_env):
+    kernel_env("   ")
+    assert resolve_kernel().name == "pure"
+
+
 def test_instrumented_run_falls_back_to_pure_with_notice(monkeypatch, capsys):
     monkeypatch.setattr(kernel_mod, "_noticed", set())
     kernel = resolve_kernel("compiled", instrumented=True)
@@ -225,7 +245,11 @@ def test_compiled_for_identifies_compiled_loops():
 
 def test_kernel_info_reports_active_backend(kernel_env):
     info = kernel_info()
-    assert info == {"name": "pure", "compiler": None}
+    assert info == {
+        "name": "pure",
+        "compiler": None,
+        "compiled_components": [],
+    }
 
 
 @needs_compiled
@@ -233,6 +257,9 @@ def test_kernel_info_reports_compiler_for_compiled():
     info = kernel_info(COMPILED)
     assert info["name"] == "compiled"
     assert isinstance(info["compiler"], str) and info["compiler"]
+    # the ACK hot path families must all be covered by the built extension
+    for family in ("loop", "scoreboard", "rate-sampler", "rtt-filters", "cc-bbr"):
+        assert family in info["compiled_components"]
 
 
 # -- instrumentation guards on the C types -------------------------------------
@@ -274,6 +301,173 @@ def test_c_component_constructor_rejects_enabled_tracer():
     loop = COMPILED.make_loop()
     with pytest.raises(ValueError, match="pure"):
         ck.CpuCore(loop, 1e9, "cpu0", Tracer(enabled=True))
+
+
+# -- ACK hot path: property-style scoreboard/estimator equivalence -------------
+
+#: every externally observable RateSample field
+_RS_FIELDS = (
+    "delivered_bytes", "interval_ns", "rtt_ns", "delivered_total",
+    "prior_delivered", "prior_inflight_segments", "newly_acked_segments",
+    "newly_sacked_segments", "newly_lost_segments", "is_app_limited",
+    "ack_time_ns", "min_rtt_expired",
+)
+
+#: every externally observable TxRecord field
+_REC_FIELDS = (
+    "seq", "end_seq", "segments", "sent_ns", "delivered_at_send",
+    "delivered_time_at_send", "first_sent_at_send", "is_app_limited",
+    "retransmitted", "sacked", "lost", "sacked_segments", "last_sent_ns",
+)
+
+
+def _rs_tuple(rs):
+    return tuple(getattr(rs, f) for f in _RS_FIELDS)
+
+
+def _rec_tuple(rec):
+    return tuple(getattr(rec, f) for f in _REC_FIELDS)
+
+
+def _sb_state(sb, delivery):
+    """Everything an ACK can change, down to per-record flags."""
+    return {
+        "snd_una": sb.snd_una,
+        "highest_sacked": sb.highest_sacked,
+        "packets_out": sb.packets_out,
+        "sacked_out": sb.sacked_out,
+        "lost_out": sb.lost_out,
+        "retrans_out": sb.retrans_out,
+        "inflight": sb.inflight_segments,
+        "has_inflight": sb.has_inflight,
+        "retx_total": sb.total_retransmitted_segments,
+        "records": [_rec_tuple(r) for r in sb.records],
+        "delivered_bytes": delivery.delivered_bytes,
+        "delivered_time_ns": delivery.delivered_time_ns,
+        "first_sent_ns": delivery.first_sent_ns,
+        "app_limited_until": delivery.app_limited_until,
+    }
+
+
+def _run_ack_workload(seed: int, loop) -> list:
+    """Drive one scoreboard + estimator pair through a random ACK storm.
+
+    Exercises every per-ACK transition the connection uses: in-order
+    transmission, cumulative ACKs (including partial, mid-record ones),
+    out-of-order SACK blocks, reorder-threshold loss marking, lost-record
+    retransmission, RTO mark-all-lost with timer re-arm off the oldest
+    unacked record, and recovery-exit mark clearing. Both backends must
+    consume the RNG identically, so any state divergence desynchronises
+    the traces and fails the comparison.
+    """
+    rng = random.Random(seed)
+    mss = 1000
+    sb = Scoreboard(mss, loop=loop)
+    delivery = DeliveryRateEstimator(loop=loop)
+    now = 0
+    seq = 0
+    trace = []
+    for _ in range(120):
+        # a flight of fresh transmissions
+        for _ in range(rng.randrange(1, 6)):
+            segments = rng.randrange(1, 5)
+            now += rng.randrange(1_000, 50_000)
+            rec = delivery.send_record(
+                now, seq, seq + segments * mss, segments,
+                sb.has_inflight, rng.random() < 0.2,
+            )
+            rec.last_sent_ns = now
+            sb.on_transmit(rec)
+            seq += segments * mss
+        # one ACK: cumulative point plus up to two (possibly overlapping,
+        # non-mss-aligned) SACK blocks
+        una = sb.snd_una
+        span = seq - una
+        if rng.random() < 0.55 and span > 0:
+            ack = una + rng.randrange(0, span + 1)
+        else:
+            ack = una
+        blocks = []
+        for _ in range(rng.randrange(0, 3)):
+            if span <= 0:
+                break
+            start = una + rng.randrange(0, span)
+            end = min(seq, start + rng.randrange(1, 6 * mss))
+            if end > start:
+                blocks.append((start, end))
+        now += rng.randrange(10_000, 200_000)
+        rs, acked_bytes = sb.process_ack(
+            delivery, ack, blocks, now, sb.inflight_segments,
+            rng.random() < 0.1,
+        )
+        trace.append(("ack", _rs_tuple(rs), acked_bytes, _sb_state(sb, delivery)))
+        # drain the retransmission queue
+        if rng.random() < 0.5:
+            lost = sb.next_lost_record()
+            while lost is not None:
+                now += rng.randrange(1_000, 10_000)
+                sb.on_retransmit(lost)
+                lost.last_sent_ns = now
+                lost = sb.next_lost_record()
+            trace.append(("retx", _sb_state(sb, delivery)))
+        # RTO: presume everything lost, re-arm off the oldest unacked record
+        if rng.random() < 0.15:
+            newly_lost = sb.mark_all_lost()
+            oldest = sb.oldest_unacked_record()
+            rearm = oldest.last_sent_ns if oldest is not None else None
+            trace.append(("rto", newly_lost, rearm, _sb_state(sb, delivery)))
+        # recovery episode over
+        if rng.random() < 0.2:
+            sb.clear_loss_marks()
+            trace.append(("clear", _sb_state(sb, delivery)))
+    return trace
+
+
+@needs_compiled
+@pytest.mark.parametrize("seed", [7, 23, 1009])
+def test_scoreboard_ack_path_equivalent_across_kernels(seed):
+    """Property: the C scoreboard/estimator pair never diverges from pure."""
+    pure_trace = _run_ack_workload(seed, None)
+    compiled_trace = _run_ack_workload(seed, COMPILED.make_loop())
+    assert any(op[0] == "rto" for op in pure_trace), "workload must hit RTO"
+    assert any(op[0] == "retx" for op in pure_trace), "workload must retransmit"
+    assert len(compiled_trace) == len(pure_trace)
+    for step, (pure_op, compiled_op) in enumerate(
+        zip(pure_trace, compiled_trace)
+    ):
+        assert compiled_op == pure_op, f"divergence at step {step}"
+
+
+@needs_compiled
+def test_ack_path_components_route_to_c_on_compiled_loop():
+    """The PR 6 routing rule extends to the whole ACK hot path."""
+    ck = kernel_mod._load_ckernel()
+    loop = COMPILED.make_loop()
+    assert type(Scoreboard(1448, loop=loop)) is ck.Scoreboard
+    assert type(DeliveryRateEstimator(loop=loop)) is ck.DeliveryRateEstimator
+    assert type(RttEstimator(loop=loop)) is ck.RttEstimator
+    assert type(MinRttFilter(loop=loop)) is ck.MinRttFilter
+    # without a compiled loop the reference implementations run
+    assert type(Scoreboard(1448)) is Scoreboard
+    assert type(DeliveryRateEstimator()) is DeliveryRateEstimator
+    assert type(RttEstimator()) is RttEstimator
+    assert type(MinRttFilter()) is MinRttFilter
+
+
+@needs_compiled
+def test_churn_experiment_bit_identical_across_kernels(kernel_env):
+    """Multi-flow churn (Poisson cubic arrivals vs one BBR flow) matches too."""
+    path = os.path.join(
+        os.path.dirname(__file__), os.pardir,
+        "benchmarks", "scenarios", "churn_poisson.json",
+    )
+    specs = load_scenario(path)
+    assert specs, "churn_poisson should expand to at least one point"
+    kernel_env("pure")
+    pure = [dataclasses.asdict(run_experiment(spec)) for spec in specs]
+    kernel_env("compiled")
+    compiled = [dataclasses.asdict(run_experiment(spec)) for spec in specs]
+    assert compiled == pure
 
 
 # -- cache fingerprints distinguish backends -----------------------------------
