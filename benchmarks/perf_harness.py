@@ -21,6 +21,10 @@ measure
 * **chunked-dispatch microbenchmark** — a grid of many very short
   simulations dispatched one point per pool task versus batched, which
   isolates the per-task IPC round trip the chunking amortizes;
+* **distributed-dispatch microbenchmark** — the shared-queue protocol's
+  per-chunk cost (publish + atomic-rename claim + completion record)
+  plus a 2-worker distributed run of a short grid against the same grid
+  run serially, with a metrics-identity check (:mod:`repro.dist`);
 * **flow-churn microbenchmark** — Poisson connection arrivals racing a
   greedy flow, which stresses flow setup/teardown and the per-flow
   accounting rather than the steady-state fast path.
@@ -296,6 +300,73 @@ def measure_chunked_dispatch(quick: bool) -> Dict[str, object]:
     }
 
 
+def measure_dist_dispatch(quick: bool) -> Dict[str, object]:
+    """Distributed-sweep overhead: queue ops per chunk and 2-worker wall.
+
+    Two numbers matter for the coordinator/worker layer. First, the raw
+    cost of the queue protocol itself — publish, claim (atomic rename +
+    lease stamp), complete — measured over an empty-payload churn loop:
+    this is pure filesystem overhead every chunk pays on top of its
+    simulations. Second, a 2-worker distributed run of a short grid
+    against a serial run of the same grid: wall-clock ratio plus a
+    metrics-identity check, since the distributed path is only a win if
+    it is *exactly* the same computation. On a single-core box the
+    worker comparison reports the honest (likely <1x) ratio; the queue
+    overhead numbers are hardware-independent either way.
+    """
+    from repro.dist import TaskQueue, run_distributed
+
+    ops = 100 if quick else 400
+    with tempfile.TemporaryDirectory(prefix="repro-dist-bench-") as tmp:
+        queue = TaskQueue(os.path.join(tmp, "queue"))
+        queue.prepare({"grid_digest": "bench"})
+        t0 = time.perf_counter()
+        for c in range(ops):
+            queue.publish(c, [{"index": c, "spec": {}}])
+            task = queue.claim("bench-worker", lease_s=60)
+            queue.complete(task, {"chunk": task.chunk, "points": []})
+        queue_wall = time.perf_counter() - t0
+    per_chunk_ms = queue_wall / ops * 1e3
+    print(f"  queue protocol: {ops} publish+claim+complete cycles in "
+          f"{queue_wall:.3f}s ({per_chunk_ms:.2f} ms/chunk)")
+
+    seeds = range(1, 3) if quick else range(1, 5)
+    specs = [
+        ExperimentSpec(cc=cc, connections=2, duration_s=0.8, warmup_s=0.2,
+                       seed=seed)
+        for seed in seeds
+        for cc in ("bbr", "cubic")
+    ]
+    serial = run_grid_report(specs, jobs=1, cache=False)
+    print(f"  serial: {serial.summary_line()}")
+    with tempfile.TemporaryDirectory(prefix="repro-dist-bench-") as tmp:
+        cache = ResultCache(root=os.path.join(tmp, "cache"))
+        dist = run_distributed(
+            specs, os.path.join(tmp, "queue"), cache=cache, workers=2,
+            lease_s=60, poll_s=0.05, wait_timeout_s=600, name="bench",
+            ledger=False,
+        )
+    print(f"  2 workers: {dist.summary_line()}")
+    metrics_identical = all(
+        d.scalar_metrics() == s.scalar_metrics()
+        for d, s in zip(dist.results, serial.results)
+    )
+    speedup = serial.wall_s / dist.wall_s if dist.wall_s > 0 else 0.0
+    print(f"  distributed vs serial: x{speedup:.2f} wall-clock, metrics "
+          f"{'identical' if metrics_identical else 'DIVERGED'}")
+    return {
+        "queue_ops": ops,
+        "queue_wall_s": round(queue_wall, 4),
+        "queue_overhead_ms_per_chunk": round(per_chunk_ms, 3),
+        "grid_points": len(specs),
+        "serial_wall_s": round(serial.wall_s, 4),
+        "workers2_wall_s": round(dist.wall_s, 4),
+        "workers2_chunk": dist.chunk,
+        "speedup": round(speedup, 2),
+        "metrics_identical": metrics_identical,
+    }
+
+
 def measure_flow_churn(quick: bool) -> Dict[str, object]:
     """Flow-churn microbenchmark: Poisson connection arrivals against a
     greedy flow on a shared bottleneck.
@@ -513,6 +584,8 @@ def main(argv=None) -> int:
     cache_bench = measure_result_cache(args.quick)
     print("chunked dispatch (microbenchmark):")
     chunking = measure_chunked_dispatch(args.quick)
+    print("distributed dispatch (microbenchmark):")
+    dist_dispatch = measure_dist_dispatch(args.quick)
     print("flow churn (microbenchmark):")
     flow_churn = measure_flow_churn(args.quick)
     print("ack processing (microbenchmark):")
@@ -533,6 +606,7 @@ def main(argv=None) -> int:
             "allocation": allocations,
             "result_cache": cache_bench,
             "chunked_dispatch": chunking,
+            "dist_dispatch": dist_dispatch,
             "flow_churn": flow_churn,
             "ack_processing": ack_processing,
         },

@@ -53,11 +53,19 @@ from .cache import (
     resolve_cache,
 )
 from .kernel import KERNELS, compiled_components, kernel_info, resolve_kernel
+from .dist import (
+    DistributedSweepError,
+    TaskQueue,
+    WorkerReport,
+    run_distributed,
+    run_worker,
+)
 from .cc import CC_ALGORITHMS
 from .cpu import EXECUTORS
 from .devices import CPU_CONFIGS, DEVICES, PIXEL_4, PIXEL_6, CpuConfig, DeviceProfile
 from .netsim import ETHERNET_LAN, LTE_CELLULAR, MEDIA, WIFI_LAN, NetemConfig
 from .obs import (
+    DistMonitor,
     GridMonitor,
     PROBES,
     ProbeSet,
@@ -68,6 +76,7 @@ from .obs import (
     export_chrome_trace,
     export_jsonl,
     load_jsonl,
+    merge_ledgers,
     resolve_ledger,
     validate_chrome_trace,
     validate_jsonl,
@@ -87,6 +96,7 @@ from .runner import (
     GridReport,
     resolve_chunk,
     resolve_jobs,
+    resolve_worker_jobs,
     run_grid,
     run_grid_report,
     run_replicated_grid,
@@ -161,8 +171,15 @@ __all__ = [
     "Tracer",
     "RunLedger",
     "resolve_ledger",
+    "merge_ledgers",
     "diff_records",
     "GridMonitor",
+    "DistMonitor",
+    "DistributedSweepError",
+    "TaskQueue",
+    "WorkerReport",
+    "run_distributed",
+    "run_worker",
     "validate_openmetrics",
     "export_jsonl",
     "load_jsonl",
@@ -174,6 +191,7 @@ __all__ = [
     "GridReport",
     "resolve_chunk",
     "resolve_jobs",
+    "resolve_worker_jobs",
     "run_grid",
     "run_grid_report",
     "run_replicated_grid",

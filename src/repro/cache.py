@@ -275,6 +275,17 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
+    def contains(self, spec: ExperimentSpec) -> bool:
+        """Whether an entry for *spec* exists, without deserializing it.
+
+        A cheap existence probe for coordination layers that only need
+        to know "is this point done?" (the distributed sweep asks this
+        per point when assembling and verifying). A ``True`` here can
+        still read back as a miss if the entry is corrupt — callers that
+        need the result must still :meth:`get` it.
+        """
+        return os.path.exists(self.entry_path(spec))
+
     def put(self, spec: ExperimentSpec, result: ExperimentResult) -> bool:
         """Store *result* under *spec*'s address; returns success.
 

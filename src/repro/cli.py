@@ -9,6 +9,10 @@ Examples::
     python -m repro grid --scenario benchmarks/scenarios/smoke_2point.json
     python -m repro grid --scenario benchmarks/scenarios/fig8_stride_sweep.json
     python -m repro grid --scenario benchmarks/scenarios/fig4_grid.json --live
+    python -m repro sweep --scenario benchmarks/scenarios/fig4_grid.json \
+        --distributed --workers 2 --live
+    python -m repro worker --pull /shared/queue/fig4
+    python -m repro runs merge /shared/queue/fig4
     python -m repro compare --connections 20 --config low-end
     python -m repro sweep-strides --config default --connections 20 --status
     python -m repro cache stats
@@ -19,7 +23,12 @@ Examples::
 
 ``run`` executes one experiment (optionally replicated), ``grid``
 expands a declarative scenario file into its full experiment grid,
-``compare`` races BBR against Cubic on identical settings,
+``sweep`` runs the same grids and with ``--distributed`` shards them
+into a shared queue directory for any number of ``worker --pull``
+processes (local or cross-host over a shared filesystem; the shared
+result cache carries results and makes the sweep resumable —
+:mod:`repro.dist`), ``compare`` races BBR against Cubic on identical
+settings,
 ``sweep-strides`` reproduces a Figure-8 row, ``cache`` inspects or
 clears the on-disk result cache (:mod:`repro.cache`), and ``list``
 shows every registered component. All ``choices=`` below come from the
@@ -56,6 +65,7 @@ from . import (
     CPU_CONFIGS,
     CpuConfig,
     DEVICES,
+    DistMonitor,
     ExperimentSpec,
     GridMonitor,
     KERNELS,
@@ -75,12 +85,17 @@ from . import (
     export_chrome_trace,
     export_jsonl,
     load_scenario_doc,
+    merge_ledgers,
     resolve_jobs,
     resolve_kernel,
+    run_distributed,
     run_experiment,
     run_replicated_grid_report,
+    run_worker,
     sweep_strides,
 )
+from .dist import DistributedSweepError, default_queue_dir, grid_digest
+from .dist.worker import WorkerError
 from .kernel import KERNEL_ENV_VAR, compiled_components
 from .metrics import RunSet, render_series, render_table
 
@@ -197,6 +212,84 @@ def build_parser() -> argparse.ArgumentParser:
     grid_p.add_argument("--progress-out", metavar="FILE", default=None,
                         help="write the raw worker progress events as JSONL")
 
+    sweep_grid_p = sub.add_parser(
+        "sweep", help="run a scenario grid, optionally sharded across "
+                      "distributed pull-workers over a shared cache")
+    sweep_grid_p.add_argument("--scenario", metavar="FILE", required=True,
+                              help="JSON scenario (base + grid + overrides)")
+    sweep_grid_p.add_argument("--distributed", action="store_true",
+                              help="shard the grid into a shared task queue "
+                                   "for 'repro worker --pull' processes "
+                                   "(the shared result cache carries the "
+                                   "results and makes the sweep resumable)")
+    sweep_grid_p.add_argument("--queue", metavar="DIR", default=None,
+                              help="queue directory (default: a per-sweep "
+                                   "directory under the cache root; must be "
+                                   "on a filesystem every worker mounts)")
+    sweep_grid_p.add_argument("--workers", type=int, default=0,
+                              help="local pull-workers to spawn (0: only "
+                                   "coordinate — start workers yourself, "
+                                   "anywhere the queue is mounted)")
+    sweep_grid_p.add_argument("--jobs", "-j", type=int, default=None,
+                              help="per-worker process count when "
+                                   "distributed (capped at the worker "
+                                   "host's cores); else the grid pool size")
+    sweep_grid_p.add_argument("--no-cache", action="store_true",
+                              help="recompute every point (incompatible "
+                                   "with --distributed: the cache is how "
+                                   "workers return results)")
+    sweep_grid_p.add_argument("--chunk", type=int, default=None,
+                              help="points per published task (default: "
+                                   "$REPRO_CHUNK, then auto-sized from the "
+                                   "grid and worker count)")
+    sweep_grid_p.add_argument("--lease-timeout", type=float, default=60.0,
+                              metavar="S",
+                              help="seconds before an unrenewed chunk lease "
+                                   "is re-dispatched to another worker")
+    sweep_grid_p.add_argument("--wait-timeout", type=float, default=None,
+                              metavar="S",
+                              help="give up when the distributed sweep has "
+                                   "not completed within S seconds "
+                                   "(default: wait indefinitely)")
+    sweep_grid_p.add_argument("--live", "--status", action="store_true",
+                              help="render a live progress line on stderr, "
+                                   "aggregating per-worker heartbeats")
+    sweep_grid_p.add_argument("--metrics-out", metavar="FILE", default=None,
+                              help="write the final sweep telemetry as "
+                                   "OpenMetrics text")
+    sweep_grid_p.add_argument("--progress-out", metavar="FILE", default=None,
+                              help="write the raw progress events as JSONL")
+    sweep_grid_p.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+
+    worker_p = sub.add_parser(
+        "worker", help="pull and execute sweep chunks from a shared queue")
+    worker_p.add_argument("--pull", metavar="DIR", required=True,
+                          help="queue directory published by "
+                               "'repro sweep --distributed'")
+    worker_p.add_argument("--jobs", "-j", type=int, default=None,
+                          help="process count for this worker (default: "
+                               "$REPRO_JOBS, then CPU count; always capped "
+                               "at this host's cores)")
+    worker_p.add_argument("--lease-timeout", type=float, default=60.0,
+                          metavar="S",
+                          help="lease duration stamped on claimed chunks "
+                               "(renewed while computing)")
+    worker_p.add_argument("--idle-timeout", type=float, default=300.0,
+                          metavar="S",
+                          help="exit after this long without work "
+                               "(0: wait until stopped)")
+    worker_p.add_argument("--poll", type=float, default=0.5, metavar="S",
+                          help="queue poll interval while idle")
+    worker_p.add_argument("--max-chunks", type=int, default=None,
+                          help="exit after executing this many chunks")
+    worker_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="override the shared cache location named "
+                               "in the queue manifest (for hosts mounting "
+                               "it at a different path)")
+    worker_p.add_argument("--json", action="store_true",
+                          help="emit the worker report as JSON")
+
     cmp_p = sub.add_parser("compare", help="BBR vs Cubic on one setting")
     add_common(cmp_p)
     cmp_p.add_argument("--stride", type=float, default=1.0)
@@ -255,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
                       "spec refs)")
     runs_prune_p.add_argument("--keep", type=int, default=100,
                               help="records to keep")
+    runs_merge_p = runs_sub.add_parser(
+        "merge", help="fold per-worker ledger shards (or a whole sweep "
+                      "queue's ledgers/) into one queryable ledger")
+    runs_merge_p.add_argument("sources", metavar="DIR", nargs="+",
+                              help="ledger directory, or a queue directory "
+                                   "whose ledgers/ subdirectories are all "
+                                   "merged")
+    runs_merge_p.add_argument("--into", metavar="DIR", default=None,
+                              help="destination ledger directory (default: "
+                                   "the regular run ledger)")
     runs_sub.add_parser(
         "path", help="print the ledger file ($REPRO_LEDGER_DIR overrides)")
 
@@ -761,6 +864,8 @@ def _cmd_runs(args, out) -> int:
         out.write(render_table(
             headers, [[row[h] for h in headers] for row in rows]) + "\n")
         return 0
+    if args.runs_command == "merge":
+        return _cmd_runs_merge(args, out)
     if args.runs_command == "prune":
         if args.keep < 0:
             sys.stderr.write(f"error: --keep must be >= 0, got {args.keep}\n")
@@ -851,6 +956,124 @@ def _cmd_perf(args, out) -> int:
     return 0
 
 
+def _single_run_agg(spec, result) -> ReplicatedResult:
+    """Wrap one grid result as a 1-run aggregate for the table renderer."""
+    stats = RunSet()
+    stats.add_run(result.scalar_metrics())
+    return ReplicatedResult(spec=spec, runs=[result], stats=stats)
+
+
+def _cmd_sweep_scenario(args, out) -> int:
+    specs = expand_scenario(load_scenario_doc(args.scenario))
+    if not specs:
+        sys.stderr.write(
+            f"error: scenario {args.scenario!r} expands to no points\n"
+        )
+        return 2
+    if not args.distributed:
+        # Same semantics as 'repro grid': one box, the process pool.
+        args.runs = 1
+        aggs, timing = _run_specs(args, specs)
+        _emit([_result_dict(agg) for agg in aggs], args.json, out)
+        if not args.json:
+            out.write(timing + "\n")
+        return 0
+    if args.no_cache:
+        sys.stderr.write(
+            "error: --no-cache is incompatible with --distributed — the "
+            "shared result cache is how workers return results\n"
+        )
+        return 2
+    name = os.path.splitext(os.path.basename(args.scenario))[0]
+    queue_dir = args.queue or default_queue_dir(name, grid_digest(specs))
+    monitor = None
+    if args.live or args.metrics_out or args.progress_out:
+        monitor = DistMonitor(len(specs),
+                              stream=sys.stderr if args.live else None)
+    try:
+        report = run_distributed(
+            specs, queue_dir,
+            chunk=args.chunk,
+            workers=args.workers,
+            worker_jobs=args.jobs,
+            lease_s=args.lease_timeout,
+            wait_timeout_s=args.wait_timeout,
+            monitor=monitor,
+            name=name,
+        )
+    except (ValueError, DistributedSweepError) as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+    _export_monitor(args, monitor)
+    for notice in report.notices:
+        sys.stderr.write(f"note: {notice}\n")
+    aggs = [_single_run_agg(spec, result)
+            for spec, result in zip(specs, report.results)]
+    _emit([_result_dict(agg) for agg in aggs], args.json, out)
+    if not args.json:
+        line = f"# queue={queue_dir} " + report.summary_line()
+        if report.run_id:
+            line += f" run={report.run_id}"
+        out.write(line + "\n")
+    return 0
+
+
+def _cmd_worker(args, out) -> int:
+    try:
+        report = run_worker(
+            args.pull,
+            jobs=args.jobs,
+            lease_s=args.lease_timeout,
+            idle_timeout_s=args.idle_timeout,
+            poll_s=args.poll,
+            max_chunks=args.max_chunks,
+            cache_root=args.cache_dir,
+        )
+    except (ValueError, WorkerError) as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+    if args.json:
+        json.dump({
+            "worker_id": report.worker_id,
+            "chunks": report.chunks,
+            "points": report.points,
+            "computed": report.computed,
+            "cached": report.cached,
+            "errors": report.errors,
+            "events": report.events,
+            "wall_s": report.wall_s,
+            "events_per_sec": report.events_per_sec,
+            "exit_reason": report.exit_reason,
+        }, out, indent=2)
+        out.write("\n")
+    else:
+        out.write(report.summary_line() + "\n")
+    return 0
+
+
+def _cmd_runs_merge(args, out) -> int:
+    # A queue directory is accepted directly: its ledgers/ subdirectory
+    # holds one shard per worker, which is exactly what needs merging
+    # after a distributed sweep.
+    sources: List[str] = []
+    for source in args.sources:
+        ledgers_sub = os.path.join(source, "ledgers")
+        if os.path.isdir(ledgers_sub):
+            shards = sorted(
+                os.path.join(ledgers_sub, n) for n in os.listdir(ledgers_sub)
+                if os.path.isdir(os.path.join(ledgers_sub, n)))
+            if not shards:
+                sys.stderr.write(f"note: queue {source!r} has no worker "
+                                 "ledgers to merge\n")
+            sources.extend(shards)
+        else:
+            sources.append(source)
+    dest, added = merge_ledgers(sources, dest=args.into)
+    out.write(f"merged {added} new record(s) from {len(sources)} "
+              f"ledger(s) into {dest.path}\n")
+    return 0
+
+
 def _cmd_compare(args, out) -> int:
     specs = [
         _spec_from_args(args, cc=cc, pacing_stride=args.stride)
@@ -908,6 +1131,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_grid(args, out)
     if args.command == "compare":
         return _cmd_compare(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep_scenario(args, out)
+    if args.command == "worker":
+        return _cmd_worker(args, out)
     if args.command == "sweep-strides":
         return _cmd_sweep(args, out)
     if args.command == "report":

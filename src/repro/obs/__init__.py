@@ -23,9 +23,10 @@ from .ledger import (
     default_ledger_dir,
     diff_records,
     ledger_enabled,
+    merge_ledgers,
     resolve_ledger,
 )
-from .live import GridMonitor, validate_openmetrics
+from .live import DistMonitor, GridMonitor, validate_openmetrics
 from .probes import DEFAULT_PROBE_PERIOD_NS, PROBES, ProbeContext, ProbeSet, probe
 from .profiler import SimProfiler
 from .series import TimeSeries
@@ -49,7 +50,9 @@ __all__ = [
     "default_ledger_dir",
     "diff_records",
     "ledger_enabled",
+    "merge_ledgers",
     "resolve_ledger",
+    "DistMonitor",
     "GridMonitor",
     "validate_openmetrics",
     "export_jsonl",

@@ -53,6 +53,7 @@ __all__ = [
     "diff_records",
     "grid_record",
     "ledger_enabled",
+    "merge_ledgers",
     "record_metrics_by_digest",
     "resolve_ledger",
     "run_record",
@@ -163,13 +164,17 @@ def run_record(
     }
 
 
-def grid_record(specs: Sequence, report) -> Dict[str, Any]:
+def grid_record(
+    specs: Sequence, report, extra: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
     """Build the manifest record for one grid invocation.
 
     Every point appears — computed, cached, or failed — keyed by its
     spec digest, with its full scalar metrics when it produced a result.
     Cache hits carry metrics too, so ``repro runs diff`` works between a
-    cold run and a fully-cached re-run.
+    cold run and a fully-cached re-run. *extra* adds caller-owned keys
+    (the distributed coordinator journals its queue/worker/reclaim
+    summary this way) without being able to clobber the core schema.
     """
     from ..cache import code_fingerprint
     from ..core.scenario import spec_digest
@@ -187,7 +192,8 @@ def grid_record(specs: Sequence, report) -> Dict[str, Any]:
         else:
             point["metrics"] = result.scalar_metrics()
         points.append(point)
-    return {
+    record = dict(extra) if extra else {}
+    record.update({
         "v": LEDGER_RECORD_VERSION,
         "id": _new_record_id(),
         "kind": "grid",
@@ -207,7 +213,8 @@ def grid_record(specs: Sequence, report) -> Dict[str, Any]:
         "wall_s": report.wall_s,
         "events": report.total_events,
         "events_per_sec": report.events_per_sec,
-    }
+    })
+    return record
 
 
 class RunLedger:
@@ -279,12 +286,13 @@ class RunLedger:
         except Exception:  # noqa: BLE001 - ledger never fails a run
             return None
 
-    def record_grid(self, specs: Sequence, report) -> Optional[str]:
+    def record_grid(self, specs: Sequence, report,
+                    extra: Optional[Dict[str, Any]] = None) -> Optional[str]:
         """Append a grid record (plus every point's spec ref); never raises."""
         try:
             for spec in specs:
                 self.write_spec_ref(spec)
-            return self.append(grid_record(specs, report))
+            return self.append(grid_record(specs, report, extra=extra))
         except Exception:  # noqa: BLE001 - ledger never fails a run
             return None
 
@@ -458,6 +466,62 @@ def diff_records(
                     "a": va, "b": vb, "delta": vb - va,
                 })
     return rows, (1 if rows else 0)
+
+
+def merge_ledgers(
+    sources: Sequence[Union[str, "RunLedger"]],
+    dest: Union[None, str, "RunLedger"] = None,
+) -> Tuple["RunLedger", int]:
+    """Fold per-worker ledger shards into one queryable ledger.
+
+    A distributed sweep gives every worker a private ledger directory
+    (``O_APPEND`` line atomicity is a single-host guarantee, so workers
+    on different hosts must never share one JSONL file); this merge
+    makes the shards usable by ``repro runs list|diff`` again. Records
+    are deduplicated by id against the destination and each other,
+    ordered by timestamp (ties by id, so the merge is deterministic),
+    and appended with their spec refs copied alongside. Returns the
+    destination ledger and the number of records added. Sources are read
+    only — re-merging is idempotent.
+    """
+    dest_ledger = (dest if isinstance(dest, RunLedger)
+                   else RunLedger(root=dest))
+    seen = {str(r.get("id")) for r in dest_ledger.records()}
+    incoming: List[Tuple[Any, str, Dict[str, Any], "RunLedger"]] = []
+    added = 0
+    for source in sources:
+        src_ledger = (source if isinstance(source, RunLedger)
+                      else RunLedger(root=source))
+        if os.path.abspath(src_ledger.root) == os.path.abspath(dest_ledger.root):
+            continue
+        for record in src_ledger.records():
+            rid = str(record.get("id"))
+            if rid in seen:
+                continue
+            seen.add(rid)
+            incoming.append((record.get("ts", 0.0), rid, record, src_ledger))
+    incoming.sort(key=lambda item: (item[0], item[1]))
+    for _ts, _rid, record, src_ledger in incoming:
+        for digest in record_metrics_by_digest(record):
+            src_path = src_ledger.spec_ref_path(digest)
+            dst_path = dest_ledger.spec_ref_path(digest)
+            if os.path.exists(dst_path) or not os.path.exists(src_path):
+                continue
+            try:
+                os.makedirs(dest_ledger.specs_dir, exist_ok=True)
+                with open(src_path, encoding="utf-8") as fh:
+                    payload = fh.read()
+                fd, tmp = tempfile.mkstemp(
+                    dir=dest_ledger.specs_dir, prefix=".tmp-", suffix=".json"
+                )
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(payload)
+                os.replace(tmp, dst_path)
+            except OSError:
+                pass  # a missing spec ref degrades `runs show`, not the merge
+        if dest_ledger.append(record) is not None:
+            added += 1
+    return dest_ledger, added
 
 
 def resolve_ledger(

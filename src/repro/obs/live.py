@@ -32,6 +32,7 @@ import time
 from typing import Any, Dict, IO, List, Optional, Tuple
 
 __all__ = [
+    "DistMonitor",
     "GridMonitor",
     "progress_done",
     "progress_error",
@@ -315,6 +316,48 @@ class GridMonitor:
                 fh.write(json.dumps(entry, separators=(",", ":")))
                 fh.write("\n")
         return len(self.events_log)
+
+
+class DistMonitor(GridMonitor):
+    """Grid monitor that also aggregates distributed-worker heartbeats.
+
+    A distributed sweep's progress events arrive when chunks *complete*,
+    but workers publish heartbeat snapshots (progress files in the queue
+    directory) continuously while they compute. The coordinator feeds
+    those snapshots in via :meth:`update_workers`, and the status line
+    grows a per-worker tail — ``2 live: a@12,345ev/s b@9,870ev/s`` — so
+    a stalled or dead worker is visible between chunk completions. The
+    ETA inherited from :class:`GridMonitor` stays chunk-driven (cache
+    hits collapse it on warm resumes, exactly as in local grids).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: worker id -> latest heartbeat snapshot from the queue dir
+        self.workers: Dict[str, Dict[str, Any]] = {}
+
+    def update_workers(self, snapshots: Dict[str, Dict[str, Any]]) -> None:
+        """Replace the heartbeat view (and refresh the rendering)."""
+        self.workers = dict(snapshots)
+        self._maybe_render()
+
+    @staticmethod
+    def _short_id(worker_id: str) -> str:
+        """Heartbeat ids are ``host-pid-hex``; the pid part identifies."""
+        parts = worker_id.rsplit("-", 2)
+        return parts[1] if len(parts) == 3 else worker_id[:8]
+
+    def render_line(self) -> str:
+        line = super().render_line()
+        live = {wid: snap for wid, snap in self.workers.items()
+                if snap.get("state") != "exited"}
+        if not live:
+            return line
+        tails = []
+        for wid in sorted(live):
+            rate = live[wid].get("events_per_sec", 0.0)
+            tails.append(f"{self._short_id(wid)}@{rate:,.0f}ev/s")
+        return f"{line} | {len(live)} live: " + " ".join(tails)
 
 
 def validate_openmetrics(text: str) -> int:

@@ -75,6 +75,7 @@ __all__ = [
     "ExperimentGridError",
     "resolve_jobs",
     "resolve_chunk",
+    "resolve_worker_jobs",
     "run_grid",
     "run_grid_report",
     "run_replicated_grid",
@@ -234,6 +235,22 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def resolve_worker_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve *jobs* for a pull-worker: never above the machine's cores.
+
+    A distributed sweep multiplies across worker *processes*, so an
+    individual worker gains nothing from oversubscribing its own box —
+    on a 1-core host a per-chunk process pool is pure overhead (the
+    measured ``parallel.speedup = 0.95`` pathology). Capping at
+    ``os.cpu_count()`` sends 1-core workers down the serial fast path of
+    :func:`run_grid_report` while multi-core workers still fan out.
+    An explicit ``jobs``/``REPRO_JOBS`` above the core count is clamped,
+    not rejected: the same command line must work across heterogeneous
+    hosts.
+    """
+    return min(resolve_jobs(jobs), os.cpu_count() or 1)
 
 
 def resolve_chunk(
